@@ -1,0 +1,48 @@
+// Package cfpq's top-level benchmarks regenerate the paper's evaluation
+// with the standard Go benchmarking harness: one benchmark tree per table,
+// one sub-benchmark per (ontology, implementation) cell.
+//
+//	go test -bench BenchmarkTable1 -benchmem        # Table 1 (Query 1)
+//	go test -bench BenchmarkTable2 -benchmem        # Table 2 (Query 2)
+//
+// For the formatted tables in the paper's layout (with #results columns and
+// result-agreement checking), run ./cmd/cfpq-bench instead.
+package cfpq
+
+import (
+	"fmt"
+	"testing"
+
+	"cfpq/internal/bench"
+	"cfpq/internal/dataset"
+)
+
+// benchTable runs every (graph, implementation) cell of one paper table.
+// The paper omits the dense implementation on g1–g3; so do we.
+func benchTable(b *testing.B, query int) {
+	impls := bench.Implementations(query)
+	for _, d := range dataset.Graphs() {
+		g := d.Build()
+		for _, impl := range impls {
+			if impl.SkipSynthetic && d.Synthetic {
+				continue
+			}
+			name := fmt.Sprintf("%s/%s", d.Name, impl.Name)
+			b.Run(name, func(b *testing.B) {
+				results := 0
+				for i := 0; i < b.N; i++ {
+					results = impl.Run(g)
+				}
+				b.ReportMetric(float64(results), "results")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: Query 1 (same layer, Figure 10
+// grammar) over the 14 dataset graphs × {GLL, dGPU, sCPU, sGPU}.
+func BenchmarkTable1(b *testing.B) { benchTable(b, 1) }
+
+// BenchmarkTable2 regenerates Table 2: Query 2 (adjacent layers, Figure 11
+// grammar) over the same graphs and implementations.
+func BenchmarkTable2(b *testing.B) { benchTable(b, 2) }

@@ -1,0 +1,163 @@
+package cfpq
+
+import (
+	"fmt"
+	"io"
+
+	"cfpq/internal/core"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Re-exported data types. The concrete implementations live in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Graph is an edge-labelled directed multigraph with nodes 0..N-1.
+	Graph = graph.Graph
+	// Edge is one labelled directed edge.
+	Edge = graph.Edge
+	// Triple is an RDF triple used by the N-Triples loader.
+	Triple = graph.Triple
+	// Grammar is a context-free grammar (no designated start symbol).
+	Grammar = grammar.Grammar
+	// CNF is a grammar compiled to Chomsky Normal Form.
+	CNF = grammar.CNF
+	// Pair is one (source, target) element of a query relation.
+	Pair = matrix.Pair
+	// Index holds the evaluated relations of every non-terminal.
+	Index = core.Index
+	// PathIndex supports the single-path query semantics.
+	PathIndex = core.PathIndex
+	// Stats reports closure work (passes and matrix products).
+	Stats = core.Stats
+)
+
+// NewGraph returns an empty graph with n nodes; AddEdge grows it on demand.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// LoadNTriples reads an N-Triples document and expands each triple
+// (o, p, s) into the edges (o, p, s) and (s, p+"_r", o), following the
+// paper's RDF-to-graph conversion. The returned map gives node id ← IRI.
+func LoadNTriples(r io.Reader) (*Graph, map[string]int, error) {
+	return graph.LoadNTriples(r)
+}
+
+// ParseGrammar parses the grammar text format:
+//
+//	S -> subClassOf_r S subClassOf | subClassOf_r subClassOf
+//	B -> "Quoted Terminal" B x | eps
+//
+// Upper-case-initial identifiers are non-terminals, everything else (and
+// anything quoted) is a terminal, `eps` is the empty string, `|` separates
+// alternatives.
+func ParseGrammar(text string) (*Grammar, error) { return grammar.ParseString(text) }
+
+// MustParseGrammar is ParseGrammar that panics on error.
+func MustParseGrammar(text string) *Grammar { return grammar.MustParse(text) }
+
+// ToCNF converts a grammar to Chomsky Normal Form. Query does this
+// internally; convert explicitly when evaluating many queries against the
+// same grammar.
+func ToCNF(g *Grammar) (*CNF, error) { return grammar.ToCNF(g) }
+
+// Option configures query evaluation.
+type Option func(*config)
+
+type config struct {
+	engineOpts []core.Option
+	emptyPaths bool
+}
+
+// WithDense selects bit-packed dense matrices (serial kernel).
+func WithDense() Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.Dense())) }
+}
+
+// WithDenseParallel selects dense matrices with a row-parallel kernel
+// (the paper's dGPU analogue); workers ≤ 0 means GOMAXPROCS.
+func WithDenseParallel(workers int) Option {
+	return func(c *config) {
+		c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.DenseParallel(workers)))
+	}
+}
+
+// WithSparse selects CSR sparse matrices (the paper's sCPU analogue). This
+// is the default.
+func WithSparse() Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.Sparse())) }
+}
+
+// WithSparseParallel selects CSR sparse matrices with a row-parallel SpGEMM
+// (the paper's sGPU analogue); workers ≤ 0 means GOMAXPROCS.
+func WithSparseParallel(workers int) Option {
+	return func(c *config) {
+		c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.SparseParallel(workers)))
+	}
+}
+
+// WithEmptyPaths includes the reflexive pairs (v, v) in query results when
+// the queried non-terminal derives the empty string (only empty paths are
+// labelled ε).
+func WithEmptyPaths() Option {
+	return func(c *config) { c.emptyPaths = true }
+}
+
+// WithNaiveIteration makes the closure follow the paper's Algorithm 1
+// literally — every pass multiplies snapshots of the previous pass's state,
+// T ← T ∪ (T_prev × T_prev) — instead of the faster in-place schedule. Both
+// reach the same fixpoint; naive iteration reproduces the paper's worked
+// example states T₀, T₁, … exactly.
+func WithNaiveIteration() Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithNaiveIteration()) }
+}
+
+// WithTrace installs a callback invoked with the evolving index after
+// initialisation (iteration 0) and after each fixpoint pass. The callback
+// must not retain or mutate the index.
+func WithTrace(fn func(iteration int, ix *Index)) Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithTrace(fn)) }
+}
+
+func buildConfig(opts []Option) *config {
+	c := &config{}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Query evaluates R_start on the graph under the relational semantics and
+// returns the sorted pair list.
+func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
+	c := buildConfig(opts)
+	e := core.NewEngine(c.engineOpts...)
+	return e.Query(g, gram, start, core.QueryOptions{IncludeEmptyPaths: c.emptyPaths})
+}
+
+// Evaluate runs the matrix closure and returns the full Index, from which
+// the relation of every non-terminal can be read (Relation, Has, Count).
+// Use this instead of Query when several non-terminals are of interest.
+func Evaluate(g *Graph, cnf *CNF, opts ...Option) (*Index, Stats) {
+	c := buildConfig(opts)
+	return core.NewEngine(c.engineOpts...).Run(g, cnf)
+}
+
+// SinglePath evaluates the single-path query semantics: the returned
+// PathIndex reports, for every pair of every relation, a witness-path
+// length (Length) and a concrete path of exactly that length (Path).
+func SinglePath(g *Graph, cnf *CNF) *PathIndex {
+	return core.NewPathIndex(g, cnf)
+}
+
+// AllPathsOptions bounds all-path enumeration.
+type AllPathsOptions = core.AllPathsOptions
+
+// AllPaths enumerates distinct paths witnessing (start, i, j) in
+// nondecreasing length order, bounded by opts.
+func AllPaths(g *Graph, ix *Index, start string, i, j int, opts AllPathsOptions) ([][]Edge, error) {
+	if _, ok := ix.CNF().Index(start); !ok {
+		return nil, fmt.Errorf("cfpq: unknown non-terminal %q", start)
+	}
+	return ix.AllPaths(g, start, i, j, opts), nil
+}

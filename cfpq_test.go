@@ -1,0 +1,125 @@
+package cfpq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFromDoc(t *testing.T) {
+	// The doc.go example must work exactly as written.
+	g := NewGraph(3)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	gram, err := ParseGrammar("S -> a S b | a b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := Query(g, gram, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Pair{{I: 0, J: 2}}; !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestQueryBackendsAgreeViaPublicAPI(t *testing.T) {
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 0)
+	gram := MustParseGrammar("S -> a S b | a b")
+	var ref []Pair
+	for i, opt := range []Option{WithDense(), WithDenseParallel(2), WithSparse(), WithSparseParallel(2)} {
+		pairs, err := Query(g, gram, "S", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = pairs
+			continue
+		}
+		if !reflect.DeepEqual(pairs, ref) {
+			t.Errorf("backend %d disagrees: %v vs %v", i, pairs, ref)
+		}
+	}
+}
+
+func TestEvaluateAndSinglePath(t *testing.T) {
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	cnf, err := ToCNF(MustParseGrammar("S -> a b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, stats := Evaluate(g, cnf)
+	if !ix.Has("S", 0, 2) {
+		t.Error("(0,2) missing")
+	}
+	if stats.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	px := SinglePath(g, cnf)
+	path, ok := px.Path("S", 0, 2)
+	if !ok || len(path) != 2 {
+		t.Errorf("path = %v, ok=%v", path, ok)
+	}
+}
+
+func TestAllPathsPublicAPI(t *testing.T) {
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	cnf, _ := ToCNF(MustParseGrammar("S -> a b"))
+	ix, _ := Evaluate(g, cnf)
+	paths, err := AllPaths(g, ix, "S", 0, 2, AllPathsOptions{})
+	if err != nil || len(paths) != 1 {
+		t.Errorf("paths = %v, err = %v", paths, err)
+	}
+	if _, err := AllPaths(g, ix, "Nope", 0, 2, AllPathsOptions{}); err == nil {
+		t.Error("unknown non-terminal should error")
+	}
+}
+
+func TestWithEmptyPaths(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, "a", 1)
+	gram := MustParseGrammar("S -> a S | eps")
+	pairs, err := Query(g, gram, "S", WithEmptyPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{I: 0, J: 0}, {I: 0, J: 1}, {I: 1, J: 1}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestLoadNTriplesPublicAPI(t *testing.T) {
+	g, ids, err := LoadNTriples(strings.NewReader("<x> <p> <y> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 2 || g.EdgeCount() != 2 {
+		t.Errorf("graph = %v", g)
+	}
+	gram := MustParseGrammar("S -> p_r")
+	pairs, err := Query(g, gram, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].I != ids["y"] || pairs[0].J != ids["x"] {
+		t.Errorf("inverse-edge query = %v (ids %v)", pairs, ids)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	g := NewGraph(1)
+	gram := MustParseGrammar("S -> a")
+	if _, err := Query(g, gram, "Missing"); err == nil {
+		t.Error("unknown start non-terminal should error")
+	}
+}

@@ -1,0 +1,61 @@
+// Command cfpq-bench regenerates the paper's evaluation tables and the
+// ablation studies.
+//
+// Usage:
+//
+//	cfpq-bench -table 1              # Table 1 (Query 1, all 14 graphs)
+//	cfpq-bench -table 2              # Table 2 (Query 2)
+//	cfpq-bench -table 1 -max 1000    # only graphs with ≤ 1000 triples
+//	cfpq-bench -ablation             # iteration/crossover/scaling ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cfpq/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate table 1 or 2 (0 = both)")
+	repeats := flag.Int("repeats", 3, "timed runs per cell; minimum is reported")
+	maxTriples := flag.Int("max", 0, "skip graphs with more paper-triples (0 = no limit)")
+	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the tables")
+	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	flag.Parse()
+
+	if *ablation {
+		bench.RunAblations(os.Stdout)
+		return
+	}
+
+	tables := []int{1, 2}
+	if *table == 1 || *table == 2 {
+		tables = []int{*table}
+	} else if *table != 0 {
+		fmt.Fprintf(os.Stderr, "cfpq-bench: -table must be 1 or 2\n")
+		os.Exit(2)
+	}
+	for _, q := range tables {
+		cfg := bench.Config{Query: q, Repeats: *repeats, MaxTriples: *maxTriples}
+		if *verbose {
+			cfg.Log = os.Stderr
+		}
+		rows, err := bench.RunTable(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *csvOut {
+			if err := bench.WriteCSV(os.Stdout, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		bench.FormatTable(os.Stdout, q, rows)
+		fmt.Println()
+	}
+}

@@ -1,0 +1,34 @@
+// Command cfpq evaluates a context-free path query on an edge-labelled
+// graph.
+//
+// The graph is an N-Triples file (expanded with inverse `_r` edges, as in
+// the paper) and the query is a grammar file in the text format of
+// internal/grammar, e.g.
+//
+//	S -> subClassOf_r S subClassOf | subClassOf_r subClassOf
+//
+// Usage:
+//
+//	cfpq -graph wine.nt -query samegen.g -start S                # relational
+//	cfpq -graph wine.nt -query samegen.g -start S -semantics single-path
+//	cfpq -graph wine.nt -query samegen.g -start S -backend dense-parallel
+//	cfpq -graph wine.nt -query samegen.g -start S -count         # count only
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cfpq/internal/cli"
+)
+
+func main() {
+	cfg, err := cli.ParseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := cli.Run(cfg, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "cfpq: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command graphgen emits the synthetic evaluation datasets as N-Triples,
+// for inspection or for use with external tools.
+//
+// Usage:
+//
+//	graphgen -list                 # list dataset names and sizes
+//	graphgen -name wine            # write wine.nt to stdout
+//	graphgen -name g1 -o g1.nt     # write to a file
+//	graphgen -all -dir data/       # write every dataset into a directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cfpq/internal/dataset"
+	"cfpq/internal/graph"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list datasets")
+	name := flag.String("name", "", "dataset to emit")
+	out := flag.String("o", "", "output file (default stdout)")
+	all := flag.Bool("all", false, "emit every dataset")
+	dir := flag.String("dir", ".", "output directory for -all")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-30s %9s %7s\n", "name", "#triples", "copies")
+		for _, d := range dataset.Graphs() {
+			kind := ""
+			if d.Synthetic {
+				kind = "(repeated)"
+			}
+			fmt.Printf("%-30s %9d %7s\n", d.Name, d.Triples, kind)
+		}
+	case *all:
+		for _, d := range dataset.Graphs() {
+			path := filepath.Join(*dir, d.Name+".nt")
+			if err := writeDataset(d, path); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d triples)\n", path, d.Triples)
+		}
+	case *name != "":
+		d, ok := dataset.ByName(*name)
+		if !ok {
+			fatal(fmt.Errorf("unknown dataset %q (try -list)", *name))
+		}
+		if *out == "" {
+			if err := graph.WriteNTriples(os.Stdout, d.TripleSet()); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		if err := writeDataset(d, *out); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeDataset(d dataset.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteNTriples(f, d.TripleSet()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+	os.Exit(1)
+}

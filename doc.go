@@ -1,0 +1,40 @@
+// Package cfpq is a context-free path querying (CFPQ) library: it evaluates
+// queries over edge-labelled directed graphs where the set of admissible
+// paths is given by a context-free grammar over the edge labels, using the
+// matrix-multiplication algorithm of Azimov & Grigorev ("Context-Free Path
+// Querying by Matrix Multiplication").
+//
+// # Model
+//
+// A graph D = (V, E) has directed edges labelled from a finite alphabet. A
+// context-free grammar G assigns a language L(G_A) to each non-terminal A.
+// Under the relational query semantics, the answer to a query is the
+// relation
+//
+//	R_A = { (m, n) | there is a path m π n with l(π) ∈ L(G_A) }.
+//
+// The single-path semantics additionally returns one witness path per pair;
+// the all-path semantics enumerates all of them (infinitely many on cyclic
+// graphs, so enumeration is bounded).
+//
+// # Quick start
+//
+//	g := cfpq.NewGraph(3)
+//	g.AddEdge(0, "a", 1)
+//	g.AddEdge(1, "b", 2)
+//	gram, _ := cfpq.ParseGrammar("S -> a S b | a b")
+//	pairs, _ := cfpq.Query(g, gram, "S")
+//	// pairs == [{0 2}]
+//
+// The algorithm reduces query evaluation to a Boolean-matrix transitive
+// closure: one |V|×|V| Boolean matrix per non-terminal, with one matrix
+// multiplication per grammar production per fixpoint pass. Four matrix
+// backends are provided (dense/sparse × serial/parallel); see Options.
+//
+// Subpackages under internal/ implement the machinery: grammars and CNF
+// (internal/grammar), graphs and N-Triples (internal/graph), Boolean matrix
+// kernels (internal/matrix), the closure engine and path semantics
+// (internal/core), the Hellings and GLL baselines (internal/baseline), the
+// paper's evaluation datasets (internal/dataset) and the table harness
+// (internal/bench).
+package cfpq

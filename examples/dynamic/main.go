@@ -1,0 +1,84 @@
+// Dynamic demonstrates the library extensions around the paper's core
+// algorithm: regular path queries (RPQ) answered through the same matrix
+// machinery, incremental maintenance of an evaluated query when edges are
+// added (dynamic CFPQ), and persisting the evaluated index.
+//
+// The scenario is a package-dependency graph: `imports` edges between
+// modules, with a vulnerability introduced mid-session.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"cfpq"
+)
+
+func main() {
+	mods := []string{"app", "api", "auth", "db", "log", "vuln"}
+	id := map[string]int{}
+	for i, m := range mods {
+		id[m] = i
+	}
+	g := cfpq.NewGraph(len(mods))
+	imports := func(from, to string) cfpq.Edge {
+		e := cfpq.Edge{From: id[from], Label: "imports", To: id[to]}
+		g.AddEdge(e.From, e.Label, e.To)
+		return e
+	}
+	imports("app", "api")
+	imports("api", "auth")
+	imports("api", "db")
+	imports("auth", "log")
+	imports("db", "log")
+
+	// 1. RPQ: transitive dependencies are `imports+`.
+	pairs, err := cfpq.RPQ(g, "imports+")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Transitive dependencies (RPQ `imports+`):")
+	for _, p := range pairs {
+		fmt.Printf("  %s -> %s\n", mods[p.I], mods[p.J])
+	}
+
+	// 2. The same relation as a CFPQ, evaluated once into an Index.
+	gram := cfpq.MustParseGrammar("Dep -> imports Dep | imports")
+	cnf, err := cfpq.ToCNF(gram)
+	if err != nil {
+		panic(err)
+	}
+	ix, stats := cfpq.Evaluate(g, cnf)
+	fmt.Printf("\nCFPQ closure: %d pairs in %d passes\n", ix.Count("Dep"), stats.Iterations)
+
+	// 3. Dynamic update: db starts importing vuln; only the consequences
+	// of the new edge are propagated — no full re-evaluation.
+	fmt.Println("\nAdding edge db -imports-> vuln ...")
+	newEdge := imports("db", "vuln")
+	upd := cfpq.Update(ix, newEdge)
+	fmt.Printf("Incremental update: %d passes, %d matrix products\n", upd.Iterations, upd.Products)
+	fmt.Println("Modules now depending on vuln:")
+	for _, p := range ix.Relation("Dep") {
+		if mods[p.J] == "vuln" {
+			fmt.Printf("  %s\n", mods[p.I])
+		}
+	}
+
+	// 4. Persist the evaluated index and reload it (e.g. in a later
+	// session) without re-running the closure.
+	var buf bytes.Buffer
+	if err := cfpq.SaveIndex(&buf, ix); err != nil {
+		panic(err)
+	}
+	size := buf.Len()
+	reloaded, err := cfpq.LoadIndex(&buf, cnf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nSaved %d bytes; reloaded index answers Has(app→vuln) = %v\n",
+		size, reloaded.Has("Dep", id["app"], id["vuln"]))
+}

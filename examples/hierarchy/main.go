@@ -1,0 +1,83 @@
+// Hierarchy demonstrates the single-path and all-path query semantics
+// (paper Sections 5 and 7) through the public API, on a same-generation
+// query over a corporate reporting hierarchy: employees are on the same
+// level when they sit at equal depth below a common manager.
+//
+// Run with:
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+
+	"cfpq"
+)
+
+func main() {
+	// reportsTo edges child → parent, plus explicit inverse edges.
+	people := []string{"ceo", "vp1", "vp2", "eng1", "eng2", "sales1"}
+	id := map[string]int{}
+	for i, p := range people {
+		id[p] = i
+	}
+	g := cfpq.NewGraph(len(people))
+	reports := func(child, parent string) {
+		g.AddEdge(id[child], "reportsTo", id[parent])
+		g.AddEdge(id[parent], "reportsTo_r", id[child])
+	}
+	reports("vp1", "ceo")
+	reports("vp2", "ceo")
+	reports("eng1", "vp1")
+	reports("eng2", "vp1")
+	reports("sales1", "vp2")
+
+	// Same-level query: ascend k levels from x, descend k levels to y.
+	gram := cfpq.MustParseGrammar(`
+		Same -> reportsTo Same reportsTo_r | reportsTo reportsTo_r
+	`)
+	cnf, err := cfpq.ToCNF(gram)
+	if err != nil {
+		panic(err)
+	}
+
+	ix, _ := cfpq.Evaluate(g, cnf)
+	fmt.Println("Same-level pairs (relational semantics):")
+	for _, p := range ix.Relation("Same") {
+		if p.I < p.J {
+			fmt.Printf("  %s ~ %s\n", people[p.I], people[p.J])
+		}
+	}
+
+	// Single-path semantics: one witness per pair, with its length.
+	px := cfpq.SinglePath(g, cnf)
+	fmt.Println("\nWitness paths (single-path semantics):")
+	for _, lp := range px.Relation("Same") {
+		if lp.I >= lp.J {
+			continue
+		}
+		path, _ := px.Path("Same", lp.I, lp.J)
+		fmt.Printf("  %s ~ %s via", people[lp.I], people[lp.J])
+		at := lp.I
+		for _, edge := range path {
+			fmt.Printf(" %s -%s->", people[at], edge.Label)
+			at = edge.To
+		}
+		fmt.Printf(" %s\n", people[at])
+	}
+
+	// All-path semantics: enumerate every distinct witness for one pair.
+	fmt.Println("\nAll paths eng1 ~ sales1 (all-path semantics):")
+	paths, err := cfpq.AllPaths(g, ix, "Same", id["eng1"], id["sales1"],
+		cfpq.AllPathsOptions{MaxPaths: 10})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range paths {
+		labels := make([]string, len(p))
+		for i, e := range p {
+			labels[i] = e.Label
+		}
+		fmt.Printf("  length %d: %v\n", len(p), labels)
+	}
+}

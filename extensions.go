@@ -1,0 +1,119 @@
+package cfpq
+
+import (
+	"io"
+
+	"cfpq/internal/conjunctive"
+	"cfpq/internal/core"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+	"cfpq/internal/rpq"
+)
+
+// This file exposes the extensions built on the paper's §7 research
+// directions: regular path queries by reduction to CFPQ, conjunctive
+// grammars (upper approximation), minimal-length single-path semantics,
+// and dynamic (incremental) query maintenance.
+
+// RPQ evaluates a regular path query — the expression syntax is
+//
+//	subClassOf_r* type (a | b)+ c?
+//
+// — by compiling the expression to an NFA, the NFA to a right-linear
+// grammar, and evaluating that grammar with the matrix CFPQ engine.
+func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
+	c := buildConfig(opts)
+	be := matrix.Backend(nil)
+	if len(c.engineOpts) > 0 {
+		// Re-resolve the backend choice through a scratch engine: the
+		// options API stores backend selection as engine options.
+		be = core.NewEngine(c.engineOpts...).Backend()
+	}
+	return rpq.EvaluateString(g, expr, rpq.Options{
+		IncludeEmptyPaths: c.emptyPaths,
+		Backend:           be,
+	})
+}
+
+// ConjunctiveGrammar is a grammar with conjunctive productions
+// (`A -> B C & D E`); see ParseConjunctive.
+type ConjunctiveGrammar = conjunctive.Grammar
+
+// ParseConjunctive parses a conjunctive grammar: the usual text format
+// plus `&` separating conjuncts that must all derive the same fragment:
+//
+//	S -> A B & D C
+//	A -> a A | a
+func ParseConjunctive(text string) (*ConjunctiveGrammar, error) {
+	return conjunctive.Parse(text)
+}
+
+// QueryConjunctive evaluates a conjunctive path query. Per the paper's
+// Section 7 hypothesis (verified by this package's tests), the result is
+// an upper approximation of the single-path relation on cyclic graphs and
+// exact on linear inputs.
+func QueryConjunctive(g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
+	c := buildConfig(opts)
+	be := matrix.Backend(nil)
+	if len(c.engineOpts) > 0 {
+		be = core.NewEngine(c.engineOpts...).Backend()
+	}
+	res, err := conjunctive.Evaluate(g, cg, be)
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation(start), nil
+}
+
+// ShortestPath is SinglePath with minimal witness lengths: the recorded
+// length (and the extracted path) of every pair is the shortest possible,
+// as in Hellings' single-path algorithm.
+func ShortestPath(g *Graph, cnf *CNF) *PathIndex {
+	return core.NewShortestPathIndex(g, cnf)
+}
+
+// Update incorporates newly added edges into an evaluated Index without
+// recomputing the closure (dynamic CFPQ): only the consequences of the new
+// edges are propagated. The edges must stay within the index's node range.
+func Update(ix *Index, edges ...Edge) Stats {
+	e := core.NewEngine(core.WithBackend(backendOf(ix)))
+	return e.Update(ix, edges...)
+}
+
+// backendOf recovers a compatible backend for the index's matrices so
+// Update allocates frontier matrices of the same representation.
+func backendOf(ix *Index) matrix.Backend {
+	for _, nt := range ix.CNF().Names {
+		switch ix.Matrix(nt).(type) {
+		case *matrix.DenseMatrix:
+			return matrix.Dense()
+		case *matrix.SparseMatrix:
+			return matrix.Sparse()
+		}
+	}
+	return matrix.Sparse()
+}
+
+// ReverseGraph returns the graph with all edges flipped; together with
+// grammar reversal it transposes every relation (a structural identity the
+// test suite exploits).
+func ReverseGraph(g *Graph) *Graph { return graph.Reverse(g) }
+
+// SaveIndex serialises an evaluated index so later sessions can query it
+// without re-running the closure. Pair it with the exact grammar at load
+// time.
+func SaveIndex(w io.Writer, ix *Index) error {
+	_, err := ix.WriteTo(w)
+	return err
+}
+
+// LoadIndex reads an index previously written by SaveIndex. The CNF must
+// be the grammar the index was computed for.
+func LoadIndex(r io.Reader, cnf *CNF, opts ...Option) (*Index, error) {
+	c := buildConfig(opts)
+	be := matrix.Backend(nil)
+	if len(c.engineOpts) > 0 {
+		be = core.NewEngine(c.engineOpts...).Backend()
+	}
+	return core.ReadIndex(r, cnf, be)
+}

@@ -1,0 +1,115 @@
+package cfpq
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRPQFacade(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	pairs, err := RPQ(g, "a* b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{I: 0, J: 3}, {I: 1, J: 3}, {I: 2, J: 3}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+	// Backend option is honoured (same result).
+	dense, err := RPQ(g, "a* b", WithDenseParallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dense, want) {
+		t.Errorf("dense pairs = %v, want %v", dense, want)
+	}
+	if _, err := RPQ(g, "a* ("); err == nil {
+		t.Error("bad expression should error")
+	}
+}
+
+func TestRPQEmptyPathsFacade(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, "a", 1)
+	pairs, err := RPQ(g, "a*", WithEmptyPaths())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Pair{{I: 0, J: 0}, {I: 0, J: 1}, {I: 1, J: 1}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestConjunctiveFacade(t *testing.T) {
+	cg, err := ParseConjunctive(`
+		S -> A B & D C
+		A -> a A | a
+		B -> b B c | b c
+		C -> c C | c
+		D -> a D b | a b
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain spelling a a b b c c (aⁿbⁿcⁿ with n = 2).
+	labels := []string{"a", "a", "b", "b", "c", "c"}
+	g := NewGraph(len(labels) + 1)
+	for i, l := range labels {
+		g.AddEdge(i, l, i+1)
+	}
+	pairs, err := QueryConjunctive(g, cg, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pairs {
+		if p.I == 0 && p.J == len(labels) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("aabbcc not recognised: %v", pairs)
+	}
+}
+
+func TestShortestPathFacade(t *testing.T) {
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	cnf, _ := ToCNF(MustParseGrammar("S -> a S b | a b"))
+	px := ShortestPath(g, cnf)
+	if l, ok := px.Length("S", 0, 2); !ok || l != 2 {
+		t.Errorf("Length = %d, %v", l, ok)
+	}
+}
+
+func TestUpdateFacade(t *testing.T) {
+	gram := MustParseGrammar("S -> a b")
+	cnf, _ := ToCNF(gram)
+	for _, opt := range []Option{WithSparse(), WithDense()} {
+		g := NewGraph(3)
+		g.AddEdge(0, "a", 1)
+		ix, _ := Evaluate(g, cnf, opt)
+		if ix.Count("S") != 0 {
+			t.Fatal("premature pair")
+		}
+		g.AddEdge(1, "b", 2)
+		Update(ix, Edge{From: 1, Label: "b", To: 2})
+		if !ix.Has("S", 0, 2) {
+			t.Error("(0,2) missing after Update")
+		}
+	}
+}
+
+func TestReverseGraphFacade(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, "a", 1)
+	r := ReverseGraph(g)
+	if !r.HasEdge(1, "a", 0) {
+		t.Error("edge not reversed")
+	}
+}

@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// paperGraph is the Figure 5 graph (see core's example test).
+func paperGraph() *graph.Graph {
+	g := graph.New(3)
+	g.AddEdge(0, "subClassOf_r", 0)
+	g.AddEdge(0, "type_r", 1)
+	g.AddEdge(1, "type_r", 2)
+	g.AddEdge(2, "subClassOf", 0)
+	g.AddEdge(2, "type", 2)
+	return g
+}
+
+const paperCNF = `
+S -> S1 S5
+S -> S3 S6
+S -> S1 S2
+S -> S3 S4
+S5 -> S S2
+S6 -> S S4
+S1 -> subClassOf_r
+S2 -> subClassOf
+S3 -> type_r
+S4 -> type
+`
+
+func TestHellingsPaperExample(t *testing.T) {
+	cnf := grammar.MustParseCNF(paperCNF)
+	rel := Hellings(paperGraph(), cnf)
+	want := map[string][]matrix.Pair{
+		"S":  {{I: 0, J: 0}, {I: 0, J: 2}, {I: 1, J: 2}},
+		"S1": {{I: 0, J: 0}},
+		"S2": {{I: 2, J: 0}},
+		"S3": {{I: 0, J: 1}, {I: 1, J: 2}},
+		"S4": {{I: 2, J: 2}},
+		"S5": {{I: 0, J: 0}, {I: 1, J: 0}},
+		"S6": {{I: 0, J: 2}, {I: 1, J: 2}},
+	}
+	for nt, pairs := range want {
+		if got := rel[nt]; !reflect.DeepEqual(got, pairs) {
+			t.Errorf("R_%s = %v, want %v", nt, got, pairs)
+		}
+	}
+}
+
+func TestGLLPaperExample(t *testing.T) {
+	// GLL runs on the original Figure 3 grammar (no CNF needed).
+	g := grammar.MustParse(`
+		S -> subClassOf_r S subClassOf
+		S -> type_r S type
+		S -> subClassOf_r subClassOf
+		S -> type_r type
+	`)
+	got := NewGLL(g).Relation(paperGraph(), "S")
+	want := []matrix.Pair{{I: 0, J: 0}, {I: 0, J: 2}, {I: 1, J: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("R_S = %v, want %v", got, want)
+	}
+}
+
+func TestGLLDyck(t *testing.T) {
+	g := grammar.MustParse("S -> a S b | a b")
+	gll := NewGLL(g)
+	for _, tc := range []struct {
+		word []string
+		want bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b"}, true},
+		{[]string{"a", "b", "b"}, false},
+	} {
+		wg := graph.Word(tc.word)
+		rel := gll.Relation(wg, "S")
+		has := false
+		for _, p := range rel {
+			if p.I == 0 && p.J == len(tc.word) {
+				has = true
+			}
+		}
+		if has != tc.want {
+			t.Errorf("word %v: recognised=%v, want %v", tc.word, has, tc.want)
+		}
+	}
+}
+
+func TestGLLEpsilonGivesReflexivePairs(t *testing.T) {
+	g := grammar.MustParse("S -> a S | eps")
+	rel := NewGLL(g).Relation(graph.Chain(3, "a"), "S")
+	// ε gives (v,v) for all v; a-prefixes give (i,j) for i<j.
+	want := []matrix.Pair{
+		{I: 0, J: 0}, {I: 0, J: 1}, {I: 0, J: 2},
+		{I: 1, J: 1}, {I: 1, J: 2},
+		{I: 2, J: 2},
+	}
+	if !reflect.DeepEqual(rel, want) {
+		t.Errorf("R_S = %v, want %v", rel, want)
+	}
+}
+
+func TestGLLUnknownStart(t *testing.T) {
+	g := grammar.MustParse("S -> a")
+	if rel := NewGLL(g).Relation(graph.Chain(2, "a"), "Zed"); rel != nil {
+		t.Errorf("unknown start: %v", rel)
+	}
+}
+
+func TestGLLLeftRecursion(t *testing.T) {
+	// Left recursion is the acid test for GLL (recursive descent loops
+	// forever; GLL's GSS merges the contexts).
+	g := grammar.MustParse("S -> S a | a")
+	rel := NewGLL(g).Relation(graph.Chain(4, "a"), "S")
+	want := []matrix.Pair{
+		{I: 0, J: 1}, {I: 0, J: 2}, {I: 0, J: 3},
+		{I: 1, J: 2}, {I: 1, J: 3},
+		{I: 2, J: 3},
+	}
+	if !reflect.DeepEqual(rel, want) {
+		t.Errorf("R_S = %v, want %v", rel, want)
+	}
+}
+
+func TestGLLOnCycle(t *testing.T) {
+	// a-cycle of length 3 with S → S a | a: every pair reachable.
+	g := grammar.MustParse("S -> S a | a")
+	rel := NewGLL(g).Relation(graph.Cycle(3, "a"), "S")
+	if len(rel) != 9 {
+		t.Errorf("|R_S| = %d, want 9 (all pairs)", len(rel))
+	}
+}
+
+func TestHellingsAndGLLAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	grams := []string{
+		"S -> a S b | a b",
+		"S -> S S | a",
+		"S -> A B\nA -> a | a A\nB -> b | b B",
+		paperCNF,
+	}
+	labels := []string{"a", "b", "subClassOf", "subClassOf_r", "type", "type_r"}
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(10)
+		g := graph.Random(rng, n, 3*n, labels)
+		for gi, src := range grams {
+			gram := grammar.MustParse(src)
+			cnf := grammar.MustCNF(gram)
+			hel := Hellings(g, cnf)
+			gll := NewGLL(gram).Relation(g, "S")
+			if !reflect.DeepEqual(hel["S"], gll) {
+				t.Fatalf("trial %d grammar %d: Hellings %v vs GLL %v",
+					trial, gi, hel["S"], gll)
+			}
+		}
+	}
+}
+
+func TestHellingsEmptyGraph(t *testing.T) {
+	cnf := grammar.MustParseCNF("S -> a b")
+	rel := Hellings(graph.New(0), cnf)
+	if len(rel["S"]) != 0 {
+		t.Errorf("R_S on empty graph = %v", rel["S"])
+	}
+}

@@ -1,0 +1,243 @@
+package baseline
+
+import (
+	"sort"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// GLL evaluates R_start with a GLL-style parser generalised from strings to
+// graphs, following Grigorev & Ragozina: descriptors (grammar slot, GSS
+// node, graph node) are processed from a worklist; a graph-structured stack
+// (GSS) merges the call contexts of every top-down expansion of a
+// non-terminal at a graph node; pops are memoised so contexts arriving
+// after a non-terminal instance already finished are replayed.
+//
+// Unlike the matrix engine, GLL runs on the original grammar — no CNF
+// needed — and naturally handles ε-productions, so (v, v) pairs appear for
+// nullable start symbols. It computes only the queried non-terminal's
+// relation, which is exactly what the paper's GLL baseline does.
+//
+// Implementation notes: non-terminals, slots and GSS nodes are interned to
+// dense integers; a descriptor is a packed uint64 (slot | gss | node), so
+// the hot de-duplication set is a single map[uint64]struct{}.
+type GLL struct {
+	g *grammar.Grammar
+
+	ntNames []string
+	ntIndex map[string]int
+
+	// Flat production list; prodsOf[nt] indexes into it.
+	prods   []flatProd
+	prodsOf [][]int
+
+	// Slots: one per (production, dot) pair, dot in [0, len(rhs)].
+	slotBase []int // prods[i] occupies slots [slotBase[i], slotBase[i]+len(rhs)]
+	numSlots int
+}
+
+type flatProd struct {
+	lhs int
+	rhs []gllSym
+}
+
+type gllSym struct {
+	nt       int // valid when !terminal
+	label    string
+	terminal bool
+}
+
+// NewGLL prepares a GLL evaluator for the grammar.
+func NewGLL(g *grammar.Grammar) *GLL {
+	e := &GLL{g: g, ntIndex: map[string]int{}}
+	intern := func(name string) int {
+		if i, ok := e.ntIndex[name]; ok {
+			return i
+		}
+		i := len(e.ntNames)
+		e.ntNames = append(e.ntNames, name)
+		e.ntIndex[name] = i
+		return i
+	}
+	for _, p := range g.Productions {
+		intern(p.Lhs)
+		for _, s := range p.Rhs {
+			if !s.Terminal {
+				intern(s.Name)
+			}
+		}
+	}
+	e.prodsOf = make([][]int, len(e.ntNames))
+	for _, p := range g.Productions {
+		lhs := e.ntIndex[p.Lhs]
+		rhs := make([]gllSym, len(p.Rhs))
+		for i, s := range p.Rhs {
+			if s.Terminal {
+				rhs[i] = gllSym{label: s.Name, terminal: true}
+			} else {
+				rhs[i] = gllSym{nt: e.ntIndex[s.Name]}
+			}
+		}
+		e.prodsOf[lhs] = append(e.prodsOf[lhs], len(e.prods))
+		e.prods = append(e.prods, flatProd{lhs: lhs, rhs: rhs})
+	}
+	e.slotBase = make([]int, len(e.prods))
+	for i, p := range e.prods {
+		e.slotBase[i] = e.numSlots
+		e.numSlots += len(p.rhs) + 1
+	}
+	return e
+}
+
+// gssEdge is a caller waiting on a GSS node: continue at slot `ret` in
+// caller context `to`.
+type gssEdge struct {
+	ret int
+	to  int32
+}
+
+// Relation computes R_start = {(m, n) | ∃ m π n, l(π) ∈ L(G_start)} over
+// the graph, seeding a parse of start at every node. The result is sorted.
+func (e *GLL) Relation(g *graph.Graph, start string) []matrix.Pair {
+	startNT, ok := e.ntIndex[start]
+	if !ok || len(e.prodsOf[startNT]) == 0 {
+		return nil
+	}
+	n := g.Nodes()
+	adj := graph.NewAdjacency(g)
+
+	// GSS nodes are (nt, node) pairs, addressed densely.
+	gssID := func(nt int, node int32) int32 { return int32(nt)*int32(n) + node }
+	gssNode := func(id int32) int32 { return id % int32(n) }
+	gssNT := func(id int32) int { return int(id) / n }
+
+	numGSS := len(e.ntNames) * n
+	gssEdges := make([][]gssEdge, numGSS)
+	popped := make([][]int32, numGSS)
+	scheduled := make([]bool, numGSS)
+
+	type descriptor struct {
+		slot int32
+		gss  int32
+		node int32
+	}
+	// Descriptors pack into one word — slot in the high bits, then GSS id,
+	// then node, 20 bits each — when everything fits; otherwise a
+	// struct-keyed set is used. 2²⁰ covers graphs up to ~10⁶ nodes.
+	pack := func(d descriptor) uint64 {
+		return uint64(d.slot)<<40 | uint64(d.gss)<<20 | uint64(d.node)
+	}
+	usePacked := n < 1<<20 && numGSS < 1<<20 && e.numSlots < 1<<20
+	seenPacked := map[uint64]struct{}{}
+	seenStruct := map[descriptor]struct{}{}
+	var work []descriptor
+	push := func(d descriptor) {
+		if usePacked {
+			k := pack(d)
+			if _, ok := seenPacked[k]; ok {
+				return
+			}
+			seenPacked[k] = struct{}{}
+		} else {
+			if _, ok := seenStruct[d]; ok {
+				return
+			}
+			seenStruct[d] = struct{}{}
+		}
+		work = append(work, d)
+	}
+
+	results := matrix.NewSparse(n)
+
+	pop := func(u int32, node int32) {
+		for _, p := range popped[u] {
+			if p == node {
+				return
+			}
+		}
+		popped[u] = append(popped[u], node)
+		if gssNT(u) == startNT {
+			results.Set(int(gssNode(u)), int(node))
+		}
+		for _, ge := range gssEdges[u] {
+			push(descriptor{slot: int32(ge.ret), gss: ge.to, node: node})
+		}
+	}
+
+	schedule := func(v int32) {
+		if scheduled[v] {
+			return
+		}
+		scheduled[v] = true
+		for _, pi := range e.prodsOf[gssNT(v)] {
+			push(descriptor{slot: int32(e.slotBase[pi]), gss: v, node: gssNode(v)})
+		}
+	}
+
+	create := func(nt int, node int32, retSlot int, u int32) int32 {
+		v := gssID(nt, node)
+		edge := gssEdge{ret: retSlot, to: u}
+		for _, ge := range gssEdges[v] {
+			if ge == edge {
+				return v
+			}
+		}
+		gssEdges[v] = append(gssEdges[v], edge)
+		for _, p := range popped[v] {
+			push(descriptor{slot: int32(retSlot), gss: u, node: p})
+		}
+		return v
+	}
+
+	// slotProd[slot] = production index; computed once.
+	slotProd := make([]int32, e.numSlots)
+	slotDot := make([]int32, e.numSlots)
+	for pi := range e.prods {
+		for dot := 0; dot <= len(e.prods[pi].rhs); dot++ {
+			slotProd[e.slotBase[pi]+dot] = int32(pi)
+			slotDot[e.slotBase[pi]+dot] = int32(dot)
+		}
+	}
+
+	// Seed a parse of start at every node.
+	for v := 0; v < n; v++ {
+		schedule(gssID(startNT, int32(v)))
+	}
+
+	for len(work) > 0 {
+		d := work[len(work)-1]
+		work = work[:len(work)-1]
+		pi := slotProd[d.slot]
+		dot := int(slotDot[d.slot])
+		p := &e.prods[pi]
+		if dot >= len(p.rhs) {
+			pop(d.gss, d.node)
+			continue
+		}
+		sym := p.rhs[dot]
+		if sym.terminal {
+			for _, edge := range adj.Out(int(d.node)) {
+				if edge.Label == sym.label {
+					push(descriptor{slot: d.slot + 1, gss: d.gss, node: int32(edge.To)})
+				}
+			}
+			continue
+		}
+		callee := create(sym.nt, d.node, int(d.slot)+1, d.gss)
+		schedule(callee)
+	}
+
+	if results.Nnz() == 0 {
+		return nil
+	}
+	pairs := matrix.Pairs(results)
+	sort.Slice(pairs, func(x, y int) bool {
+		if pairs[x].I != pairs[y].I {
+			return pairs[x].I < pairs[y].I
+		}
+		return pairs[x].J < pairs[y].J
+	})
+	return pairs
+}

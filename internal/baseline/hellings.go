@@ -1,0 +1,104 @@
+// Package baseline implements the CFPQ algorithms the paper compares
+// against: the worklist algorithm of Hellings ("Conjunctive context-free
+// path queries", 2014) and a GLL-based evaluator in the style of Grigorev &
+// Ragozina ("Context-Free Path Querying with Structural Representation of
+// Result", 2016). Both serve as independent correctness oracles for the
+// matrix engine and as benchmark baselines.
+package baseline
+
+import (
+	"sort"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Hellings computes every context-free relation R_A of the CNF grammar on
+// the graph with the classic worklist (dynamic transitive closure)
+// algorithm. The result maps non-terminal name → sorted pair list.
+//
+// The algorithm maintains the invariant that every derived triple (A, u, v)
+// is justified by a path; new triples are produced by joining a popped
+// triple with already-known triples on the left and on the right through
+// every binary rule.
+func Hellings(g *graph.Graph, cnf *grammar.CNF) map[string][]matrix.Pair {
+	n := g.Nodes()
+	nn := cnf.NonterminalCount()
+
+	// has[a*n+u] = set of v with (A, u, v) derived.
+	has := make([]map[int32]bool, nn*n)
+	// inv[a*n+v] = list of u with (A, u, v) derived (for left-joins).
+	inv := make([][]int32, nn*n)
+
+	type triple struct {
+		a    int32
+		u, v int32
+	}
+	var work []triple
+
+	add := func(a, u, v int32) {
+		idx := int(a)*n + int(u)
+		if has[idx] == nil {
+			has[idx] = map[int32]bool{}
+		}
+		if has[idx][v] {
+			return
+		}
+		has[idx][v] = true
+		inv[int(a)*n+int(v)] = append(inv[int(a)*n+int(v)], u)
+		work = append(work, triple{a, u, v})
+	}
+
+	for t, as := range cnf.TermRules {
+		for _, e := range g.EdgesWithLabel(t) {
+			for _, a := range as {
+				add(int32(a), int32(e.From), int32(e.To))
+			}
+		}
+	}
+
+	// Rules indexed by their B and C components.
+	type ac struct{ a, other int32 }
+	byB := make([][]ac, nn)
+	byC := make([][]ac, nn)
+	for _, r := range cnf.Binary {
+		byB[r.B] = append(byB[r.B], ac{int32(r.A), int32(r.C)})
+		byC[r.C] = append(byC[r.C], ac{int32(r.A), int32(r.B)})
+	}
+
+	for len(work) > 0 {
+		t := work[len(work)-1]
+		work = work[:len(work)-1]
+		// t = (B, u, v); for A → B C and (C, v, w): add (A, u, w).
+		for _, rc := range byB[t.a] {
+			for w := range has[int(rc.other)*n+int(t.v)] {
+				add(rc.a, t.u, w)
+			}
+		}
+		// t = (C, u, v); for A → B C and (B, w, u): add (A, w, v).
+		for _, rb := range byC[t.a] {
+			for _, w := range inv[int(rb.other)*n+int(t.u)] {
+				add(rb.a, w, t.v)
+			}
+		}
+	}
+
+	out := make(map[string][]matrix.Pair, nn)
+	for a := 0; a < nn; a++ {
+		var pairs []matrix.Pair
+		for u := 0; u < n; u++ {
+			for v := range has[a*n+u] {
+				pairs = append(pairs, matrix.Pair{I: u, J: int(v)})
+			}
+		}
+		sort.Slice(pairs, func(x, y int) bool {
+			if pairs[x].I != pairs[y].I {
+				return pairs[x].I < pairs[y].I
+			}
+			return pairs[x].J < pairs[y].J
+		})
+		out[cnf.Names[a]] = pairs
+	}
+	return out
+}

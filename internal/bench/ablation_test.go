@@ -1,0 +1,26 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAblationsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations touch the large datasets; skipped with -short")
+	}
+	var buf bytes.Buffer
+	RunAblations(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Ablation 1: iteration schedule",
+		"Ablation 2: dense vs sparse",
+		"Ablation 3: sparse SpGEMM scaling",
+		"funding", "copies", "workers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package bench is the harness that regenerates the paper's evaluation:
+// Table 1 (Query 1) and Table 2 (Query 2) over the 14 dataset graphs, for
+// the four implementations the paper compares —
+//
+//	GLL   — the GLL-based baseline of Grigorev & Ragozina
+//	dGPU  — dense matrices, data-parallel kernel (here: multicore bitset)
+//	sCPU  — sparse CSR matrices, serial
+//	sGPU  — sparse CSR matrices, row-parallel kernel (here: multicore)
+//
+// — checking along the way that every implementation returns the same
+// #results, exactly as the paper reports ("All implementations ... have the
+// same #results").
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cfpq/internal/baseline"
+	"cfpq/internal/core"
+	"cfpq/internal/dataset"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Impl is one measured implementation.
+type Impl struct {
+	// Name as it appears in the paper's table header.
+	Name string
+	// Run evaluates R_S and returns its size.
+	Run func(g *graph.Graph) int
+	// SkipSynthetic omits the implementation on the repeated graphs g1–g3
+	// (the paper omits dGPU there: "a dense matrix representation leads to
+	// a significant performance degradation with the graph size growth").
+	SkipSynthetic bool
+}
+
+// Implementations returns the paper's four implementations for query q,
+// in table-column order.
+func Implementations(q int) []Impl {
+	gram := dataset.Query(q)
+	cnf := grammar.MustCNF(gram)
+	matrixImpl := func(be matrix.Backend) func(g *graph.Graph) int {
+		return func(g *graph.Graph) int {
+			ix, _ := core.NewEngine(core.WithBackend(be)).Run(g, cnf)
+			return ix.Count("S")
+		}
+	}
+	return []Impl{
+		{
+			Name: "GLL",
+			Run: func(g *graph.Graph) int {
+				return len(baseline.NewGLL(gram).Relation(g, "S"))
+			},
+		},
+		{Name: "dGPU", Run: matrixImpl(matrix.DenseParallel(0)), SkipSynthetic: true},
+		{Name: "sCPU", Run: matrixImpl(matrix.Sparse())},
+		{Name: "sGPU", Run: matrixImpl(matrix.SparseParallel(0))},
+	}
+}
+
+// Row is one table line.
+type Row struct {
+	Ontology string
+	Triples  int
+	Results  int
+	// Times maps implementation name → best-of-Repeats wall time; absent
+	// for skipped implementations.
+	Times map[string]time.Duration
+}
+
+// Config drives RunTable.
+type Config struct {
+	// Query selects Table 1 (1) or Table 2 (2).
+	Query int
+	// Repeats is the number of timed runs per cell; the minimum is
+	// reported. Zero means 3.
+	Repeats int
+	// MaxTriples, when positive, skips graphs with more paper-triples (for
+	// quick runs).
+	MaxTriples int
+	// Verbose, with a non-nil Log, prints per-cell progress.
+	Log io.Writer
+}
+
+// RunTable measures every implementation over every dataset graph and
+// returns the rows of the requested table. It returns an error if two
+// implementations disagree on #results for any graph.
+func RunTable(cfg Config) ([]Row, error) {
+	if cfg.Query != 1 && cfg.Query != 2 {
+		return nil, fmt.Errorf("bench: query must be 1 or 2, got %d", cfg.Query)
+	}
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	impls := Implementations(cfg.Query)
+	var rows []Row
+	for _, d := range dataset.Graphs() {
+		if cfg.MaxTriples > 0 && d.Triples > cfg.MaxTriples {
+			continue
+		}
+		g := d.Build()
+		row := Row{Ontology: d.Name, Triples: d.Triples, Results: -1, Times: map[string]time.Duration{}}
+		for _, impl := range impls {
+			if impl.SkipSynthetic && d.Synthetic {
+				continue
+			}
+			best := time.Duration(0)
+			results := 0
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				results = impl.Run(g)
+				elapsed := time.Since(start)
+				if best == 0 || elapsed < best {
+					best = elapsed
+				}
+			}
+			if row.Results == -1 {
+				row.Results = results
+			} else if results != row.Results {
+				return rows, fmt.Errorf("bench: %s on %s: #results %d disagrees with %d",
+					impl.Name, d.Name, results, row.Results)
+			}
+			row.Times[impl.Name] = best
+			if cfg.Log != nil {
+				fmt.Fprintf(cfg.Log, "  %s/%s: %d results in %v\n", d.Name, impl.Name, results, best)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatTable renders rows in the paper's layout.
+func FormatTable(w io.Writer, q int, rows []Row) {
+	fmt.Fprintf(w, "Table %d: Evaluation results for Query %d\n\n", q, q)
+	fmt.Fprintf(w, "%-30s %9s %9s %10s %10s %10s %10s\n",
+		"Ontology", "#triples", "#results", "GLL(ms)", "dGPU(ms)", "sCPU(ms)", "sGPU(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-30s %9d %9d %10s %10s %10s %10s\n",
+			r.Ontology, r.Triples, r.Results,
+			ms(r.Times, "GLL"), ms(r.Times, "dGPU"), ms(r.Times, "sCPU"), ms(r.Times, "sGPU"))
+	}
+}
+
+func ms(times map[string]time.Duration, name string) string {
+	d, ok := times[name]
+	if !ok {
+		return "—"
+	}
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTableQuick(t *testing.T) {
+	// Small graphs only; one repeat. All implementations must agree on
+	// #results (RunTable errors otherwise).
+	rows, err := RunTable(Config{Query: 1, Repeats: 1, MaxTriples: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // skos, generations, travel, univ-bench
+		t.Fatalf("got %d rows: %+v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if r.Results <= 0 {
+			t.Errorf("%s: no results", r.Ontology)
+		}
+		for _, name := range []string{"GLL", "dGPU", "sCPU", "sGPU"} {
+			if _, ok := r.Times[name]; !ok {
+				t.Errorf("%s: missing timing for %s", r.Ontology, name)
+			}
+		}
+	}
+}
+
+func TestRunTableQuery2(t *testing.T) {
+	rows, err := RunTable(Config{Query: 2, Repeats: 1, MaxTriples: 280})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestRunTableRejectsBadQuery(t *testing.T) {
+	if _, err := RunTable(Config{Query: 3}); err == nil {
+		t.Error("query 3 should be rejected")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	rows, err := RunTable(Config{Query: 1, Repeats: 1, MaxTriples: 260})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	FormatTable(&buf, 1, rows)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Ontology", "#triples", "#results", "skos", "sGPU(ms)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestImplementationsSkipDenseOnSynthetic(t *testing.T) {
+	for _, impl := range Implementations(1) {
+		if impl.Name == "dGPU" && !impl.SkipSynthetic {
+			t.Error("dGPU must be skipped on g1–g3 (paper omits it there)")
+		}
+		if impl.Name != "dGPU" && impl.SkipSynthetic {
+			t.Errorf("%s should run on synthetic graphs", impl.Name)
+		}
+	}
+}
+
+func TestMsFormat(t *testing.T) {
+	if got := ms(nil, "GLL"); got != "—" {
+		t.Errorf("missing time should render as dash, got %q", got)
+	}
+}

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits rows in machine-readable CSV with one column per
+// implementation (milliseconds; empty cell for skipped implementations).
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"ontology", "triples", "results", "GLL_ms", "dGPU_ms", "sCPU_ms", "sGPU_ms"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Ontology,
+			strconv.Itoa(r.Triples),
+			strconv.Itoa(r.Results),
+		}
+		for _, impl := range []string{"GLL", "dGPU", "sCPU", "sGPU"} {
+			d, ok := r.Times[impl]
+			if !ok {
+				rec = append(rec, "")
+				continue
+			}
+			rec = append(rec, fmt.Sprintf("%.3f", float64(d.Microseconds())/1000.0))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

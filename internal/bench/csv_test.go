@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{
+		{
+			Ontology: "skos", Triples: 252, Results: 857,
+			Times: map[string]time.Duration{
+				"GLL":  1200 * time.Microsecond,
+				"sCPU": 530 * time.Microsecond,
+				"sGPU": 740 * time.Microsecond,
+				// dGPU intentionally missing (skipped).
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "ontology,triples,results,GLL_ms,dGPU_ms,sCPU_ms,sGPU_ms" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "skos,252,857,1.200,,0.530,0.740" {
+		t.Errorf("row = %q", lines[1])
+	}
+}

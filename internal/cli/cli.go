@@ -1,0 +1,145 @@
+// Package cli implements the cfpq command-line tool: flag parsing, input
+// loading and result printing, factored out of cmd/cfpq so the whole
+// pipeline is unit-testable.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cfpq/internal/core"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Config is the parsed command line.
+type Config struct {
+	GraphPath  string
+	QueryPath  string
+	Start      string
+	Backend    string
+	Semantics  string
+	CountOnly  bool
+	EmptyPaths bool
+	Names      bool
+}
+
+// ParseArgs parses command-line arguments into a Config.
+func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
+	fs := flag.NewFlagSet("cfpq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &Config{}
+	fs.StringVar(&cfg.GraphPath, "graph", "", "N-Triples graph file (required)")
+	fs.StringVar(&cfg.QueryPath, "query", "", "grammar file (required)")
+	fs.StringVar(&cfg.Start, "start", "S", "start non-terminal")
+	fs.StringVar(&cfg.Backend, "backend", "sparse-parallel",
+		"matrix backend: dense, dense-parallel, sparse, sparse-parallel")
+	fs.StringVar(&cfg.Semantics, "semantics", "relational",
+		"query semantics: relational or single-path")
+	fs.BoolVar(&cfg.CountOnly, "count", false, "print only the result count")
+	fs.BoolVar(&cfg.EmptyPaths, "empty-paths", false,
+		"include (v,v) pairs when the start non-terminal derives ε")
+	fs.BoolVar(&cfg.Names, "names", false, "print IRIs instead of node ids")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if cfg.GraphPath == "" || cfg.QueryPath == "" {
+		fs.Usage()
+		return nil, fmt.Errorf("cfpq: -graph and -query are required")
+	}
+	return cfg, nil
+}
+
+// BackendByName resolves a backend name.
+func BackendByName(name string) (matrix.Backend, error) {
+	for _, be := range matrix.Backends() {
+		if be.Name() == name {
+			return be, nil
+		}
+	}
+	return nil, fmt.Errorf("cfpq: unknown backend %q", name)
+}
+
+// Run executes the query described by cfg, writing results to out.
+func Run(cfg *Config, out io.Writer) error {
+	backend, err := BackendByName(cfg.Backend)
+	if err != nil {
+		return err
+	}
+	gf, err := os.Open(cfg.GraphPath)
+	if err != nil {
+		return err
+	}
+	g, ids, err := graph.LoadNTriples(gf)
+	gf.Close()
+	if err != nil {
+		return err
+	}
+	qf, err := os.Open(cfg.QueryPath)
+	if err != nil {
+		return err
+	}
+	gram, err := grammar.Parse(qf)
+	qf.Close()
+	if err != nil {
+		return err
+	}
+	return Execute(cfg, g, ids, gram, backend, out)
+}
+
+// Execute runs the already-loaded query. Split from Run so tests can drive
+// it without touching the filesystem.
+func Execute(cfg *Config, g *graph.Graph, ids map[string]int, gram *grammar.Grammar, backend matrix.Backend, out io.Writer) error {
+	nodeName := func(v int) string { return fmt.Sprintf("%d", v) }
+	if cfg.Names {
+		table := graph.NodeNames(g.Nodes(), ids)
+		nodeName = func(v int) string { return table[v] }
+	}
+	switch cfg.Semantics {
+	case "relational":
+		e := core.NewEngine(core.WithBackend(backend))
+		pairs, err := e.Query(g, gram, cfg.Start, core.QueryOptions{IncludeEmptyPaths: cfg.EmptyPaths})
+		if err != nil {
+			return err
+		}
+		if cfg.CountOnly {
+			fmt.Fprintln(out, len(pairs))
+			return nil
+		}
+		for _, p := range pairs {
+			fmt.Fprintf(out, "%s\t%s\n", nodeName(p.I), nodeName(p.J))
+		}
+		return nil
+	case "single-path":
+		cnf, err := grammar.ToCNF(gram)
+		if err != nil {
+			return err
+		}
+		px := core.NewPathIndex(g, cnf)
+		rel := px.Relation(cfg.Start)
+		if cfg.CountOnly {
+			fmt.Fprintln(out, len(rel))
+			return nil
+		}
+		for _, lp := range rel {
+			path, ok := px.Path(cfg.Start, lp.I, lp.J)
+			if !ok {
+				return fmt.Errorf("cfpq: internal: no witness for (%d,%d)", lp.I, lp.J)
+			}
+			fmt.Fprintf(out, "%s\t%s\tlen=%d\t", nodeName(lp.I), nodeName(lp.J), lp.Length)
+			for i, e := range path {
+				if i > 0 {
+					fmt.Fprint(out, " ")
+				}
+				fmt.Fprint(out, e.Label)
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cfpq: unknown semantics %q", cfg.Semantics)
+	}
+}

@@ -1,0 +1,215 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const sampleNT = "<a> <p> <b> .\n<b> <p> <c> .\n"
+const sampleGrammar = "S -> p S | p\n"
+
+func TestParseArgs(t *testing.T) {
+	var errBuf bytes.Buffer
+	cfg, err := ParseArgs([]string{
+		"-graph", "g.nt", "-query", "q.g", "-start", "X",
+		"-backend", "dense", "-semantics", "single-path",
+		"-count", "-empty-paths", "-names",
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.GraphPath != "g.nt" || cfg.QueryPath != "q.g" || cfg.Start != "X" ||
+		cfg.Backend != "dense" || cfg.Semantics != "single-path" ||
+		!cfg.CountOnly || !cfg.EmptyPaths || !cfg.Names {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	var errBuf bytes.Buffer
+	cfg, err := ParseArgs([]string{"-graph", "g.nt", "-query", "q.g"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Start != "S" || cfg.Backend != "sparse-parallel" || cfg.Semantics != "relational" {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestParseArgsMissingRequired(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := ParseArgs([]string{"-graph", "g.nt"}, &errBuf); err == nil {
+		t.Error("missing -query should fail")
+	}
+	if _, err := ParseArgs(nil, &errBuf); err == nil {
+		t.Error("missing both should fail")
+	}
+}
+
+func TestBackendByName(t *testing.T) {
+	for _, name := range []string{"dense", "dense-parallel", "sparse", "sparse-parallel"} {
+		if _, err := BackendByName(name); err != nil {
+			t.Errorf("BackendByName(%s): %v", name, err)
+		}
+	}
+	if _, err := BackendByName("gpu"); err == nil {
+		t.Error("unknown backend should fail")
+	}
+}
+
+func TestRunRelational(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+	}
+	var out bytes.Buffer
+	if err := Run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Nodes a=0, b=1, c=2; p-edges 0→1→2 ⇒ pairs (0,1),(0,2),(1,2).
+	want := "0\t1\n0\t2\n1\t2\n"
+	if out.String() != want {
+		t.Errorf("output = %q, want %q", out.String(), want)
+	}
+}
+
+func TestRunNames(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+		Names:     true,
+	}
+	var out bytes.Buffer
+	if err := Run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "a\tb\n") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunCount(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+		CountOnly: true,
+	}
+	var out bytes.Buffer
+	if err := Run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "3" {
+		t.Errorf("count = %q, want 3", out.String())
+	}
+}
+
+func TestRunSinglePath(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "single-path",
+	}
+	var out bytes.Buffer
+	if err := Run(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), out.String())
+	}
+	if !strings.Contains(lines[0], "len=") || !strings.Contains(lines[0], "p") {
+		t.Errorf("line = %q", lines[0])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+	}
+	var out bytes.Buffer
+	cases := []func(Config) Config{
+		func(c Config) Config { c.Backend = "bogus"; return c },
+		func(c Config) Config { c.GraphPath = filepath.Join(dir, "missing.nt"); return c },
+		func(c Config) Config { c.QueryPath = filepath.Join(dir, "missing.g"); return c },
+		func(c Config) Config { c.Semantics = "bogus"; return c },
+		func(c Config) Config { c.Start = "Nope"; return c },
+	}
+	for i, mutate := range cases {
+		cfg := mutate(*good)
+		if err := Run(&cfg, &out); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunBadInputFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	badGraph := &Config{
+		GraphPath: writeFile(t, dir, "bad.nt", "<a> <b> .\n"),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S", Backend: "sparse", Semantics: "relational",
+	}
+	if err := Run(badGraph, &out); err == nil {
+		t.Error("malformed graph should fail")
+	}
+	badQuery := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "bad.g", "not a grammar\n"),
+		Start:     "S", Backend: "sparse", Semantics: "relational",
+	}
+	if err := Run(badQuery, &out); err == nil {
+		t.Error("malformed grammar should fail")
+	}
+}
+
+func TestExecuteDirect(t *testing.T) {
+	// Execute without the filesystem.
+	g := graph.New(2)
+	g.AddEdge(0, "x", 1)
+	gram := grammar.MustParse("S -> x")
+	be, _ := BackendByName("dense")
+	var out bytes.Buffer
+	cfg := &Config{Start: "S", Semantics: "relational"}
+	if err := Execute(cfg, g, nil, gram, be, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "0\t1\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's contribution: context-free path query
+// (CFPQ) evaluation by Boolean matrix multiplication (Azimov & Grigorev,
+// "Context-Free Path Querying by Matrix Multiplication").
+//
+// The matrix T of non-terminal sets from the paper is decomposed into one
+// Boolean |V|×|V| matrix per non-terminal (Valiant's decomposition), so the
+// closure loop
+//
+//	while T is changing:  T ← T ∪ (T × T)
+//
+// becomes, per iteration, one Boolean AddMul per binary production A → B C:
+//
+//	T_A |= T_B × T_C
+//
+// Engine is parameterised by a matrix.Backend, giving the paper's four
+// implementations (dense/sparse × serial/parallel); see DESIGN.md.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Index is the result of the closure: one Boolean reachability matrix per
+// non-terminal. After Close, M_A[i][j] is set iff (i, j) ∈ R_A — node j is
+// reachable from node i along a path deriving from A (paper Theorem 2).
+type Index struct {
+	cnf  *grammar.CNF
+	n    int
+	mats []matrix.Bool // indexed by non-terminal index
+}
+
+// CNF returns the grammar the index was built for.
+func (ix *Index) CNF() *grammar.CNF { return ix.cnf }
+
+// Nodes returns the number of graph nodes.
+func (ix *Index) Nodes() int { return ix.n }
+
+// Matrix returns the Boolean matrix of the named non-terminal, or nil if
+// the non-terminal does not exist in the CNF grammar.
+func (ix *Index) Matrix(nt string) matrix.Bool {
+	a, ok := ix.cnf.Index(nt)
+	if !ok {
+		return nil
+	}
+	return ix.mats[a]
+}
+
+// Has reports whether (i, j) ∈ R_nt.
+func (ix *Index) Has(nt string, i, j int) bool {
+	m := ix.Matrix(nt)
+	return m != nil && m.Get(i, j)
+}
+
+// Relation returns R_nt as a sorted pair list. Unknown non-terminals yield
+// an empty relation.
+func (ix *Index) Relation(nt string) []matrix.Pair {
+	m := ix.Matrix(nt)
+	if m == nil {
+		return nil
+	}
+	return matrix.Pairs(m)
+}
+
+// Count returns |R_nt|.
+func (ix *Index) Count(nt string) int {
+	m := ix.Matrix(nt)
+	if m == nil {
+		return 0
+	}
+	return m.Nnz()
+}
+
+// Counts returns |R_A| for every non-terminal A, keyed by name.
+func (ix *Index) Counts() map[string]int {
+	out := make(map[string]int, len(ix.mats))
+	for a, m := range ix.mats {
+		out[ix.cnf.Names[a]] = m.Nnz()
+	}
+	return out
+}
+
+// Clone returns a deep copy of the index.
+func (ix *Index) Clone() *Index {
+	cp := &Index{cnf: ix.cnf, n: ix.n, mats: make([]matrix.Bool, len(ix.mats))}
+	for i, m := range ix.mats {
+		cp.mats[i] = m.Clone()
+	}
+	return cp
+}
+
+// Equal reports whether two indexes (over the same grammar) hold identical
+// relations.
+func (ix *Index) Equal(other *Index) bool {
+	if ix.n != other.n || len(ix.mats) != len(other.mats) {
+		return false
+	}
+	for i, m := range ix.mats {
+		if !m.Equal(other.mats[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports what the closure did.
+type Stats struct {
+	// Iterations is the number of outer fixpoint passes, including the
+	// final pass that made no change.
+	Iterations int
+	// Products is the number of Boolean matrix multiplications performed.
+	Products int
+}
+
+// Engine evaluates CFPQs by matrix multiplication.
+type Engine struct {
+	backend matrix.Backend
+	// naive selects the paper-literal iteration T ← T ∪ (T_prev × T_prev):
+	// every product in a pass reads the state from the end of the previous
+	// pass. The default (false) updates matrices in place within a pass,
+	// which reaches the same fixpoint in fewer passes (every in-place pass
+	// adds a superset of the snapshot pass's additions, and every addition
+	// is justified by a derivation, so soundness and the fixpoint are
+	// unchanged). The quickstart example uses naive mode to reproduce the
+	// paper's T₀…T₆ states exactly.
+	naive bool
+	// delta selects the semi-naive schedule (see WithDeltaIteration).
+	delta bool
+	trace func(iteration int, ix *Index)
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBackend selects the matrix backend (default: sparse serial).
+func WithBackend(b matrix.Backend) Option {
+	return func(e *Engine) { e.backend = b }
+}
+
+// WithNaiveIteration makes the closure follow the paper's Algorithm 1
+// literally: each pass multiplies snapshots of the previous pass's state.
+func WithNaiveIteration() Option {
+	return func(e *Engine) { e.naive = true }
+}
+
+// WithTrace installs a callback invoked with the index state after matrix
+// initialisation (iteration 0) and after every fixpoint pass. The callback
+// must not retain or mutate the index.
+func WithTrace(fn func(iteration int, ix *Index)) Option {
+	return func(e *Engine) { e.trace = fn }
+}
+
+// NewEngine returns an engine with the given options.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{backend: matrix.Sparse()}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Backend returns the engine's matrix backend.
+func (e *Engine) Backend() matrix.Backend { return e.backend }
+
+// Init builds the initial index: the matrix-initialisation step of
+// Algorithm 1 (lines 6–7). For every edge (i, x, j) and production A → x,
+// bit (i, j) of T_A is set. Multiple edges between the same nodes
+// contribute the union of their head non-terminals.
+func (e *Engine) Init(g *graph.Graph, cnf *grammar.CNF) *Index {
+	n := g.Nodes()
+	ix := &Index{cnf: cnf, n: n, mats: make([]matrix.Bool, cnf.NonterminalCount())}
+	for a := range ix.mats {
+		ix.mats[a] = e.backend.NewMatrix(n)
+	}
+	for t, as := range cnf.TermRules {
+		for _, edge := range g.EdgesWithLabel(t) {
+			for _, a := range as {
+				ix.mats[a].Set(edge.From, edge.To)
+			}
+		}
+	}
+	return ix
+}
+
+// Close runs the fixpoint loop of Algorithm 1 (lines 8–9) until no matrix
+// changes, mutating ix. Termination is guaranteed because every pass only
+// adds bits and the total bit count is bounded by |V|²·|N| (paper
+// Theorem 3).
+func (e *Engine) Close(ix *Index) Stats {
+	if e.naive && e.delta {
+		panic("core: WithNaiveIteration and WithDeltaIteration are mutually exclusive")
+	}
+	if e.delta {
+		return e.closeDelta(ix)
+	}
+	if e.trace != nil {
+		e.trace(0, ix)
+	}
+	stats := Stats{}
+	for {
+		stats.Iterations++
+		changed := false
+		if e.naive {
+			// Snapshot semantics: all products read the previous state.
+			prev := make([]matrix.Bool, len(ix.mats))
+			for i, m := range ix.mats {
+				prev[i] = m.Clone()
+			}
+			for _, r := range ix.cnf.Binary {
+				stats.Products++
+				if ix.mats[r.A].AddMul(prev[r.B], prev[r.C]) {
+					changed = true
+				}
+			}
+		} else {
+			for _, r := range ix.cnf.Binary {
+				stats.Products++
+				if ix.mats[r.A].AddMul(ix.mats[r.B], ix.mats[r.C]) {
+					changed = true
+				}
+			}
+		}
+		if e.trace != nil {
+			e.trace(stats.Iterations, ix)
+		}
+		if !changed {
+			return stats
+		}
+	}
+}
+
+// Run evaluates the query end to end: Init then Close.
+func (e *Engine) Run(g *graph.Graph, cnf *grammar.CNF) (*Index, Stats) {
+	ix := e.Init(g, cnf)
+	stats := e.Close(ix)
+	return ix, stats
+}
+
+// QueryOptions refine Query.
+type QueryOptions struct {
+	// IncludeEmptyPaths adds the reflexive pairs (v, v) for every node when
+	// the queried non-terminal was nullable in the original grammar. The
+	// paper's CNF omits ε-rules because only empty paths v π v have the
+	// label ε; this switch restores them.
+	IncludeEmptyPaths bool
+}
+
+// Query evaluates R_start on the graph under the relational semantics and
+// returns the sorted pair list. It is the one-call convenience API; use
+// Run/Index for repeated queries over the same closure.
+func (e *Engine) Query(g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, error) {
+	if !gram.HasNonterminal(start) {
+		return nil, fmt.Errorf("core: unknown non-terminal %q", start)
+	}
+	cnf, err := grammar.ToCNF(gram)
+	if err != nil {
+		return nil, err
+	}
+	ix, _ := e.Run(g, cnf)
+	pairs := ix.Relation(start)
+	if opts.IncludeEmptyPaths && cnf.Nullable[start] {
+		seen := make(map[matrix.Pair]bool, len(pairs))
+		for _, p := range pairs {
+			seen[p] = true
+		}
+		for v := 0; v < g.Nodes(); v++ {
+			p := matrix.Pair{I: v, J: v}
+			if !seen[p] {
+				pairs = append(pairs, p)
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].I != pairs[b].I {
+				return pairs[a].I < pairs[b].I
+			}
+			return pairs[a].J < pairs[b].J
+		})
+	}
+	return pairs, nil
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfpq/internal/baseline"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// TestMatrixEngineAgreesWithOracles is the headline correctness property:
+// on random graphs and a spread of grammars, every matrix backend must
+// compute exactly the relations produced by two independent algorithms —
+// Hellings' worklist and the GLL-based evaluator.
+func TestMatrixEngineAgreesWithOracles(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	grams := []string{
+		"S -> a S b | a b",
+		"S -> S S | a",
+		"S -> A B\nA -> a | a A\nB -> b | b B",
+		"S -> subClassOf_r S subClassOf | type_r S type | subClassOf_r subClassOf | type_r type",
+		"S -> B subClassOf | subClassOf\nB -> subClassOf_r B subClassOf | subClassOf_r subClassOf",
+	}
+	labels := []string{"a", "b", "subClassOf", "subClassOf_r", "type", "type_r"}
+	for trial := 0; trial < 8; trial++ {
+		n := 2 + rng.Intn(12)
+		g := graph.Random(rng, n, 3*n, labels)
+		for gi, src := range grams {
+			gram := grammar.MustParse(src)
+			cnf := grammar.MustCNF(gram)
+			oracle := baseline.Hellings(g, cnf)
+			gll := baseline.NewGLL(gram).Relation(g, "S")
+			if !reflect.DeepEqual(oracle["S"], gll) {
+				t.Fatalf("trial %d grammar %d: oracles disagree: Hellings %v, GLL %v",
+					trial, gi, oracle["S"], gll)
+			}
+			for _, be := range matrix.Backends() {
+				ix, _ := NewEngine(WithBackend(be)).Run(g, cnf)
+				for a := 0; a < cnf.NonterminalCount(); a++ {
+					nt := cnf.Names[a]
+					got := ix.Relation(nt)
+					want := oracle[nt]
+					if len(got) == 0 && len(want) == 0 {
+						continue
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d grammar %d backend %s: R_%s = %v, want %v",
+							trial, gi, be.Name(), nt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRandomCNFGrammarsAgainstHellings drives the engine with fully random
+// CNF grammars (not just hand-picked ones) against the worklist oracle.
+func TestRandomCNFGrammarsAgainstHellings(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := grammar.RandomConfig{
+		Nonterminals: 4,
+		Terminals:    3,
+		Productions:  12,
+		MaxBody:      3,
+		EpsilonProb:  0.05,
+	}
+	for trial := 0; trial < 20; trial++ {
+		gram := grammar.RandomGrammar(rng, cfg)
+		cnf, err := grammar.ToCNF(gram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnf.NonterminalCount() == 0 {
+			continue
+		}
+		n := 2 + rng.Intn(8)
+		g := graph.Random(rng, n, 3*n, gram.Terminals())
+		oracle := baseline.Hellings(g, cnf)
+		ix, _ := NewEngine().Run(g, cnf)
+		for a := 0; a < cnf.NonterminalCount(); a++ {
+			nt := cnf.Names[a]
+			got, want := ix.Relation(nt), oracle[nt]
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: R_%s = %v, want %v\ngrammar:\n%s",
+					trial, nt, got, want, gram)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+func TestDeltaIterationMatchesDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	grams := []*grammar.CNF{
+		grammar.MustParseCNF("S -> a S b | a b"),
+		grammar.MustParseCNF(paperCNF),
+		grammar.MustParseCNF("S -> S S | a"),
+	}
+	labels := []string{"a", "b", "subClassOf", "subClassOf_r", "type", "type_r"}
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(15)
+		g := graph.Random(rng, n, 3*n, labels)
+		for gi, cnf := range grams {
+			ref, _ := NewEngine().Run(g, cnf)
+			for _, be := range matrix.Backends() {
+				ix, _ := NewEngine(WithBackend(be), WithDeltaIteration()).Run(g, cnf)
+				for a := 0; a < cnf.NonterminalCount(); a++ {
+					nt := cnf.Names[a]
+					if !reflect.DeepEqual(ix.Relation(nt), ref.Relation(nt)) {
+						t.Fatalf("trial %d grammar %d backend %s: delta disagrees on R_%s",
+							trial, gi, be.Name(), nt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaIterationPaperExampleRelations(t *testing.T) {
+	cnf := grammar.MustParseCNF(paperCNF)
+	ix, stats := NewEngine(WithDeltaIteration()).Run(paperGraph(), cnf)
+	want := []matrix.Pair{{I: 0, J: 0}, {I: 0, J: 2}, {I: 1, J: 2}}
+	if got := ix.Relation("S"); !reflect.DeepEqual(got, want) {
+		t.Errorf("R_S = %v, want %v", got, want)
+	}
+	if stats.Iterations == 0 || stats.Products == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestDeltaAndNaiveMutuallyExclusive(t *testing.T) {
+	e := NewEngine(WithNaiveIteration(), WithDeltaIteration())
+	defer func() {
+		if recover() == nil {
+			t.Error("combining naive and delta schedules should panic")
+		}
+	}()
+	e.Run(graph.Chain(2, "a"), grammar.MustParseCNF("S -> a"))
+}
+
+func TestDeltaTraceFires(t *testing.T) {
+	calls := 0
+	e := NewEngine(WithDeltaIteration(), WithTrace(func(int, *Index) { calls++ }))
+	e.Run(graph.Word([]string{"a", "b"}), grammar.MustParseCNF("S -> a b"))
+	if calls < 2 {
+		t.Errorf("trace fired %d times, want at least init + 1 pass", calls)
+	}
+}

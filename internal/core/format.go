@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CellSets reassembles the paper's matrix-of-sets view of the index: entry
+// (i, j) holds the set of non-terminal names A with (i, j) ∈ R_A. This is
+// the matrix T the paper prints in Figures 6–8.
+func (ix *Index) CellSets() [][][]string {
+	out := make([][][]string, ix.n)
+	for i := range out {
+		out[i] = make([][]string, ix.n)
+	}
+	for a, m := range ix.mats {
+		name := ix.cnf.Names[a]
+		m.Range(func(i, j int) bool {
+			out[i][j] = append(out[i][j], name)
+			return true
+		})
+	}
+	for i := range out {
+		for j := range out[i] {
+			sort.Strings(out[i][j])
+		}
+	}
+	return out
+}
+
+// FormatMatrix renders the matrix-of-sets view in the paper's style:
+//
+//	[ {S1}  {S3}  .    ]
+//	[ .     .     {S3,S} ]
+//	[ {S2}  .     {S4} ]
+//
+// Empty cells print as ".". Columns are aligned for readability.
+func (ix *Index) FormatMatrix() string {
+	cells := ix.CellSets()
+	text := make([][]string, ix.n)
+	width := make([]int, ix.n)
+	for i := range cells {
+		text[i] = make([]string, ix.n)
+		for j := range cells[i] {
+			s := "."
+			if len(cells[i][j]) > 0 {
+				s = "{" + strings.Join(cells[i][j], ",") + "}"
+			}
+			text[i][j] = s
+			if len(s) > width[j] {
+				width[j] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	for i := range text {
+		b.WriteString("[ ")
+		for j, s := range text[i] {
+			fmt.Fprintf(&b, "%-*s ", width[j], s)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// Update incorporates newly added graph edges into an already-closed index
+// without recomputing the closure from scratch (dynamic CFPQ). It is the
+// semi-naive delta step seeded with just the new edges: the initial
+// frontier contains the bits the new edges contribute through terminal
+// rules, and each pass propagates only frontier bits through the binary
+// rules until nothing new appears.
+//
+// The caller must have added the edges to the graph as well if it intends
+// to keep using graph-dependent APIs (AllPaths, PathIndex); Update itself
+// needs only the edge list. Nodes referenced by the edges must be within
+// the index's node range (indices are fixed-size matrices; grow by
+// re-running Run on the enlarged graph).
+//
+// Update returns closure statistics for the incremental run; zero
+// iterations of change means the edges added nothing new.
+func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
+	n := ix.n
+	nn := len(ix.mats)
+	delta := make([]matrix.Bool, nn)
+	for a := range delta {
+		delta[a] = e.backend.NewMatrix(n)
+	}
+	seeded := false
+	for _, edge := range edges {
+		for _, a := range ix.cnf.TermRules[edge.Label] {
+			if !ix.mats[a].Get(edge.From, edge.To) {
+				delta[a].Set(edge.From, edge.To)
+				ix.mats[a].Set(edge.From, edge.To)
+				seeded = true
+			}
+		}
+	}
+	stats := Stats{}
+	if !seeded {
+		return stats
+	}
+	for {
+		stats.Iterations++
+		next := make([]matrix.Bool, nn)
+		for a := range next {
+			next[a] = e.backend.NewMatrix(n)
+		}
+		for _, r := range ix.cnf.Binary {
+			stats.Products += 2
+			next[r.A].AddMul(delta[r.B], ix.mats[r.C])
+			next[r.A].AddMul(ix.mats[r.B], delta[r.C])
+		}
+		changed := false
+		for a := range next {
+			next[a].AndNot(ix.mats[a])
+			if next[a].Nnz() > 0 {
+				ix.mats[a].Or(next[a])
+				changed = true
+			}
+		}
+		delta = next
+		if !changed {
+			return stats
+		}
+	}
+}

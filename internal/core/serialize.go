@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/matrix"
+)
+
+// Index serialization: a computed closure can be persisted and reloaded so
+// repeated queries over a static graph skip the fixpoint entirely. The
+// format is a compact row-sparse binary encoding, independent of the
+// backend the index was computed with; WriteTo always writes the sparse
+// form and ReadIndex materialises into whichever backend the reading
+// engine uses.
+//
+// Layout (all integers little-endian):
+//
+//	magic "CFPQIDX1"
+//	uint32 nodeCount
+//	uint32 nonterminalCount
+//	per non-terminal:
+//	    uint16 nameLen, name bytes
+//	    uint32 nnz
+//	    nnz × (uint32 row, uint32 col)   in row-major order
+//
+// The grammar itself is NOT serialised (names only): the reader supplies
+// the CNF, and names must match exactly. This keeps the index format
+// stable under grammar-text round-trips and forces the caller to pair the
+// index with the grammar it was built from.
+
+const indexMagic = "CFPQIDX1"
+
+// WriteTo serialises the index.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	emit := func(data any) error {
+		if err := binary.Write(bw, binary.LittleEndian, data); err != nil {
+			return err
+		}
+		written += int64(binary.Size(data))
+		return nil
+	}
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return written, err
+	}
+	written += int64(len(indexMagic))
+	if err := emit(uint32(ix.n)); err != nil {
+		return written, err
+	}
+	if err := emit(uint32(len(ix.mats))); err != nil {
+		return written, err
+	}
+	for a, m := range ix.mats {
+		name := ix.cnf.Names[a]
+		if len(name) > 1<<16-1 {
+			return written, fmt.Errorf("core: non-terminal name too long: %d bytes", len(name))
+		}
+		if err := emit(uint16(len(name))); err != nil {
+			return written, err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return written, err
+		}
+		written += int64(len(name))
+		if err := emit(uint32(m.Nnz())); err != nil {
+			return written, err
+		}
+		var rangeErr error
+		m.Range(func(i, j int) bool {
+			if err := emit(uint32(i)); err != nil {
+				rangeErr = err
+				return false
+			}
+			if err := emit(uint32(j)); err != nil {
+				rangeErr = err
+				return false
+			}
+			return true
+		})
+		if rangeErr != nil {
+			return written, rangeErr
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadIndex deserialises an index previously written with WriteTo. The
+// supplied CNF must be the grammar the index was computed for:
+// non-terminal names and count are validated. Matrices are materialised
+// with the given backend (nil means serial sparse).
+func ReadIndex(r io.Reader, cnf *grammar.CNF, be matrix.Backend) (*Index, error) {
+	if be == nil {
+		be = matrix.Sparse()
+	}
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(indexMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("core: reading index magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("core: bad index magic %q", magic)
+	}
+	var n32, nn32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nn32); err != nil {
+		return nil, err
+	}
+	n := int(n32)
+	if int(nn32) != cnf.NonterminalCount() {
+		return nil, fmt.Errorf("core: index has %d non-terminals, grammar has %d",
+			nn32, cnf.NonterminalCount())
+	}
+	ix := &Index{cnf: cnf, n: n, mats: make([]matrix.Bool, cnf.NonterminalCount())}
+	for k := 0; k < int(nn32); k++ {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, err
+		}
+		a, ok := cnf.Index(string(nameBytes))
+		if !ok {
+			return nil, fmt.Errorf("core: index non-terminal %q not in grammar", nameBytes)
+		}
+		if ix.mats[a] != nil {
+			return nil, fmt.Errorf("core: duplicate non-terminal %q in index", nameBytes)
+		}
+		m := be.NewMatrix(n)
+		var nnz uint32
+		if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+			return nil, err
+		}
+		for e := uint32(0); e < nnz; e++ {
+			var i, j uint32
+			if err := binary.Read(br, binary.LittleEndian, &i); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(br, binary.LittleEndian, &j); err != nil {
+				return nil, err
+			}
+			if int(i) >= n || int(j) >= n {
+				return nil, fmt.Errorf("core: entry (%d,%d) out of range for %d nodes", i, j, n)
+			}
+			m.Set(int(i), int(j))
+		}
+		ix.mats[a] = m
+	}
+	for a, m := range ix.mats {
+		if m == nil {
+			return nil, fmt.Errorf("core: non-terminal %q missing from index", cnf.Names[a])
+		}
+	}
+	return ix, nil
+}

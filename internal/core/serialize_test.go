@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+func TestIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	cnf := grammar.MustParseCNF(paperCNF)
+	g := graph.Random(rng, 12, 40, []string{"subClassOf", "subClassOf_r", "type", "type_r"})
+	for _, writeBE := range matrix.Backends() {
+		ix, _ := NewEngine(WithBackend(writeBE)).Run(g, cnf)
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, readBE := range matrix.Backends() {
+			got, err := ReadIndex(bytes.NewReader(buf.Bytes()), cnf, readBE)
+			if err != nil {
+				t.Fatalf("%s→%s: %v", writeBE.Name(), readBE.Name(), err)
+			}
+			if got.Nodes() != ix.Nodes() {
+				t.Fatalf("node count mismatch")
+			}
+			for a := 0; a < cnf.NonterminalCount(); a++ {
+				nt := cnf.Names[a]
+				a1, a2 := ix.Relation(nt), got.Relation(nt)
+				if len(a1) != len(a2) {
+					t.Fatalf("%s→%s: R_%s size mismatch", writeBE.Name(), readBE.Name(), nt)
+				}
+				for k := range a1 {
+					if a1[k] != a2[k] {
+						t.Fatalf("%s→%s: R_%s differs at %d", writeBE.Name(), readBE.Name(), nt, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndexRoundTripSupportsUpdate(t *testing.T) {
+	// A reloaded index must accept incremental updates.
+	cnf := grammar.MustParseCNF("S -> a S b | a b")
+	g := graph.New(4)
+	g.AddEdge(0, "a", 1)
+	ix, _ := NewEngine().Run(g, cnf)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf, cnf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	NewEngine().Update(got, graph.Edge{From: 1, Label: "b", To: 2})
+	if !got.Has("S", 0, 2) {
+		t.Error("(0,2) missing after update on reloaded index")
+	}
+}
+
+func TestReadIndexErrors(t *testing.T) {
+	cnf := grammar.MustParseCNF("S -> a b")
+	ix, _ := NewEngine().Run(graph.Word([]string{"a", "b"}), cnf)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every interesting boundary must error, not panic.
+	for _, cut := range []int{0, 4, len(indexMagic), len(indexMagic) + 2, len(good) / 2, len(good) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(good[:cut]), cnf, nil); err == nil {
+			t.Errorf("truncation at %d succeeded", cut)
+		}
+	}
+	// Corrupt magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := ReadIndex(bytes.NewReader(bad), cnf, nil); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Wrong grammar (different non-terminal set).
+	other := grammar.MustParseCNF("Z -> a\nY -> b")
+	if _, err := ReadIndex(bytes.NewReader(good), other, nil); err == nil {
+		t.Error("mismatched grammar accepted")
+	}
+}
+
+func TestWriteToReportsBytes(t *testing.T) {
+	cnf := grammar.MustParseCNF("S -> a b")
+	ix, _ := NewEngine().Run(graph.Word([]string{"a", "b"}), cnf)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+}

@@ -1,0 +1,151 @@
+// Package dataset provides the evaluation workload of the paper: the two
+// same-generation query grammars (Figures 10 and 11) and synthetic stand-ins
+// for the 14 RDF ontology graphs of Tables 1 and 2.
+//
+// The original ontology files (skos, foaf, wine, pizza, … from Zhang et
+// al.) are not redistributable here, so each graph is generated
+// deterministically with the same name and the same #triples count as the
+// paper reports. Graphs follow the ontology shape the queries inspect — a
+// subClassOf class hierarchy (uniform random recursive tree) plus type
+// edges from individuals to classes — and every triple (o, p, s) is
+// expanded to the edge pair (o, p, s), (s, p⁻¹, o) exactly as in the paper.
+// The synthetic graphs g1, g2 and g3 repeat funding, wine and pizza eight
+// times, matching the paper's triple counts (1086×8 = 8688, 1839×8 = 14712,
+// 1980×8 = 15840).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cfpq/internal/graph"
+)
+
+// Dataset is one evaluation graph.
+type Dataset struct {
+	// Name as it appears in the paper's tables.
+	Name string
+	// Triples is the paper's #triples count; the generated triple set has
+	// exactly this size (before the ×2 edge expansion, and per copy for
+	// the repeated graphs).
+	Triples int
+	// Synthetic marks the repeated graphs g1–g3, for which the paper omits
+	// the dense implementation.
+	Synthetic bool
+
+	base   string // base dataset name for repeated graphs
+	copies int    // 1 for plain ontologies
+	seed   int64
+}
+
+// registry lists the 14 datasets in the paper's table order.
+var registry = []Dataset{
+	{Name: "skos", Triples: 252, seed: 1, copies: 1},
+	{Name: "generations", Triples: 273, seed: 2, copies: 1},
+	{Name: "travel", Triples: 277, seed: 3, copies: 1},
+	{Name: "univ-bench", Triples: 293, seed: 4, copies: 1},
+	{Name: "atom-primitive", Triples: 425, seed: 5, copies: 1},
+	{Name: "biomedical-measure-primitive", Triples: 459, seed: 6, copies: 1},
+	{Name: "foaf", Triples: 631, seed: 7, copies: 1},
+	{Name: "people-pets", Triples: 640, seed: 8, copies: 1},
+	{Name: "funding", Triples: 1086, seed: 9, copies: 1},
+	{Name: "wine", Triples: 1839, seed: 10, copies: 1},
+	{Name: "pizza", Triples: 1980, seed: 11, copies: 1},
+	{Name: "g1", Triples: 8688, Synthetic: true, base: "funding", copies: 8},
+	{Name: "g2", Triples: 14712, Synthetic: true, base: "wine", copies: 8},
+	{Name: "g3", Triples: 15840, Synthetic: true, base: "pizza", copies: 8},
+}
+
+// Graphs returns the 14 datasets in the paper's table order.
+func Graphs() []Dataset {
+	out := make([]Dataset, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the named dataset.
+func ByName(name string) (Dataset, bool) {
+	for _, d := range registry {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}
+
+// Build materialises the graph (with inverse edges).
+func (d Dataset) Build() *graph.Graph {
+	if d.copies > 1 && d.base != "" {
+		base, ok := ByName(d.base)
+		if !ok {
+			panic(fmt.Sprintf("dataset: unknown base %q", d.base))
+		}
+		g, _ := graph.FromTriples(base.triples())
+		return graph.Repeat(g, d.copies)
+	}
+	g, _ := graph.FromTriples(d.triples())
+	return g
+}
+
+// TripleSet returns the dataset's synthetic RDF triples (base triples for
+// the repeated graphs g1–g3 are those of their base ontology, returned once
+// per copy concatenated with per-copy renamed IRIs).
+func (d Dataset) TripleSet() []graph.Triple {
+	if d.copies > 1 && d.base != "" {
+		base, ok := ByName(d.base)
+		if !ok {
+			panic(fmt.Sprintf("dataset: unknown base %q", d.base))
+		}
+		bt := base.triples()
+		out := make([]graph.Triple, 0, len(bt)*d.copies)
+		for c := 0; c < d.copies; c++ {
+			for _, t := range bt {
+				out = append(out, graph.Triple{
+					Subject:   fmt.Sprintf("copy%d/%s", c, t.Subject),
+					Predicate: t.Predicate,
+					Object:    fmt.Sprintf("copy%d/%s", c, t.Object),
+				})
+			}
+		}
+		return out
+	}
+	return d.triples()
+}
+
+// triples generates the base ontology: exactly d.Triples triples — a class
+// tree over roughly a third of them (uniform random attachment, expected
+// depth O(log n)) plus deduplicated type edges from individuals to classes.
+func (d Dataset) triples() []graph.Triple {
+	n := d.Triples
+	classes := n/3 + 2
+	if classes > n+1 {
+		classes = n + 1
+	}
+	rng := rand.New(rand.NewSource(d.seed))
+	triples := make([]graph.Triple, 0, n)
+	class := func(i int) string { return fmt.Sprintf("%s/class%d", d.Name, i) }
+	inst := func(i int) string { return fmt.Sprintf("%s/inst%d", d.Name, i) }
+	for i := 1; i < classes; i++ {
+		triples = append(triples, graph.Triple{
+			Subject:   class(i),
+			Predicate: "subClassOf",
+			Object:    class(rng.Intn(i)),
+		})
+	}
+	typeTriples := n - (classes - 1)
+	instances := typeTriples/2 + 1
+	seen := map[[2]int]bool{}
+	for len(triples) < n {
+		key := [2]int{rng.Intn(instances), rng.Intn(classes)}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		triples = append(triples, graph.Triple{
+			Subject:   inst(key[0]),
+			Predicate: "type",
+			Object:    class(key[1]),
+		})
+	}
+	return triples
+}

@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+
+	"cfpq/internal/core"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+)
+
+func TestRegistryMatchesPaperTable(t *testing.T) {
+	want := map[string]int{
+		"skos": 252, "generations": 273, "travel": 277, "univ-bench": 293,
+		"atom-primitive": 425, "biomedical-measure-primitive": 459,
+		"foaf": 631, "people-pets": 640, "funding": 1086,
+		"wine": 1839, "pizza": 1980,
+		"g1": 8688, "g2": 14712, "g3": 15840,
+	}
+	ds := Graphs()
+	if len(ds) != 14 {
+		t.Fatalf("got %d datasets, want 14", len(ds))
+	}
+	for _, d := range ds {
+		if want[d.Name] != d.Triples {
+			t.Errorf("%s: #triples = %d, want %d", d.Name, d.Triples, want[d.Name])
+		}
+	}
+}
+
+func TestTripleCountsExact(t *testing.T) {
+	for _, d := range Graphs() {
+		if d.Synthetic {
+			continue
+		}
+		ts := d.TripleSet()
+		if len(ts) != d.Triples {
+			t.Errorf("%s: generated %d triples, want %d", d.Name, len(ts), d.Triples)
+		}
+		g := d.Build()
+		if g.EdgeCount() != 2*d.Triples {
+			t.Errorf("%s: %d edges, want %d (2 per triple)", d.Name, g.EdgeCount(), 2*d.Triples)
+		}
+	}
+}
+
+func TestRepeatedGraphs(t *testing.T) {
+	for _, name := range []string{"g1", "g2", "g3"} {
+		d, ok := ByName(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if !d.Synthetic {
+			t.Errorf("%s should be marked synthetic", name)
+		}
+		g := d.Build()
+		if g.EdgeCount() != 2*d.Triples {
+			t.Errorf("%s: %d edges, want %d", name, g.EdgeCount(), 2*d.Triples)
+		}
+		if len(d.TripleSet()) != d.Triples {
+			t.Errorf("%s: TripleSet size %d, want %d", name, len(d.TripleSet()), d.Triples)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d, _ := ByName("skos")
+	a, b := d.Build(), d.Build()
+	if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Error("Build must be deterministic")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func TestGraphLabels(t *testing.T) {
+	d, _ := ByName("generations")
+	g := d.Build()
+	labels := map[string]bool{}
+	for _, l := range g.Labels() {
+		labels[l] = true
+	}
+	for _, l := range []string{"subClassOf", "subClassOf_r", "type", "type_r"} {
+		if !labels[l] {
+			t.Errorf("label %s missing", l)
+		}
+	}
+}
+
+func TestQueriesParseAndNormalize(t *testing.T) {
+	for q := 1; q <= 2; q++ {
+		cnf := QueryCNF(q)
+		if err := cnf.Validate(); err != nil {
+			t.Errorf("query %d: %v", q, err)
+		}
+		if _, ok := cnf.Index("S"); !ok {
+			t.Errorf("query %d: S missing", q)
+		}
+	}
+}
+
+func TestQueryPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Query(3) should panic")
+		}
+	}()
+	Query(3)
+}
+
+func TestQuery1Semantics(t *testing.T) {
+	// With the paper's grammar S → subClassOf⁻¹ S subClassOf | …, two
+	// classes are on the same layer when they share a descendant reached
+	// by equal-depth chains (the first edge descends via subClassOf⁻¹,
+	// the last ascends via subClassOf). Classes sharing a direct subclass
+	// are the simplest instance; likewise classes typing a common
+	// individual relate through type⁻¹ · type.
+	g, ids := graph.FromTriples([]graph.Triple{
+		{Subject: "sub", Predicate: "subClassOf", Object: "c1"},
+		{Subject: "sub", Predicate: "subClassOf", Object: "c2"},
+		{Subject: "i", Predicate: "type", Object: "t1"},
+		{Subject: "i", Predicate: "type", Object: "t2"},
+	})
+	pairs, err := core.NewEngine().Query(g, Query1(), "S", core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(i, j int) bool {
+		for _, p := range pairs {
+			if p.I == i && p.J == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(ids["c1"], ids["c2"]) || !has(ids["c2"], ids["c1"]) {
+		t.Errorf("classes sharing a subclass not on same layer: %v (ids %v)", pairs, ids)
+	}
+	if !has(ids["t1"], ids["t2"]) {
+		t.Errorf("classes typing a common individual not on same layer: %v (ids %v)", pairs, ids)
+	}
+	if has(ids["sub"], ids["c1"]) {
+		t.Errorf("(sub, c1) is a subclass pair, not a same-layer pair")
+	}
+}
+
+func TestQuery2Semantics(t *testing.T) {
+	// child subClassOf parent: (child, parent) is an adjacent-layer pair
+	// via S → subClassOf; grandchild relates to parent's child layer too.
+	g, ids := graph.FromTriples([]graph.Triple{
+		{Subject: "child", Predicate: "subClassOf", Object: "root"},
+		{Subject: "grand", Predicate: "subClassOf", Object: "child"},
+		{Subject: "grand2", Predicate: "subClassOf", Object: "child"},
+	})
+	pairs, err := core.NewEngine().Query(g, Query2(), "S", core.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(i, j int) bool {
+		for _, p := range pairs {
+			if p.I == i && p.J == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(ids["child"], ids["root"]) {
+		t.Error("(child, root) missing (S → subClassOf)")
+	}
+	// grand →subClassOf_r⁻¹? No: B matches subClassOf_r ... subClassOf
+	// around a same-layer core; grand2 and grand are same layer, so
+	// (grand, child) via B subClassOf with B = scor(grand→child)? B needs
+	// subClassOf_r then subClassOf: grand →scor→ ... wait: B's terminals
+	// are edges; from grand: subClassOf_r edges go child→grand. From
+	// grand: the edge grand→child is subClassOf. Check a known pair:
+	// (grand, root): B(grand, child) requires scor edge grand→X then sco
+	// X→child: X=grand2? edge grand→grand2? No scor edge from grand
+	// except... scor edges: root→child, child→grand, child→grand2. So
+	// B(x,y) pairs start with scor edges: from root or child only.
+	// B(child, child)? scor child→grand, sco grand→child: yes!
+	// So S(child, root) also via B(child,child)+sco(child→root).
+	if !has(ids["grand"], ids["child"]) {
+		t.Error("(grand, child) missing (S → subClassOf)")
+	}
+	for _, p := range pairs {
+		if p.I == p.J {
+			t.Errorf("reflexive pair %v unexpected for Query 2", p)
+		}
+	}
+}
+
+func TestDatasetResultsNonTrivial(t *testing.T) {
+	// The evaluation only makes sense if queries return non-empty results
+	// on every dataset (the paper's #results are all > 0 for Query 1).
+	cnf := QueryCNF(1)
+	for _, d := range Graphs() {
+		if d.Synthetic {
+			continue // covered via their base graphs
+		}
+		g := d.Build()
+		ix, _ := core.NewEngine().Run(g, cnf)
+		if ix.Count("S") == 0 {
+			t.Errorf("%s: Query 1 returned no results", d.Name)
+		}
+	}
+}
+
+func TestRepeatedGraphResultsScale(t *testing.T) {
+	// A graph repeated 8 times must have exactly 8× the base results.
+	cnf := QueryCNF(1)
+	base, _ := ByName("funding")
+	rep, _ := ByName("g1")
+	ixBase, _ := core.NewEngine().Run(base.Build(), cnf)
+	ixRep, _ := core.NewEngine().Run(rep.Build(), cnf)
+	if got, want := ixRep.Count("S"), 8*ixBase.Count("S"); got != want {
+		t.Errorf("g1 results = %d, want 8×funding = %d", got, want)
+	}
+}
+
+var _ = grammar.MustParse // keep import if helpers change

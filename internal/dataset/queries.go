@@ -1,0 +1,53 @@
+package dataset
+
+import "cfpq/internal/grammar"
+
+// Query1 returns the paper's Query 1 grammar (Figure 10): the classic
+// same-generation query retrieving concepts on the same layer of the class
+// hierarchy, over both subClassOf and type edges.
+//
+//	S → subClassOf⁻¹ S subClassOf
+//	S → type⁻¹ S type
+//	S → subClassOf⁻¹ subClassOf
+//	S → type⁻¹ type
+func Query1() *grammar.Grammar {
+	return grammar.MustParse(`
+		S -> subClassOf_r S subClassOf
+		S -> type_r S type
+		S -> subClassOf_r subClassOf
+		S -> type_r type
+	`)
+}
+
+// Query2 returns the paper's Query 2 grammar (Figure 11): concepts on
+// adjacent layers of the class hierarchy.
+//
+//	S → B subClassOf
+//	S → subClassOf
+//	B → subClassOf⁻¹ B subClassOf
+//	B → subClassOf⁻¹ subClassOf
+func Query2() *grammar.Grammar {
+	return grammar.MustParse(`
+		S -> B subClassOf
+		S -> subClassOf
+		B -> subClassOf_r B subClassOf
+		B -> subClassOf_r subClassOf
+	`)
+}
+
+// Query returns query q (1 or 2) or panics.
+func Query(q int) *grammar.Grammar {
+	switch q {
+	case 1:
+		return Query1()
+	case 2:
+		return Query2()
+	default:
+		panic("dataset: query must be 1 or 2")
+	}
+}
+
+// QueryCNF returns the CNF form of query q.
+func QueryCNF(q int) *grammar.CNF {
+	return grammar.MustCNF(Query(q))
+}

@@ -1,0 +1,60 @@
+package grammar
+
+// Derives reports whether the word (a sequence of terminal labels) can be
+// derived from the named non-terminal of the CNF grammar. It is the classic
+// CYK recogniser and serves as the correctness oracle for path witnesses:
+// a path returned by a CFPQ engine is valid iff its label word derives from
+// the queried non-terminal.
+//
+// The empty word derives from A iff A was nullable in the original grammar.
+func (c *CNF) Derives(start string, word []string) bool {
+	a, ok := c.Index(start)
+	if !ok {
+		return false
+	}
+	n := len(word)
+	if n == 0 {
+		return c.Nullable[start]
+	}
+	nn := c.NonterminalCount()
+	// table cell (i, span) covers word[i : i+span+1]; one flag per non-terminal.
+	cell := func(i, span, nt int) int { return (i*n+span)*nn + nt }
+	tbl := make([]bool, n*n*nn)
+	for i, t := range word {
+		for _, nt := range c.TermRules[t] {
+			tbl[cell(i, 0, nt)] = true
+		}
+	}
+	for span := 1; span < n; span++ { // span = length-1
+		for i := 0; i+span < n; i++ {
+			for _, r := range c.Binary {
+				if tbl[cell(i, span, r.A)] {
+					continue
+				}
+				for k := 0; k < span; k++ {
+					if tbl[cell(i, k, r.B)] && tbl[cell(i+k+1, span-k-1, r.C)] {
+						tbl[cell(i, span, r.A)] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return tbl[cell(0, n-1, a)]
+}
+
+// DerivesGrammar is a recogniser for plain (non-CNF) grammars: it converts
+// to CNF internally. Convenient in tests; for repeated queries convert once
+// with ToCNF and call Derives.
+func DerivesGrammar(g *Grammar, start string, word []string) (bool, error) {
+	c, err := ToCNF(g)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := c.Index(start); !ok {
+		// The start symbol generated nothing but ε (or nothing at all) and
+		// was dropped; ε-membership is still answered via Nullable.
+		return len(word) == 0 && c.Nullable[start], nil
+	}
+	return c.Derives(start, word), nil
+}

@@ -1,0 +1,105 @@
+package grammar
+
+// Earley is a recogniser over the original (non-CNF) grammar. It exists as
+// an independent correctness oracle for the CNF pipeline: CNF.Derives and
+// Earley must agree on every word, yet they share no code — Earley runs on
+// the raw productions, including ε- and unit-rules.
+//
+// The implementation includes the standard fix for nullable non-terminals
+// (advance the dot immediately when predicting a nullable symbol), so
+// grammars with ε-productions are handled correctly.
+type Earley struct {
+	g        *Grammar
+	byLhs    map[string][]Production
+	nullable map[string]bool
+}
+
+// NewEarley builds a recogniser for g.
+func NewEarley(g *Grammar) *Earley {
+	byLhs := map[string][]Production{}
+	for _, p := range g.Productions {
+		byLhs[p.Lhs] = append(byLhs[p.Lhs], p)
+	}
+	return &Earley{g: g, byLhs: byLhs, nullable: g.Nullable()}
+}
+
+type earleyItem struct {
+	prod   int // index into flat production list
+	dot    int
+	origin int
+}
+
+// Recognize reports whether the word derives from the non-terminal start.
+func (e *Earley) Recognize(start string, word []string) bool {
+	if _, ok := e.byLhs[start]; !ok {
+		return false
+	}
+	// Flatten productions so items can index them.
+	type fp struct {
+		lhs string
+		rhs []Symbol
+	}
+	var prods []fp
+	prodIdx := map[string][]int{}
+	for lhs, ps := range e.byLhs {
+		for _, p := range ps {
+			prodIdx[lhs] = append(prodIdx[lhs], len(prods))
+			prods = append(prods, fp{lhs: p.Lhs, rhs: p.Rhs})
+		}
+	}
+
+	n := len(word)
+	sets := make([]map[earleyItem]bool, n+1)
+	order := make([][]earleyItem, n+1)
+	for i := range sets {
+		sets[i] = map[earleyItem]bool{}
+	}
+	add := func(k int, it earleyItem) {
+		if !sets[k][it] {
+			sets[k][it] = true
+			order[k] = append(order[k], it)
+		}
+	}
+	for _, pi := range prodIdx[start] {
+		add(0, earleyItem{prod: pi, dot: 0, origin: 0})
+	}
+	for k := 0; k <= n; k++ {
+		for i := 0; i < len(order[k]); i++ {
+			it := order[k][i]
+			p := prods[it.prod]
+			if it.dot < len(p.rhs) {
+				sym := p.rhs[it.dot]
+				if sym.Terminal {
+					// Scan.
+					if k < n && word[k] == sym.Name {
+						add(k+1, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				} else {
+					// Predict.
+					for _, pi := range prodIdx[sym.Name] {
+						add(k, earleyItem{prod: pi, dot: 0, origin: k})
+					}
+					// Nullable fix: the predicted symbol may derive ε.
+					if e.nullable[sym.Name] {
+						add(k, earleyItem{prod: it.prod, dot: it.dot + 1, origin: it.origin})
+					}
+				}
+			} else {
+				// Complete.
+				for _, par := range order[it.origin] {
+					pp := prods[par.prod]
+					if par.dot < len(pp.rhs) && !pp.rhs[par.dot].Terminal && pp.rhs[par.dot].Name == p.lhs {
+						add(k, earleyItem{prod: par.prod, dot: par.dot + 1, origin: par.origin})
+					}
+				}
+			}
+		}
+	}
+	for it := range sets[n] {
+		p := prods[it.prod]
+		if p.lhs == start && it.dot == len(p.rhs) && it.origin == 0 {
+			return true
+		}
+	}
+	return false
+}

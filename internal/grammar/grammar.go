@@ -1,0 +1,291 @@
+// Package grammar implements context-free grammars, a text format for
+// writing them, and the transformation to Chomsky Normal Form (CNF) that the
+// matrix-based CFPQ algorithm of Azimov & Grigorev requires.
+//
+// Following Hellings (and the paper), grammars carry no designated start
+// symbol: a path query names the non-terminal it wants, so every
+// non-terminal is a potential start symbol. CNF here therefore means that
+// every production has one of the two forms
+//
+//	A → B C   (two non-terminals)
+//	A → x     (a single terminal)
+//
+// ε-productions are eliminated during normalisation; the set of nullable
+// non-terminals is preserved so that query engines can account for empty
+// paths (which are the only paths labelled by ε).
+package grammar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Symbol is a terminal or non-terminal occurring in a production body.
+type Symbol struct {
+	Name     string
+	Terminal bool
+}
+
+// T returns a terminal symbol.
+func T(name string) Symbol { return Symbol{Name: name, Terminal: true} }
+
+// NT returns a non-terminal symbol.
+func NT(name string) Symbol { return Symbol{Name: name, Terminal: false} }
+
+// String renders the symbol; terminals that could be mistaken for
+// non-terminals are quoted.
+func (s Symbol) String() string {
+	if s.Terminal && needsQuoting(s.Name) {
+		return fmt.Sprintf("%q", s.Name)
+	}
+	return s.Name
+}
+
+func needsQuoting(name string) bool {
+	if name == "" {
+		return true
+	}
+	c := name[0]
+	if c >= 'A' && c <= 'Z' {
+		return true // would parse as a non-terminal
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '\'':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Production is a single rewrite rule Lhs → Rhs. An empty Rhs denotes an
+// ε-production.
+type Production struct {
+	Lhs string
+	Rhs []Symbol
+}
+
+// String renders the production in the grammar text format.
+func (p Production) String() string {
+	var b strings.Builder
+	b.WriteString(p.Lhs)
+	b.WriteString(" ->")
+	if len(p.Rhs) == 0 {
+		b.WriteString(" eps")
+		return b.String()
+	}
+	for _, s := range p.Rhs {
+		b.WriteByte(' ')
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// Grammar is a context-free grammar without a designated start symbol.
+type Grammar struct {
+	Productions []Production
+}
+
+// New returns an empty grammar.
+func New() *Grammar { return &Grammar{} }
+
+// Add appends a production A → rhs.
+func (g *Grammar) Add(lhs string, rhs ...Symbol) *Grammar {
+	g.Productions = append(g.Productions, Production{Lhs: lhs, Rhs: rhs})
+	return g
+}
+
+// AddEpsilon appends an ε-production for lhs.
+func (g *Grammar) AddEpsilon(lhs string) *Grammar {
+	g.Productions = append(g.Productions, Production{Lhs: lhs})
+	return g
+}
+
+// Nonterminals returns the sorted set of non-terminals: every production
+// left-hand side plus every non-terminal occurring in a body.
+func (g *Grammar) Nonterminals() []string {
+	set := map[string]bool{}
+	for _, p := range g.Productions {
+		set[p.Lhs] = true
+		for _, s := range p.Rhs {
+			if !s.Terminal {
+				set[s.Name] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Terminals returns the sorted set of terminals occurring in the grammar.
+func (g *Grammar) Terminals() []string {
+	set := map[string]bool{}
+	for _, p := range g.Productions {
+		for _, s := range p.Rhs {
+			if s.Terminal {
+				set[s.Name] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// ProductionsFor returns the productions whose left-hand side is lhs.
+func (g *Grammar) ProductionsFor(lhs string) []Production {
+	var out []Production
+	for _, p := range g.Productions {
+		if p.Lhs == lhs {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HasNonterminal reports whether name occurs as a non-terminal.
+func (g *Grammar) HasNonterminal(name string) bool {
+	for _, p := range g.Productions {
+		if p.Lhs == name {
+			return true
+		}
+		for _, s := range p.Rhs {
+			if !s.Terminal && s.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the grammar.
+func (g *Grammar) Clone() *Grammar {
+	out := &Grammar{Productions: make([]Production, len(g.Productions))}
+	for i, p := range g.Productions {
+		rhs := make([]Symbol, len(p.Rhs))
+		copy(rhs, p.Rhs)
+		out.Productions[i] = Production{Lhs: p.Lhs, Rhs: rhs}
+	}
+	return out
+}
+
+// String renders the whole grammar, one production per line, grouped by
+// left-hand side in first-appearance order.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	for _, p := range g.Productions {
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Validate checks structural well-formedness: non-empty symbol names and
+// left-hand sides.
+func (g *Grammar) Validate() error {
+	if len(g.Productions) == 0 {
+		return fmt.Errorf("grammar: no productions")
+	}
+	for i, p := range g.Productions {
+		if p.Lhs == "" {
+			return fmt.Errorf("grammar: production %d has empty left-hand side", i)
+		}
+		for j, s := range p.Rhs {
+			if s.Name == "" {
+				return fmt.Errorf("grammar: production %d (%s) has empty symbol at position %d", i, p.Lhs, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Nullable computes the set of non-terminals that derive the empty string.
+func (g *Grammar) Nullable() map[string]bool {
+	nullable := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Productions {
+			if nullable[p.Lhs] {
+				continue
+			}
+			all := true
+			for _, s := range p.Rhs {
+				if s.Terminal || !nullable[s.Name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				nullable[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	return nullable
+}
+
+// Generating computes the set of non-terminals that derive at least one
+// terminal string (including ε).
+func (g *Grammar) Generating() map[string]bool {
+	gen := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Productions {
+			if gen[p.Lhs] {
+				continue
+			}
+			all := true
+			for _, s := range p.Rhs {
+				if !s.Terminal && !gen[s.Name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				gen[p.Lhs] = true
+				changed = true
+			}
+		}
+	}
+	return gen
+}
+
+// ReachableFrom computes the set of non-terminals reachable from any of the
+// given start non-terminals.
+func (g *Grammar) ReachableFrom(starts ...string) map[string]bool {
+	reach := map[string]bool{}
+	var stack []string
+	for _, s := range starts {
+		if !reach[s] {
+			reach[s] = true
+			stack = append(stack, s)
+		}
+	}
+	byLhs := map[string][]Production{}
+	for _, p := range g.Productions {
+		byLhs[p.Lhs] = append(byLhs[p.Lhs], p)
+	}
+	for len(stack) > 0 {
+		nt := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range byLhs[nt] {
+			for _, s := range p.Rhs {
+				if !s.Terminal && !reach[s.Name] {
+					reach[s.Name] = true
+					stack = append(stack, s.Name)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,249 @@
+package grammar
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseBasic(t *testing.T) {
+	g, err := ParseString(`
+		# same-generation query, paper Figure 3
+		S -> subClassOf_r S subClassOf
+		S -> type_r S type
+		S -> subClassOf_r subClassOf
+		S -> type_r type
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Productions); got != 4 {
+		t.Fatalf("got %d productions, want 4", got)
+	}
+	p := g.Productions[0]
+	if p.Lhs != "S" {
+		t.Errorf("lhs = %q, want S", p.Lhs)
+	}
+	want := []Symbol{T("subClassOf_r"), NT("S"), T("subClassOf")}
+	if !reflect.DeepEqual(p.Rhs, want) {
+		t.Errorf("rhs = %v, want %v", p.Rhs, want)
+	}
+}
+
+func TestParseAlternatives(t *testing.T) {
+	g := MustParse(`S -> a S b | a b | eps`)
+	if got := len(g.Productions); got != 3 {
+		t.Fatalf("got %d productions, want 3", got)
+	}
+	if len(g.Productions[2].Rhs) != 0 {
+		t.Errorf("third alternative should be ε, got %v", g.Productions[2].Rhs)
+	}
+}
+
+func TestParseQuotedTerminal(t *testing.T) {
+	g := MustParse(`S -> "Type" S | b`)
+	p := g.Productions[0]
+	if !p.Rhs[0].Terminal || p.Rhs[0].Name != "Type" {
+		t.Errorf("quoted symbol should be terminal %q, got %v", "Type", p.Rhs[0])
+	}
+}
+
+func TestParseArrowVariants(t *testing.T) {
+	g := MustParse("S ::= a b")
+	if len(g.Productions) != 1 || len(g.Productions[0].Rhs) != 2 {
+		t.Fatalf("unexpected parse: %v", g.Productions)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"no arrow here",
+		"-> a b",
+		"s -> a", // lower-case lhs
+		`S -> "unterminated`,
+		"",
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	cases := []struct {
+		sym  Symbol
+		want string
+	}{
+		{T("a"), "a"},
+		{T("subClassOf_r"), "subClassOf_r"},
+		{T("Type"), `"Type"`}, // upper-case terminal must be quoted
+		{T("a b"), `"a b"`},
+		{NT("S"), "S"},
+	}
+	for _, c := range cases {
+		if got := c.sym.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.sym, got, c.want)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `S -> a S b
+S -> a b
+B -> "Quoted!" S
+B -> eps
+`
+	g := MustParse(src)
+	g2 := MustParse(g.String())
+	if !reflect.DeepEqual(g.Productions, g2.Productions) {
+		t.Errorf("round trip mismatch:\n%v\nvs\n%v", g.Productions, g2.Productions)
+	}
+}
+
+func TestNonterminalsTerminals(t *testing.T) {
+	g := MustParse(`
+		S -> A b
+		A -> c
+	`)
+	if got, want := g.Nonterminals(), []string{"A", "S"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Nonterminals = %v, want %v", got, want)
+	}
+	if got, want := g.Terminals(), []string{"b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Terminals = %v, want %v", got, want)
+	}
+}
+
+func TestNullable(t *testing.T) {
+	g := MustParse(`
+		S -> A B
+		A -> eps
+		B -> b | eps
+		C -> c
+	`)
+	nullable := g.Nullable()
+	for _, nt := range []string{"S", "A", "B"} {
+		if !nullable[nt] {
+			t.Errorf("%s should be nullable", nt)
+		}
+	}
+	if nullable["C"] {
+		t.Errorf("C should not be nullable")
+	}
+}
+
+func TestGenerating(t *testing.T) {
+	g := MustParse(`
+		S -> A b
+		A -> a
+		D -> D d
+	`)
+	gen := g.Generating()
+	if !gen["S"] || !gen["A"] {
+		t.Errorf("S and A should be generating: %v", gen)
+	}
+	if gen["D"] {
+		t.Errorf("D should not be generating (only derives itself)")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := MustParse(`
+		S -> A b
+		A -> a
+		X -> x
+	`)
+	reach := g.ReachableFrom("S")
+	if !reach["S"] || !reach["A"] {
+		t.Errorf("S, A should be reachable: %v", reach)
+	}
+	if reach["X"] {
+		t.Errorf("X should be unreachable from S")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Error("empty grammar should not validate")
+	}
+	g := New().Add("S", T("a"))
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid grammar rejected: %v", err)
+	}
+	bad := &Grammar{Productions: []Production{{Lhs: "S", Rhs: []Symbol{{Name: ""}}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("empty symbol name should not validate")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := MustParse("S -> a S | b")
+	c := g.Clone()
+	c.Productions[0].Rhs[0] = T("MUTATED")
+	if g.Productions[0].Rhs[0].Name == "MUTATED" {
+		t.Error("Clone shares Rhs slices with the original")
+	}
+}
+
+func TestProductionString(t *testing.T) {
+	p := Production{Lhs: "S", Rhs: []Symbol{T("a"), NT("S")}}
+	if got := p.String(); got != "S -> a S" {
+		t.Errorf("String() = %q", got)
+	}
+	eps := Production{Lhs: "S"}
+	if got := eps.String(); got != "S -> eps" {
+		t.Errorf("eps String() = %q", got)
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	g := MustParse(`
+# hash comment
+// slash comment
+
+S -> a
+`)
+	if len(g.Productions) != 1 {
+		t.Fatalf("got %d productions, want 1", len(g.Productions))
+	}
+}
+
+func TestProductionsFor(t *testing.T) {
+	g := MustParse(`
+		S -> a | b
+		B -> c
+	`)
+	if got := len(g.ProductionsFor("S")); got != 2 {
+		t.Errorf("ProductionsFor(S) = %d rules, want 2", got)
+	}
+	if got := len(g.ProductionsFor("Z")); got != 0 {
+		t.Errorf("ProductionsFor(Z) = %d rules, want 0", got)
+	}
+}
+
+func TestHasNonterminal(t *testing.T) {
+	g := MustParse("S -> A b\nA -> a")
+	for _, nt := range []string{"S", "A"} {
+		if !g.HasNonterminal(nt) {
+			t.Errorf("HasNonterminal(%s) = false", nt)
+		}
+	}
+	if g.HasNonterminal("b") || g.HasNonterminal("Z") {
+		t.Error("unexpected non-terminal reported")
+	}
+}
+
+func TestParseLargeLine(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("S ->")
+	for i := 0; i < 5000; i++ {
+		b.WriteString(" a")
+	}
+	g, err := ParseString(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Productions[0].Rhs); got != 5000 {
+		t.Errorf("body length = %d, want 5000", got)
+	}
+}

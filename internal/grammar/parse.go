@@ -1,0 +1,161 @@
+package grammar
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a grammar from its text format. The format, one rule per line:
+//
+//	# comment
+//	S -> subClassOf_r S subClassOf | type_r S type
+//	S -> "weird terminal!" B
+//	B -> eps
+//
+// Identifiers beginning with an upper-case letter are non-terminals; all
+// other identifiers are terminals. Double-quoted strings are always
+// terminals (use them for terminals that start with an upper-case letter).
+// `eps` (alone in an alternative) denotes the empty string. Alternatives are
+// separated by `|`. Both `->` and `::=` are accepted as the arrow.
+func Parse(r io.Reader) (*Grammar, error) {
+	g := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		if err := parseLine(g, line); err != nil {
+			return nil, fmt.Errorf("grammar: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("grammar: read: %w", err)
+	}
+	if len(g.Productions) == 0 {
+		return nil, fmt.Errorf("grammar: no productions found")
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Grammar, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse is ParseString that panics on error; intended for tests and
+// package-level grammar literals.
+func MustParse(s string) *Grammar {
+	g, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func parseLine(g *Grammar, line string) error {
+	arrow := strings.Index(line, "->")
+	arrowLen := 2
+	if i := strings.Index(line, "::="); i >= 0 && (arrow < 0 || i < arrow) {
+		arrow, arrowLen = i, 3
+	}
+	if arrow < 0 {
+		return fmt.Errorf("missing '->' in %q", line)
+	}
+	lhs := strings.TrimSpace(line[:arrow])
+	if lhs == "" {
+		return fmt.Errorf("empty left-hand side in %q", line)
+	}
+	if !isNonterminalName(lhs) {
+		return fmt.Errorf("left-hand side %q must be a non-terminal (start with an upper-case letter)", lhs)
+	}
+	body := line[arrow+arrowLen:]
+	for _, alt := range splitAlternatives(body) {
+		syms, err := tokenizeSymbols(alt)
+		if err != nil {
+			return err
+		}
+		g.Productions = append(g.Productions, Production{Lhs: lhs, Rhs: syms})
+	}
+	return nil
+}
+
+// splitAlternatives splits on '|' outside of quotes.
+func splitAlternatives(body string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case c == '"' && (i == 0 || body[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == '|' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+func tokenizeSymbols(alt string) ([]Symbol, error) {
+	var syms []Symbol
+	i := 0
+	for i < len(alt) {
+		c := alt[i]
+		if c == ' ' || c == '\t' {
+			i++
+			continue
+		}
+		if c == '"' {
+			j := i + 1
+			var name strings.Builder
+			for j < len(alt) && alt[j] != '"' {
+				if alt[j] == '\\' && j+1 < len(alt) {
+					j++
+				}
+				name.WriteByte(alt[j])
+				j++
+			}
+			if j >= len(alt) {
+				return nil, fmt.Errorf("unterminated quoted terminal in %q", alt)
+			}
+			syms = append(syms, T(name.String()))
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(alt) && alt[j] != ' ' && alt[j] != '\t' && alt[j] != '"' {
+			j++
+		}
+		word := alt[i:j]
+		i = j
+		if word == "eps" || word == "ε" || word == "epsilon" {
+			continue // contributes nothing to the body
+		}
+		if isNonterminalName(word) {
+			syms = append(syms, NT(word))
+		} else {
+			syms = append(syms, T(word))
+		}
+	}
+	return syms, nil
+}
+
+func isNonterminalName(s string) bool {
+	if s == "" {
+		return false
+	}
+	r := []rune(s)[0]
+	return unicode.IsUpper(r)
+}

@@ -1,0 +1,72 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls RandomGrammar.
+type RandomConfig struct {
+	Nonterminals int     // number of non-terminals (≥ 1)
+	Terminals    int     // alphabet size (≥ 1)
+	Productions  int     // number of productions to generate (≥ 1)
+	MaxBody      int     // maximum body length (≥ 1); bodies of length 0 appear iff EpsilonProb > 0
+	EpsilonProb  float64 // probability that a production is an ε-production
+}
+
+// DefaultRandomConfig returns a configuration producing small but
+// non-trivial grammars, suitable for property-based testing.
+func DefaultRandomConfig() RandomConfig {
+	return RandomConfig{
+		Nonterminals: 4,
+		Terminals:    3,
+		Productions:  10,
+		MaxBody:      3,
+		EpsilonProb:  0.1,
+	}
+}
+
+// RandomGrammar generates a random context-free grammar. Non-terminals are
+// named N0..N{k-1} and terminals a0..a{m-1}. The same rng state yields the
+// same grammar, so tests are reproducible from a seed.
+func RandomGrammar(rng *rand.Rand, cfg RandomConfig) *Grammar {
+	if cfg.Nonterminals < 1 || cfg.Terminals < 1 || cfg.Productions < 1 || cfg.MaxBody < 1 {
+		panic("grammar: invalid RandomConfig")
+	}
+	g := New()
+	nt := func(i int) string { return fmt.Sprintf("N%d", i) }
+	term := func(i int) string { return fmt.Sprintf("a%d", i) }
+	for p := 0; p < cfg.Productions; p++ {
+		lhs := nt(rng.Intn(cfg.Nonterminals))
+		if rng.Float64() < cfg.EpsilonProb {
+			g.AddEpsilon(lhs)
+			continue
+		}
+		bodyLen := 1 + rng.Intn(cfg.MaxBody)
+		rhs := make([]Symbol, bodyLen)
+		for i := range rhs {
+			if rng.Intn(2) == 0 {
+				rhs[i] = T(term(rng.Intn(cfg.Terminals)))
+			} else {
+				rhs[i] = NT(nt(rng.Intn(cfg.Nonterminals)))
+			}
+		}
+		g.Productions = append(g.Productions, Production{Lhs: lhs, Rhs: rhs})
+	}
+	return g
+}
+
+// RandomWord draws a word of the given length over the grammar's terminal
+// alphabet (uniformly per position). Returns nil if the grammar has no
+// terminals.
+func RandomWord(rng *rand.Rand, g *Grammar, length int) []string {
+	terms := g.Terminals()
+	if len(terms) == 0 {
+		return nil
+	}
+	w := make([]string, length)
+	for i := range w {
+		w[i] = terms[rng.Intn(len(terms))]
+	}
+	return w
+}

@@ -1,0 +1,21 @@
+package grammar
+
+// Reverse returns the grammar deriving exactly the reversed words: every
+// production body is reversed, so w ∈ L(G_A) iff reverse(w) ∈ L(Reverse(G)_A).
+// Combined with graph reversal this gives the CFPQ duality
+//
+//	(i, j) ∈ R_A(G, D)  ⟺  (j, i) ∈ R_A(Reverse(G), Reverse(D)),
+//
+// which the test suite uses as a structural correctness check of the whole
+// pipeline.
+func Reverse(g *Grammar) *Grammar {
+	out := &Grammar{Productions: make([]Production, len(g.Productions))}
+	for i, p := range g.Productions {
+		rhs := make([]Symbol, len(p.Rhs))
+		for k, s := range p.Rhs {
+			rhs[len(p.Rhs)-1-k] = s
+		}
+		out.Productions[i] = Production{Lhs: p.Lhs, Rhs: rhs}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package matrix provides hand-rolled Boolean matrix kernels for the
+// matrix-based CFPQ algorithm: bit-packed dense matrices and CSR sparse
+// matrices, each with serial and row-parallel multiplication. Go has no
+// mature sparse linear algebra ecosystem, so everything here is implemented
+// from scratch against the small surface the closure loop needs:
+//
+//	dst |= a × b   (Boolean semiring: AND for ×, OR for +)
+//	dst |= src
+//	nnz, equality, iteration
+//
+// The Backend/Bool pair lets the query engine stay agnostic of the
+// representation; the four backends stand in for the paper's four
+// implementations (dense GPU, sparse CPU, sparse GPU — see DESIGN.md for the
+// substitution argument).
+package matrix
+
+// Bool is a square Boolean matrix. Implementations are NOT safe for
+// concurrent mutation; the closure loop mutates one matrix at a time.
+//
+// Mixing matrices from different backends in AddMul/Or/Equal is a
+// programming error and panics: the CFPQ engine allocates every matrix from
+// a single backend.
+type Bool interface {
+	// Dim returns the matrix dimension n (the matrix is n×n).
+	Dim() int
+	// Get reports whether entry (i, j) is set.
+	Get(i, j int) bool
+	// Set sets entry (i, j).
+	Set(i, j int)
+	// Nnz returns the number of set entries.
+	Nnz() int
+	// AddMul computes m |= a × b over the Boolean semiring and reports
+	// whether m changed. a and b must come from the same backend as m;
+	// m may alias a and/or b (the product is computed before merging).
+	AddMul(a, b Bool) bool
+	// Or computes m |= other and reports whether m changed.
+	Or(other Bool) bool
+	// And computes m &= other (intersection) and reports whether m
+	// changed. Used by the conjunctive-grammar extension.
+	And(other Bool) bool
+	// AndNot computes m &= ¬other (set difference) and reports whether m
+	// changed. Used by the semi-naive (delta) closure schedule.
+	AndNot(other Bool) bool
+	// Equal reports whether m and other have identical entries.
+	Equal(other Bool) bool
+	// Clone returns an independent copy.
+	Clone() Bool
+	// Range calls fn for every set entry in row-major order; fn returning
+	// false stops the iteration.
+	Range(fn func(i, j int) bool)
+}
+
+// Backend allocates matrices of one representation.
+type Backend interface {
+	// Name identifies the backend in benchmark output ("dense",
+	// "dense-parallel", "sparse", "sparse-parallel").
+	Name() string
+	// NewMatrix returns an empty n×n matrix.
+	NewMatrix(n int) Bool
+}
+
+// Pair is a set entry (I, J) extracted from a matrix.
+type Pair struct {
+	I, J int
+}
+
+// Pairs collects all set entries of m in row-major order; an empty matrix
+// yields nil (so empty relations compare equal across evaluators).
+func Pairs(m Bool) []Pair {
+	if m.Nnz() == 0 {
+		return nil
+	}
+	out := make([]Pair, 0, m.Nnz())
+	m.Range(func(i, j int) bool {
+		out = append(out, Pair{i, j})
+		return true
+	})
+	return out
+}
+
+// Backends returns one backend of each kind, in the order the paper's
+// tables report them (dense parallel = dGPU stand-in, sparse serial = sCPU,
+// sparse parallel = sGPU) plus the serial dense reference.
+func Backends() []Backend {
+	return []Backend{
+		Dense(),
+		DenseParallel(0),
+		Sparse(),
+		SparseParallel(0),
+	}
+}

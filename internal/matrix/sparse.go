@@ -1,0 +1,470 @@
+package matrix
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// SparseMatrix is a row-compressed sparse Boolean matrix: each row stores
+// its set column indices as a sorted []int32 (the per-row view of the CSR
+// format the paper's sCPU/sGPU implementations use). Multiplication is
+// Gustavson's row-wise SpGEMM with a dense accumulator per worker; the
+// parallel flavour distributes rows across goroutines exactly the way
+// CUSPARSE distributes them across thread blocks, which is why
+// SparseParallel serves as the paper's sGPU stand-in.
+type SparseMatrix struct {
+	n        int
+	rows     [][]int32
+	nnz      int
+	parallel bool
+	workers  int
+}
+
+type sparseBackend struct {
+	parallel bool
+	workers  int
+}
+
+// Sparse returns the serial sparse backend (paper: sCPU).
+func Sparse() Backend { return sparseBackend{} }
+
+// SparseParallel returns the row-parallel sparse backend (paper: sGPU);
+// workers ≤ 0 means GOMAXPROCS.
+func SparseParallel(workers int) Backend {
+	return sparseBackend{parallel: true, workers: workers}
+}
+
+func (s sparseBackend) Name() string {
+	if s.parallel {
+		return "sparse-parallel"
+	}
+	return "sparse"
+}
+
+func (s sparseBackend) NewMatrix(n int) Bool {
+	return &SparseMatrix{
+		n:        n,
+		rows:     make([][]int32, n),
+		parallel: s.parallel,
+		workers:  s.workers,
+	}
+}
+
+// NewSparse returns an empty serial n×n sparse matrix (convenience for
+// tests and direct use).
+func NewSparse(n int) *SparseMatrix {
+	return Sparse().NewMatrix(n).(*SparseMatrix)
+}
+
+// Dim returns the matrix dimension.
+func (m *SparseMatrix) Dim() int { return m.n }
+
+func (m *SparseMatrix) check(i, j int) {
+	if i < 0 || i >= m.n || j < 0 || j >= m.n {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %d×%d", i, j, m.n, m.n))
+	}
+}
+
+// Get reports entry (i, j) by binary search within the row.
+func (m *SparseMatrix) Get(i, j int) bool {
+	m.check(i, j)
+	row := m.rows[i]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
+	return k < len(row) && row[k] == int32(j)
+}
+
+// Set inserts entry (i, j), keeping the row sorted.
+func (m *SparseMatrix) Set(i, j int) {
+	m.check(i, j)
+	row := m.rows[i]
+	k := sort.Search(len(row), func(x int) bool { return row[x] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return
+	}
+	row = append(row, 0)
+	copy(row[k+1:], row[k:])
+	row[k] = int32(j)
+	m.rows[i] = row
+	m.nnz++
+}
+
+// Nnz returns the number of set entries.
+func (m *SparseMatrix) Nnz() int { return m.nnz }
+
+// Clone returns an independent copy.
+func (m *SparseMatrix) Clone() Bool {
+	cp := &SparseMatrix{
+		n:        m.n,
+		rows:     make([][]int32, m.n),
+		nnz:      m.nnz,
+		parallel: m.parallel,
+		workers:  m.workers,
+	}
+	for i, row := range m.rows {
+		if len(row) > 0 {
+			nr := make([]int32, len(row))
+			copy(nr, row)
+			cp.rows[i] = nr
+		}
+	}
+	return cp
+}
+
+// Equal reports entry-wise equality.
+func (m *SparseMatrix) Equal(other Bool) bool {
+	o := mustSparse(other, m.n)
+	if m.nnz != o.nnz {
+		return false
+	}
+	for i := range m.rows {
+		a, b := m.rows[i], o.rows[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Range iterates set entries in row-major order.
+func (m *SparseMatrix) Range(fn func(i, j int) bool) {
+	for i, row := range m.rows {
+		for _, j := range row {
+			if !fn(i, int(j)) {
+				return
+			}
+		}
+	}
+}
+
+// Or computes m |= other.
+func (m *SparseMatrix) Or(other Bool) bool {
+	o := mustSparse(other, m.n)
+	changed := false
+	for i := range m.rows {
+		merged, grew := unionSorted(m.rows[i], o.rows[i])
+		if grew {
+			m.nnz += len(merged) - len(m.rows[i])
+			m.rows[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// And computes m &= other.
+func (m *SparseMatrix) And(other Bool) bool {
+	o := mustSparse(other, m.n)
+	changed := false
+	for i := range m.rows {
+		kept := intersectSorted(m.rows[i], o.rows[i])
+		if len(kept) != len(m.rows[i]) {
+			m.nnz += len(kept) - len(m.rows[i])
+			m.rows[i] = kept
+			changed = true
+		}
+	}
+	return changed
+}
+
+// AndNot computes m &= ¬other.
+func (m *SparseMatrix) AndNot(other Bool) bool {
+	o := mustSparse(other, m.n)
+	changed := false
+	for i := range m.rows {
+		kept := differenceSorted(m.rows[i], o.rows[i])
+		if len(kept) != len(m.rows[i]) {
+			m.nnz += len(kept) - len(m.rows[i])
+			m.rows[i] = kept
+			changed = true
+		}
+	}
+	return changed
+}
+
+// intersectSorted returns a ∩ b for sorted unique slices. When nothing is
+// dropped, a is returned as-is.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j, kept := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			kept++
+			i++
+			j++
+		}
+	}
+	if kept == len(a) {
+		return a
+	}
+	out = make([]int32, 0, kept)
+	i, j = 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// differenceSorted returns a \ b for sorted unique slices. When nothing is
+// dropped, a is returned as-is.
+func differenceSorted(a, b []int32) []int32 {
+	dropped := 0
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return a
+	}
+	out := make([]int32, 0, len(a)-dropped)
+	j = 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// AddMul computes m |= a × b with Gustavson row products. All product rows
+// are materialised before merging, so m may alias a or b.
+func (m *SparseMatrix) AddMul(a, b Bool) bool {
+	sa := mustSparse(a, m.n)
+	sb := mustSparse(b, m.n)
+	prod := make([][]int32, m.n)
+	if m.parallel {
+		m.spgemmParallel(sa, sb, prod)
+	} else {
+		scratch := newAccumulator(m.n)
+		for i := 0; i < m.n; i++ {
+			prod[i] = spgemmRow(sa, sb, i, scratch)
+		}
+	}
+	changed := false
+	for i := range m.rows {
+		if len(prod[i]) == 0 {
+			continue
+		}
+		merged, grew := unionSorted(m.rows[i], prod[i])
+		if grew {
+			m.nnz += len(merged) - len(m.rows[i])
+			m.rows[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// accumulator is the dense scratch used by Gustavson's algorithm: a bitmap
+// plus the list of touched columns, reusable across rows.
+type accumulator struct {
+	mark    []bool
+	touched []int32
+}
+
+func newAccumulator(n int) *accumulator {
+	return &accumulator{mark: make([]bool, n)}
+}
+
+// spgemmRow computes row i of a×b as a sorted column list.
+func spgemmRow(a, b *SparseMatrix, i int, acc *accumulator) []int32 {
+	acc.touched = acc.touched[:0]
+	for _, k := range a.rows[i] {
+		for _, j := range b.rows[k] {
+			if !acc.mark[j] {
+				acc.mark[j] = true
+				acc.touched = append(acc.touched, j)
+			}
+		}
+	}
+	if len(acc.touched) == 0 {
+		return nil
+	}
+	out := make([]int32, len(acc.touched))
+	copy(out, acc.touched)
+	for _, j := range acc.touched {
+		acc.mark[j] = false
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
+func (m *SparseMatrix) spgemmParallel(a, b *SparseMatrix, prod [][]int32) {
+	workers := m.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m.n {
+		workers = m.n
+	}
+	if workers <= 1 {
+		scratch := newAccumulator(m.n)
+		for i := 0; i < m.n; i++ {
+			prod[i] = spgemmRow(a, b, i, scratch)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	const grain = 64 // rows claimed per fetch, keeps contention low
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newAccumulator(m.n)
+			for {
+				lo := int(next.Add(grain)) - grain
+				if lo >= m.n {
+					return
+				}
+				hi := lo + grain
+				if hi > m.n {
+					hi = m.n
+				}
+				for i := lo; i < hi; i++ {
+					prod[i] = spgemmRow(a, b, i, scratch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// unionSorted merges two sorted unique slices; grew reports whether the
+// result has entries beyond a. When nothing is added, a is returned as-is.
+func unionSorted(a, b []int32) (merged []int32, grew bool) {
+	if len(b) == 0 {
+		return a, false
+	}
+	if len(a) == 0 {
+		out := make([]int32, len(b))
+		copy(out, b)
+		return out, true
+	}
+	// Fast subset check: count b-elements missing from a.
+	extra := 0
+	ai := 0
+	for _, x := range b {
+		for ai < len(a) && a[ai] < x {
+			ai++
+		}
+		if ai >= len(a) || a[ai] != x {
+			extra++
+		}
+	}
+	if extra == 0 {
+		return a, false
+	}
+	out := make([]int32, 0, len(a)+extra)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, true
+}
+
+// Transpose returns the transposed matrix (same backend flavour).
+func (m *SparseMatrix) Transpose() *SparseMatrix {
+	t := &SparseMatrix{
+		n:        m.n,
+		rows:     make([][]int32, m.n),
+		nnz:      m.nnz,
+		parallel: m.parallel,
+		workers:  m.workers,
+	}
+	// Count per-column first so each transposed row is allocated once.
+	counts := make([]int, m.n)
+	for _, row := range m.rows {
+		for _, j := range row {
+			counts[j]++
+		}
+	}
+	for j, c := range counts {
+		if c > 0 {
+			t.rows[j] = make([]int32, 0, c)
+		}
+	}
+	// Row-major iteration appends column indices in increasing i, so the
+	// transposed rows come out sorted.
+	for i, row := range m.rows {
+		for _, j := range row {
+			t.rows[j] = append(t.rows[j], int32(i))
+		}
+	}
+	return t
+}
+
+// ToDense converts to a dense matrix (serial backend).
+func (m *SparseMatrix) ToDense() *DenseMatrix {
+	d := NewDense(m.n)
+	m.Range(func(i, j int) bool {
+		d.Set(i, j)
+		return true
+	})
+	return d
+}
+
+// FromDense converts a dense matrix to a sparse one (serial backend).
+func FromDense(d *DenseMatrix) *SparseMatrix {
+	s := NewSparse(d.Dim())
+	d.Range(func(i, j int) bool {
+		s.rows[i] = append(s.rows[i], int32(j))
+		s.nnz++
+		return true
+	})
+	return s
+}
+
+func mustSparse(b Bool, n int) *SparseMatrix {
+	s, ok := b.(*SparseMatrix)
+	if !ok {
+		panic(fmt.Sprintf("matrix: mixed backends: expected *SparseMatrix, got %T", b))
+	}
+	if s.n != n {
+		panic(fmt.Sprintf("matrix: dimension mismatch: %d vs %d", s.n, n))
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package rpq
+
+// NFA is a nondeterministic finite automaton over edge labels with
+// ε-transitions already eliminated: Trans holds only labelled transitions,
+// and any state reaching an accepting state through ε alone is itself
+// marked accepting.
+type NFA struct {
+	States    int
+	Start     int
+	Accepting []bool
+	// Trans[s] lists (label, target) transitions out of s.
+	Trans [][]Transition
+	// AcceptsEmpty reports whether the empty word is in the language.
+	AcceptsEmpty bool
+}
+
+// Transition is one labelled NFA edge.
+type Transition struct {
+	Label string
+	To    int
+}
+
+// rawNFA is the Thompson-construction automaton with ε-transitions.
+type rawNFA struct {
+	trans []map[string][]int // label → targets; "" is ε
+}
+
+func (n *rawNFA) newState() int {
+	n.trans = append(n.trans, map[string][]int{})
+	return len(n.trans) - 1
+}
+
+func (n *rawNFA) add(from, to int, label string) {
+	n.trans[from][label] = append(n.trans[from][label], to)
+}
+
+// CompileNFA builds an ε-free NFA from a regular expression using the
+// Thompson construction followed by ε-closure elimination.
+func CompileNFA(r Regex) *NFA {
+	raw := &rawNFA{}
+	start := raw.newState()
+	accept := raw.newState()
+	buildThompson(raw, r, start, accept)
+
+	// ε-closures.
+	closure := make([][]int, len(raw.trans))
+	for s := range raw.trans {
+		seen := map[int]bool{s: true}
+		stack := []int{s}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range raw.trans[u][""] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		for v := range seen {
+			closure[s] = append(closure[s], v)
+		}
+	}
+
+	nfa := &NFA{
+		States:    len(raw.trans),
+		Start:     start,
+		Accepting: make([]bool, len(raw.trans)),
+		Trans:     make([][]Transition, len(raw.trans)),
+	}
+	for s := range raw.trans {
+		for _, u := range closure[s] {
+			if u == accept {
+				nfa.Accepting[s] = true
+			}
+		}
+	}
+	nfa.AcceptsEmpty = nfa.Accepting[start]
+	// Labelled transition s —x→ t exists when some u ∈ ε-closure(s) has a
+	// raw x-transition to t; the target keeps its own closure via the
+	// accepting marks and its own outgoing closure-expanded transitions.
+	for s := range raw.trans {
+		seen := map[Transition]bool{}
+		for _, u := range closure[s] {
+			for label, targets := range raw.trans[u] {
+				if label == "" {
+					continue
+				}
+				for _, t := range targets {
+					tr := Transition{Label: label, To: t}
+					if !seen[tr] {
+						seen[tr] = true
+						nfa.Trans[s] = append(nfa.Trans[s], tr)
+					}
+				}
+			}
+		}
+	}
+	return nfa
+}
+
+func buildThompson(n *rawNFA, r Regex, from, to int) {
+	switch x := r.(type) {
+	case Label:
+		n.add(from, to, x.Name)
+	case Concat:
+		mid := n.newState()
+		buildThompson(n, x.Left, from, mid)
+		buildThompson(n, x.Right, mid, to)
+	case Alt:
+		buildThompson(n, x.Left, from, to)
+		buildThompson(n, x.Right, from, to)
+	case Star:
+		mid := n.newState()
+		n.add(from, mid, "")
+		n.add(mid, to, "")
+		buildThompson(n, x.Inner, mid, mid)
+	case Plus:
+		mid := n.newState()
+		buildThompson(n, x.Inner, from, mid)
+		n.add(mid, to, "")
+		buildThompson(n, x.Inner, mid, mid)
+	case Opt:
+		n.add(from, to, "")
+		buildThompson(n, x.Inner, from, to)
+	default:
+		panic("rpq: unknown regex node")
+	}
+}
+
+// Accepts reports whether the NFA accepts the word (used in tests and as a
+// reference semantics).
+func (n *NFA) Accepts(word []string) bool {
+	cur := map[int]bool{n.Start: true}
+	for _, x := range word {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, tr := range n.Trans[s] {
+				if tr.Label == x {
+					next[tr.To] = true
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = next
+	}
+	for s := range cur {
+		if n.Accepting[s] {
+			return true
+		}
+	}
+	return false
+}

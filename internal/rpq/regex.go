@@ -1,0 +1,187 @@
+// Package rpq implements regular path queries (RPQs) — the
+// regular-language-constrained path querying the paper cites as the
+// established, less expressive sibling of CFPQ (Abiteboul & Vianu; Fan et
+// al.; Nolé & Sartiani; Reutter et al.).
+//
+// The package reduces an RPQ to a CFPQ: the query's regular expression is
+// compiled to an NFA, the NFA to a right-linear context-free grammar, and
+// the grammar is evaluated by the matrix closure engine. A direct
+// product-graph BFS evaluator is provided both as an alternative evaluation
+// strategy and as an independent correctness oracle.
+package rpq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Regex is the AST of a regular expression over edge labels.
+type Regex interface {
+	fmt.Stringer
+	isRegex()
+}
+
+// Label matches a single edge with the given label.
+type Label struct{ Name string }
+
+// Concat matches Left then Right.
+type Concat struct{ Left, Right Regex }
+
+// Alt matches Left or Right.
+type Alt struct{ Left, Right Regex }
+
+// Star matches zero or more repetitions.
+type Star struct{ Inner Regex }
+
+// Plus matches one or more repetitions.
+type Plus struct{ Inner Regex }
+
+// Opt matches zero or one occurrence.
+type Opt struct{ Inner Regex }
+
+func (Label) isRegex()  {}
+func (Concat) isRegex() {}
+func (Alt) isRegex()    {}
+func (Star) isRegex()   {}
+func (Plus) isRegex()   {}
+func (Opt) isRegex()    {}
+
+func (l Label) String() string  { return l.Name }
+func (c Concat) String() string { return fmt.Sprintf("(%s %s)", c.Left, c.Right) }
+func (a Alt) String() string    { return fmt.Sprintf("(%s | %s)", a.Left, a.Right) }
+func (s Star) String() string   { return fmt.Sprintf("%s*", s.Inner) }
+func (p Plus) String() string   { return fmt.Sprintf("%s+", p.Inner) }
+func (o Opt) String() string    { return fmt.Sprintf("%s?", o.Inner) }
+
+// ParseRegex parses the RPQ expression syntax:
+//
+//	subClassOf_r* type (a | b)+ c?
+//
+// Labels are identifiers (anything but whitespace and the metacharacters
+// `| ( ) * + ?`); juxtaposition is concatenation; postfix `*`, `+`, `?`
+// bind tighter than concatenation, which binds tighter than `|`.
+func ParseRegex(src string) (Regex, error) {
+	p := &regexParser{src: src}
+	r, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("rpq: unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return r, nil
+}
+
+// MustParseRegex is ParseRegex that panics on error.
+func MustParseRegex(src string) Regex {
+	r, err := ParseRegex(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type regexParser struct {
+	src string
+	pos int
+}
+
+func (p *regexParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *regexParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *regexParser) parseAlt() (Regex, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		right, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		left = Alt{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *regexParser) parseConcat() (Regex, error) {
+	var out Regex
+	for {
+		c := p.peek()
+		if c == 0 || c == '|' || c == ')' {
+			break
+		}
+		atom, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = atom
+		} else {
+			out = Concat{Left: out, Right: atom}
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("rpq: empty expression at offset %d", p.pos)
+	}
+	return out, nil
+}
+
+func (p *regexParser) parsePostfix() (Regex, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			atom = Star{Inner: atom}
+		case '+':
+			p.pos++
+			atom = Plus{Inner: atom}
+		case '?':
+			p.pos++
+			atom = Opt{Inner: atom}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+func (p *regexParser) parseAtom() (Regex, error) {
+	switch c := p.peek(); c {
+	case '(':
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("rpq: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case 0, ')', '|', '*', '+', '?':
+		return nil, fmt.Errorf("rpq: expected label or '(' at offset %d", p.pos)
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && !strings.ContainsRune(" \t|()*+?", rune(p.src[p.pos])) {
+			p.pos++
+		}
+		return Label{Name: p.src[start:p.pos]}, nil
+	}
+}

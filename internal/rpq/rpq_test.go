@@ -1,0 +1,211 @@
+package rpq
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+func TestParseRegex(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"a", "a"},
+		{"a b", "(a b)"},
+		{"a | b", "(a | b)"},
+		{"a b | c", "((a b) | c)"},
+		{"a*", "a*"},
+		{"a+ b?", "(a+ b?)"},
+		{"(a | b)* c", "((a | b)* c)"},
+		{"subClassOf_r* type", "(subClassOf_r* type)"},
+	}
+	for _, c := range cases {
+		r, err := ParseRegex(c.src)
+		if err != nil {
+			t.Fatalf("ParseRegex(%q): %v", c.src, err)
+		}
+		if got := r.String(); got != c.want {
+			t.Errorf("ParseRegex(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseRegexErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "(a", "a |", "*", "a )", "| a"} {
+		if _, err := ParseRegex(src); err == nil {
+			t.Errorf("ParseRegex(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestNFAAccepts(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{"a", []string{"a"}, []string{"", "b", "a a"}},
+		{"a*", []string{"", "a", "a a a"}, []string{"b", "a b"}},
+		{"a+", []string{"a", "a a"}, []string{"", "b"}},
+		{"a?", []string{"", "a"}, []string{"a a"}},
+		{"a b | c", []string{"a b", "c"}, []string{"a", "b", "a c"}},
+		{"(a | b)* c", []string{"c", "a c", "b a c"}, []string{"", "a", "c c a"}},
+	}
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Fields(s)
+	}
+	for _, c := range cases {
+		nfa := CompileNFA(MustParseRegex(c.expr))
+		for _, w := range c.yes {
+			if !nfa.Accepts(split(w)) {
+				t.Errorf("%q should accept %q", c.expr, w)
+			}
+		}
+		for _, w := range c.no {
+			if nfa.Accepts(split(w)) {
+				t.Errorf("%q should reject %q", c.expr, w)
+			}
+		}
+		if nfa.AcceptsEmpty != nfa.Accepts(nil) {
+			t.Errorf("%q: AcceptsEmpty inconsistent", c.expr)
+		}
+	}
+}
+
+func TestEvaluateChain(t *testing.T) {
+	g := graph.Chain(5, "a") // 0→1→2→3→4
+	pairs, err := EvaluateString(g, "a a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []matrix.Pair{{I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 4}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestEvaluateStar(t *testing.T) {
+	g := graph.Chain(4, "a")
+	pairs, err := EvaluateString(g, "a*", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without empty paths: all i<j pairs.
+	want := []matrix.Pair{
+		{I: 0, J: 1}, {I: 0, J: 2}, {I: 0, J: 3},
+		{I: 1, J: 2}, {I: 1, J: 3},
+		{I: 2, J: 3},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+	withEmpty, err := EvaluateString(g, "a*", Options{IncludeEmptyPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withEmpty) != len(want)+4 {
+		t.Errorf("with empty paths: %v", withEmpty)
+	}
+}
+
+func TestEvaluateEmptyLanguageAndEpsilonOnly(t *testing.T) {
+	g := graph.Chain(3, "a")
+	// `b` never matches on an a-chain.
+	pairs, err := EvaluateString(g, "b", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairs != nil {
+		t.Errorf("pairs = %v, want nil", pairs)
+	}
+	// `b?` matches only ε here.
+	pairs, err = EvaluateString(g, "b?", Options{IncludeEmptyPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []matrix.Pair{{I: 0, J: 0}, {I: 1, J: 1}, {I: 2, J: 2}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+func TestEvaluateOnCycle(t *testing.T) {
+	g := graph.Cycle(3, "a")
+	pairs, err := EvaluateString(g, "a a a", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three a-steps on a 3-cycle return to the start: exactly (v, v).
+	want := []matrix.Pair{{I: 0, J: 0}, {I: 1, J: 1}, {I: 2, J: 2}}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+}
+
+// TestCFPQReductionAgainstBFS is the headline property: the CFPQ reduction
+// and the product-graph BFS must agree on random graphs and a spread of
+// expressions, with and without empty paths, on every backend.
+func TestCFPQReductionAgainstBFS(t *testing.T) {
+	exprs := []string{
+		"a", "a b", "a | b", "a*", "a+", "a? b",
+		"(a | b)* c", "a (b a)* b", "(a a)+",
+		"subClassOf_r* subClassOf", "(a | b | c)+",
+	}
+	rng := rand.New(rand.NewSource(81))
+	labels := []string{"a", "b", "c", "subClassOf", "subClassOf_r"}
+	for trial := 0; trial < 6; trial++ {
+		n := 2 + rng.Intn(10)
+		g := graph.Random(rng, n, 3*n, labels)
+		for _, expr := range exprs {
+			r := MustParseRegex(expr)
+			for _, includeEmpty := range []bool{false, true} {
+				opts := Options{IncludeEmptyPaths: includeEmpty}
+				want := EvaluateBFS(g, r, opts)
+				for _, be := range matrix.Backends() {
+					opts.Backend = be
+					got, err := Evaluate(g, r, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d expr %q empty=%v backend %s:\ncfpq %v\nbfs  %v",
+							trial, expr, includeEmpty, be.Name(), got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGrammarReductionShape(t *testing.T) {
+	gram, start, nfa := Grammar(MustParseRegex("a* b"))
+	if !strings.HasPrefix(start, "Q") {
+		t.Errorf("start = %q", start)
+	}
+	if nfa.AcceptsEmpty {
+		t.Error("a* b does not accept ε")
+	}
+	// Right-linear shape: every production is x, or x Q.
+	for _, p := range gram.Productions {
+		switch len(p.Rhs) {
+		case 1:
+			if !p.Rhs[0].Terminal {
+				t.Errorf("unit non-terminal production %s", p)
+			}
+		case 2:
+			if !p.Rhs[0].Terminal || p.Rhs[1].Terminal {
+				t.Errorf("non-right-linear production %s", p)
+			}
+		default:
+			t.Errorf("production of length %d: %s", len(p.Rhs), p)
+		}
+	}
+}
