@@ -31,10 +31,33 @@
 // multiplication per grammar production per fixpoint pass. Four matrix
 // backends are provided (dense/sparse × serial/parallel); see Options.
 //
+// # Serving queries
+//
+// Beyond the one-shot library API, cmd/cfpqd serves CFPQs over HTTP: it
+// registers named graphs (N-Triples or edge-list documents) and grammars,
+// builds the closure index of each (graph, grammar, backend) combination
+// on first use, caches it for concurrent readers under a read-write lock
+// per index, and — when edges are added to a live graph — patches every
+// cached index with the incremental semi-naive delta closure instead of
+// recomputing from scratch. A typical session:
+//
+//	cfpqd -addr :8080 &
+//	curl -X PUT --data-binary @wine.nt 'localhost:8080/v1/graphs/wine?format=ntriples'
+//	curl -X PUT --data-binary 'S -> subClassOf_r S subClassOf | subClassOf_r subClassOf' \
+//	     localhost:8080/v1/grammars/samegen
+//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=count'
+//	curl -X POST -d '{"edges":[{"from":"a","label":"subClassOf","to":"b"}]}' \
+//	     localhost:8080/v1/graphs/wine/edges
+//	curl localhost:8080/v1/stats   # build vs incremental-update products
+//
+// The service itself lives in internal/server and can be embedded
+// in-process; cmd/cfpqd is a thin HTTP shell around it.
+//
 // Subpackages under internal/ implement the machinery: grammars and CNF
-// (internal/grammar), graphs and N-Triples (internal/graph), Boolean matrix
-// kernels (internal/matrix), the closure engine and path semantics
-// (internal/core), the Hellings and GLL baselines (internal/baseline), the
-// paper's evaluation datasets (internal/dataset) and the table harness
+// (internal/grammar), graphs, N-Triples and edge lists (internal/graph),
+// Boolean matrix kernels (internal/matrix), the closure engine and path
+// semantics (internal/core), the concurrent query service
+// (internal/server), the Hellings and GLL baselines (internal/baseline),
+// the paper's evaluation datasets (internal/dataset) and the table harness
 // (internal/bench).
 package cfpq

@@ -1,0 +1,3 @@
+module cfpq
+
+go 1.24

@@ -111,9 +111,17 @@ func (ix *Index) Equal(other *Index) bool {
 type Stats struct {
 	// Iterations is the number of outer fixpoint passes, including the
 	// final pass that made no change.
-	Iterations int
+	Iterations int `json:"iterations"`
 	// Products is the number of Boolean matrix multiplications performed.
-	Products int
+	Products int `json:"products"`
+}
+
+// Add accumulates another run's statistics, for callers (such as a serving
+// layer) that track total closure work across an initial build and any
+// number of incremental updates.
+func (s *Stats) Add(o Stats) {
+	s.Iterations += o.Iterations
+	s.Products += o.Products
 }
 
 // Engine evaluates CFPQs by matrix multiplication.

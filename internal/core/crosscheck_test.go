@@ -56,8 +56,10 @@ func TestMatrixEngineAgreesWithOracles(t *testing.T) {
 	}
 }
 
-// TestRandomCNFGrammarsAgainstHellings drives the engine with fully random
-// CNF grammars (not just hand-picked ones) against the worklist oracle.
+// TestRandomCNFGrammarsAgainstHellings drives every matrix backend with
+// fully random CNF grammars (not just hand-picked ones) on random graphs
+// against the worklist oracle: all four backends must produce exactly the
+// relations Hellings computes, for every non-terminal.
 func TestRandomCNFGrammarsAgainstHellings(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	cfg := grammar.RandomConfig{
@@ -79,16 +81,58 @@ func TestRandomCNFGrammarsAgainstHellings(t *testing.T) {
 		n := 2 + rng.Intn(8)
 		g := graph.Random(rng, n, 3*n, gram.Terminals())
 		oracle := baseline.Hellings(g, cnf)
-		ix, _ := NewEngine().Run(g, cnf)
-		for a := 0; a < cnf.NonterminalCount(); a++ {
-			nt := cnf.Names[a]
-			got, want := ix.Relation(nt), oracle[nt]
-			if len(got) == 0 && len(want) == 0 {
-				continue
+		for _, be := range matrix.Backends() {
+			ix, _ := NewEngine(WithBackend(be)).Run(g, cnf)
+			for a := 0; a < cnf.NonterminalCount(); a++ {
+				nt := cnf.Names[a]
+				got, want := ix.Relation(nt), oracle[nt]
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d backend %s: R_%s = %v, want %v\ngrammar:\n%s",
+						trial, be.Name(), nt, got, want, gram)
+				}
 			}
-			if !reflect.DeepEqual(got, want) {
-				t.Fatalf("trial %d: R_%s = %v, want %v\ngrammar:\n%s",
-					trial, nt, got, want, gram)
+		}
+	}
+}
+
+// TestRandomGrammarsIncrementalAgreement checks the dynamic path on random
+// inputs: withhold a slice of a random graph's edges, close the rest, then
+// feed the withheld edges through Engine.Update — the patched index must
+// equal a cold closure of the full graph, on every backend.
+func TestRandomGrammarsIncrementalAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cfg := grammar.DefaultRandomConfig()
+	for trial := 0; trial < 12; trial++ {
+		gram := grammar.RandomGrammar(rng, cfg)
+		cnf, err := grammar.ToCNF(gram)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnf.NonterminalCount() == 0 {
+			continue
+		}
+		n := 3 + rng.Intn(8)
+		full := graph.Random(rng, n, 4*n, gram.Terminals())
+		edges := full.Edges()
+		hold := 1 + rng.Intn(3)
+		if hold > len(edges) {
+			hold = len(edges)
+		}
+		partial := graph.New(full.Nodes())
+		for _, e := range edges[:len(edges)-hold] {
+			partial.AddEdge(e.From, e.Label, e.To)
+		}
+		for _, be := range matrix.Backends() {
+			e := NewEngine(WithBackend(be))
+			ix, _ := e.Run(partial, cnf)
+			e.Update(ix, edges[len(edges)-hold:]...)
+			want, _ := NewEngine(WithBackend(be)).Run(full, cnf)
+			if !ix.Equal(want) {
+				t.Fatalf("trial %d backend %s: incremental update disagrees with cold closure\ngrammar:\n%s",
+					trial, be.Name(), gram)
 			}
 		}
 	}

@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	src := `
+# a comment
+alice	knows	bob
+bob knows carol
+carol	likes	alice
+`
+	g, ids, err := LoadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nodes() != 3 || g.EdgeCount() != 3 {
+		t.Fatalf("got %v, want 3 nodes / 3 edges", g)
+	}
+	want := map[string]int{"alice": 0, "bob": 1, "carol": 2}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	if !g.HasEdge(ids["alice"], "knows", ids["bob"]) ||
+		!g.HasEdge(ids["bob"], "knows", ids["carol"]) ||
+		!g.HasEdge(ids["carol"], "likes", ids["alice"]) {
+		t.Fatalf("edges missing: %v", g.Edges())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for _, src := range []string{"a b", "a b c d", "only-one-field"} {
+		if _, _, err := LoadEdgeList(strings.NewReader(src)); err == nil {
+			t.Errorf("LoadEdgeList(%q): expected error", src)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	src := "x a y\ny a z\nz b x\n"
+	g, ids, err := LoadEdgeList(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g, NodeNames(g.Nodes(), ids)); err != nil {
+		t.Fatal(err)
+	}
+	g2, ids2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, ids2) {
+		t.Fatalf("name maps differ after round trip: %v vs %v", ids, ids2)
+	}
+	if g.Nodes() != g2.Nodes() || g.EdgeCount() != g2.EdgeCount() {
+		t.Fatalf("graphs differ after round trip: %v vs %v", g, g2)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e.From, e.Label, e.To) {
+			t.Fatalf("round trip lost edge %v", e)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Handler exposes a Service over HTTP/JSON. Routes (all responses JSON):
+//
+//	GET  /v1/graphs                      list graphs
+//	PUT  /v1/graphs/{name}               load a graph; body is the document,
+//	                                     ?format=ntriples (default) or edgelist
+//	GET  /v1/graphs/{name}               one graph's info
+//	POST /v1/graphs/{name}/edges         add edges: {"edges":[{"from":..,"label":..,"to":..}]}
+//	GET  /v1/grammars                    list grammars
+//	PUT  /v1/grammars/{name}             register a grammar; body is grammar text
+//	GET  /v1/query                       evaluate: ?graph=&grammar=&nonterminal=&op=&backend=&from=&to=
+//	                                     op is has | relation | count | counts (default relation)
+//	GET  /v1/stats                       per-index closure statistics
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
+	})
+	mux.HandleFunc("GET /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		for _, gi := range s.Graphs() {
+			if gi.Name == name {
+				writeJSON(w, http.StatusOK, gi)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown graph %q", name))
+	})
+	mux.HandleFunc("PUT /v1/graphs/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		format := r.URL.Query().Get("format")
+		st, err := s.LoadGraph(name, format, http.MaxBytesReader(w, r.Body, maxDocumentBytes))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"name": name, "nodes": st.Nodes, "edges": st.Edges, "labels": st.Labels,
+		})
+	})
+	mux.HandleFunc("POST /v1/graphs/{name}/edges", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Edges []EdgeSpec `json:"edges"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDocumentBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding edges: %w", err))
+			return
+		}
+		if len(req.Edges) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("no edges in request"))
+			return
+		}
+		res, err := s.AddEdges(r.PathValue("name"), req.Edges)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+	mux.HandleFunc("GET /v1/grammars", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"grammars": s.Grammars()})
+	})
+	mux.HandleFunc("PUT /v1/grammars/{name}", func(w http.ResponseWriter, r *http.Request) {
+		text, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxDocumentBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		name := r.PathValue("name")
+		if err := s.RegisterGrammar(name, string(text)); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		gi, err := s.GrammarInfoFor(name)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, gi)
+	})
+	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		t := Target{Graph: q.Get("graph"), Grammar: q.Get("grammar"), Backend: q.Get("backend")}
+		nt := q.Get("nonterminal")
+		op := q.Get("op")
+		if op == "" {
+			op = "relation"
+		}
+		if t.Graph == "" || t.Grammar == "" {
+			writeError(w, http.StatusBadRequest, errors.New("graph and grammar are required"))
+			return
+		}
+		if op != "counts" && nt == "" {
+			writeError(w, http.StatusBadRequest, errors.New("nonterminal is required"))
+			return
+		}
+		switch op {
+		case "has":
+			from, to := q.Get("from"), q.Get("to")
+			if from == "" || to == "" {
+				writeError(w, http.StatusBadRequest, errors.New("op=has requires from and to"))
+				return
+			}
+			ok, err := s.Has(t, nt, from, to)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"has": ok, "from": from, "to": to, "nonterminal": nt})
+		case "relation":
+			pairs, err := s.Relation(t, nt)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": len(pairs), "pairs": pairs})
+		case "count":
+			n, err := s.Count(t, nt)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": n})
+		case "counts":
+			counts, err := s.Counts(t)
+			if err != nil {
+				writeError(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, map[string]any{"counts": counts})
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown op %q (want has, relation, count or counts)", op))
+		}
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"indexes": s.Stats()})
+	})
+	return mux
+}
+
+// maxDocumentBytes bounds uploaded graph/grammar documents and edge
+// batches (64 MiB).
+const maxDocumentBytes = 64 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusFor maps service errors to HTTP statuses: lookups of unregistered
+// names are 404, everything else a client error.
+func statusFor(err error) int {
+	if errors.Is(err, ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"cfpq/internal/core"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// TestConcurrentQueriesDuringUpdates races many readers (Has, Count,
+// Relation, Counts — all answering under the per-index read lock) against
+// writers streaming edge updates into the same cached indexes. Run under
+// `go test -race`; afterwards every index must equal a from-scratch
+// closure of the final graph, and the accumulated incremental work must be
+// cheaper than one cold closure per update would have been.
+func TestConcurrentQueriesDuringUpdates(t *testing.T) {
+	const (
+		k       = 16 // word a^k b^(k-1) plus spare trailing nodes
+		writers = 2
+		readers = 6
+		batches = 8 // edge batches per writer
+	)
+	word := make([]string, 0, 2*k-1)
+	for i := 0; i < k; i++ {
+		word = append(word, "a")
+	}
+	for i := 0; i < k-1; i++ {
+		word = append(word, "b")
+	}
+	g := graph.Word(word)
+	// Room for every b-edge the writers will append: b^(k-1) grows toward
+	// b^(k-1+writers*batches), pairing with the leading a's.
+	g.EnsureNode(2*k - 1 + writers*batches)
+	s := New()
+	if err := s.RegisterGraph("word", g, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterGrammar("anbn", anbnGrammar); err != nil {
+		t.Fatal(err)
+	}
+	backends := []string{"sparse", "dense-parallel"}
+	targets := make([]Target, len(backends))
+	for i, be := range backends {
+		targets[i] = Target{Graph: "word", Grammar: "anbn", Backend: be}
+		if _, err := s.Count(targets[i], "S"); err != nil { // warm the caches
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	start := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for b := 0; b < batches; b++ {
+				// Writers interleave appending b-edges past the end of
+				// the initial word (whose last node is 2k-1), each writer
+				// taking every writers-th slot.
+				at := 2*k - 1 + writers*b + w
+				spec := EdgeSpec{From: fmt.Sprint(at), Label: "b", To: fmt.Sprint(at + 1)}
+				if _, err := s.AddEdges("word", []EdgeSpec{spec}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			tgt := targets[r%len(targets)]
+			for i := 0; i < 40; i++ {
+				switch i % 4 {
+				case 0:
+					if _, err := s.Has(tgt, "S", "0", fmt.Sprint(2*k)); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					if _, err := s.Count(tgt, "S"); err != nil {
+						errs <- err
+						return
+					}
+				case 2:
+					if _, err := s.Relation(tgt, "S"); err != nil {
+						errs <- err
+						return
+					}
+				case 3:
+					if _, err := s.Counts(tgt); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every cached index must now agree with a cold closure of the final
+	// graph — the interleaved updates lost nothing.
+	finalWord := make([]string, 0, 2*k)
+	for i := 0; i < k; i++ {
+		finalWord = append(finalWord, "a")
+	}
+	for i := 0; i < k-1+writers*batches; i++ {
+		finalWord = append(finalWord, "b")
+	}
+	gFinal := graph.Word(finalWord)
+	cnf := mustCNF(t, anbnGrammar)
+	coldIx, coldStats := core.NewEngine(core.WithBackend(matrix.Sparse())).Run(gFinal, cnf)
+	wantCount := coldIx.Count("S")
+	if wantCount <= k-1 {
+		t.Fatalf("test is vacuous: updates added no pairs (count %d)", wantCount)
+	}
+	totalUpdates := 0
+	for _, tgt := range targets {
+		if n, err := s.Count(tgt, "S"); err != nil || n != wantCount {
+			t.Fatalf("backend %s: post-race Count = %d, %v; want %d", tgt.Backend, n, err, wantCount)
+		}
+		st, ok := s.IndexStatsFor(tgt)
+		if !ok {
+			t.Fatalf("backend %s: index stats missing", tgt.Backend)
+		}
+		if st.Updates == 0 {
+			t.Fatalf("backend %s: no incremental updates recorded", tgt.Backend)
+		}
+		totalUpdates += st.Update.Products
+		// The incremental stream must beat the alternative it replaces:
+		// recomputing the closure from scratch on every edge update.
+		if st.Update.Products >= coldStats.Products*st.Updates {
+			t.Fatalf("backend %s: %d update products across %d updates; recomputing cold each time is %d — the incremental path must be cheaper",
+				tgt.Backend, st.Update.Products, st.Updates, coldStats.Products*st.Updates)
+		}
+	}
+	t.Logf("update products across backends %d; one cold closure = %d products", totalUpdates, coldStats.Products)
+}

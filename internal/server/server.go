@@ -1,0 +1,712 @@
+// Package server turns the batch CFPQ library into an in-process query
+// service: a registry of named graphs and grammars, closure indexes built
+// lazily and cached per (graph, grammar, backend), concurrent reads under
+// an RWMutex per index, and an edge-update path that patches every cached
+// index with the incremental (semi-naive delta) closure instead of
+// recomputing from scratch.
+//
+// Concurrency design. Three locks with a fixed nesting order:
+//
+//   - Service.mu (plain Mutex) guards only registry map membership. It is
+//     never held while acquiring an entry lock.
+//   - indexEntry.mu (RWMutex) guards one cached index and its statistics;
+//     queries hold the read lock, builds and incremental updates the write
+//     lock, so any number of readers proceed in parallel and block only
+//     while "their" index is being patched.
+//   - graphEntry.mu (RWMutex) guards one graph's edge set and name table.
+//     It MAY be acquired while holding an indexEntry.mu (the build path
+//     and name rendering do), NEVER the other way around.
+//
+// A query registers its index entry in the cache *before* reading the
+// graph, and AddEdges snapshots the cache *after* mutating the graph; the
+// two orderings together guarantee every cached index either saw the new
+// edges when it was built or is patched by the update — no lost updates.
+// Updates whose edges grow the node set cannot be patched into fixed-size
+// matrices; those indexes are invalidated and rebuilt on next use.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"cfpq/internal/core"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// ErrNotFound marks lookups of unregistered names — graphs, grammars,
+// non-terminals, nodes. The HTTP layer maps it to 404; every other
+// service error is a client error.
+var ErrNotFound = errors.New("not found")
+
+// notFoundf builds an error wrapping ErrNotFound.
+func notFoundf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrNotFound)
+}
+
+// Service is a concurrent CFPQ query service over named graphs and
+// grammars. The zero value is not usable; call New.
+type Service struct {
+	mu       sync.Mutex
+	graphs   map[string]*graphEntry
+	grammars map[string]*grammarEntry
+	indexes  map[IndexKey]*indexEntry
+}
+
+// New returns an empty service.
+func New() *Service {
+	return &Service{
+		graphs:   map[string]*graphEntry{},
+		grammars: map[string]*grammarEntry{},
+		indexes:  map[IndexKey]*indexEntry{},
+	}
+}
+
+type graphEntry struct {
+	mu      sync.RWMutex
+	g       *graph.Graph
+	names   map[string]int // node name → id; may be empty for id-only graphs
+	byID    []string       // node id → name, grown lazily with names
+	version int            // bumped on every successful mutation
+}
+
+type grammarEntry struct {
+	gram *grammar.Grammar
+	cnf  *grammar.CNF
+	src  string
+}
+
+// IndexKey identifies one cached closure index.
+type IndexKey struct {
+	Graph   string
+	Grammar string
+	Backend string
+}
+
+type indexEntry struct {
+	mu      sync.RWMutex
+	key     IndexKey
+	ge      *graphEntry // the graph the index is (being) built from
+	engine  *core.Engine
+	built   bool
+	stale   bool // invalidated (node growth); left out of the cache map
+	ix      *core.Index
+	build   core.Stats   // the initial closure
+	update  core.Stats   // accumulated incremental updates
+	updates int          // number of successful incremental patches
+	queries atomic.Int64 // queries answered from this index
+}
+
+// BackendByName resolves one of the four paper backends by its Name().
+func BackendByName(name string) (matrix.Backend, error) {
+	for _, be := range matrix.Backends() {
+		if be.Name() == name {
+			return be, nil
+		}
+	}
+	return nil, fmt.Errorf("server: unknown backend %q (want dense, dense-parallel, sparse or sparse-parallel)", name)
+}
+
+// DefaultBackend is used when a query names no backend.
+const DefaultBackend = "sparse"
+
+// --- registration -----------------------------------------------------
+
+// RegisterGraph installs (or replaces) a named graph. names maps node
+// names to ids and may be nil for graphs addressed by numeric id only.
+// Replacing a graph drops every cached index built on it.
+func (s *Service) RegisterGraph(name string, g *graph.Graph, names map[string]int) error {
+	if name == "" {
+		return fmt.Errorf("server: empty graph name")
+	}
+	if g == nil {
+		return fmt.Errorf("server: nil graph")
+	}
+	if names == nil {
+		names = map[string]int{}
+	}
+	for n, id := range names {
+		if id < 0 || id >= g.Nodes() {
+			// An out-of-range mapping would silently grow the graph on
+			// the first AddEdges through it and desynchronise the
+			// id→name table; reject it up front.
+			return fmt.Errorf("server: name %q maps to node %d, outside [0,%d)", n, id, g.Nodes())
+		}
+	}
+	ge := &graphEntry{g: g, names: names, byID: invertNames(g.Nodes(), names)}
+	s.mu.Lock()
+	s.graphs[name] = ge
+	dropped := s.removeIndexesLocked(func(k IndexKey) bool { return k.Graph == name })
+	s.mu.Unlock()
+	markStale(dropped)
+	return nil
+}
+
+// GraphFormats lists the formats LoadGraph accepts.
+var GraphFormats = []string{"ntriples", "edgelist"}
+
+// LoadGraph reads a graph document in the given format ("ntriples", with
+// the paper's inverse-edge expansion, or "edgelist") and registers it.
+func (s *Service) LoadGraph(name, format string, r io.Reader) (graph.Stats, error) {
+	var (
+		g   *graph.Graph
+		ids map[string]int
+		err error
+	)
+	switch format {
+	case "ntriples", "nt", "":
+		g, ids, err = graph.LoadNTriples(r)
+	case "edgelist", "edges":
+		g, ids, err = graph.LoadEdgeList(r)
+	default:
+		return graph.Stats{}, fmt.Errorf("server: unknown graph format %q (want ntriples or edgelist)", format)
+	}
+	if err != nil {
+		return graph.Stats{}, err
+	}
+	if err := s.RegisterGraph(name, g, ids); err != nil {
+		return graph.Stats{}, err
+	}
+	return g.Stats(), nil
+}
+
+// RegisterGrammar parses and installs (or replaces) a named grammar. The
+// CNF conversion happens eagerly so malformed grammars are rejected at
+// registration time, not at first query. Replacing a grammar drops every
+// cached index built on it.
+func (s *Service) RegisterGrammar(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("server: empty grammar name")
+	}
+	gram, err := grammar.ParseString(text)
+	if err != nil {
+		return err
+	}
+	cnf, err := grammar.ToCNF(gram)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.grammars[name] = &grammarEntry{gram: gram, cnf: cnf, src: text}
+	dropped := s.removeIndexesLocked(func(k IndexKey) bool { return k.Grammar == name })
+	s.mu.Unlock()
+	markStale(dropped)
+	return nil
+}
+
+// removeIndexesLocked deletes matching cache entries from the map and
+// returns them; callers hold s.mu. Taking each entry's own lock happens
+// in markStale AFTER s.mu is released: an entry mid-build holds its lock
+// for the whole closure, and stalling every registry operation behind one
+// build would freeze the service. In-flight queries on a dropped entry
+// finish against the old data.
+func (s *Service) removeIndexesLocked(match func(IndexKey) bool) []*indexEntry {
+	var dropped []*indexEntry
+	for k, e := range s.indexes {
+		if match(k) {
+			delete(s.indexes, k)
+			dropped = append(dropped, e)
+		}
+	}
+	return dropped
+}
+
+// markStale flags removed entries so a racing AddEdges that captured them
+// before the removal skips patching them.
+func markStale(dropped []*indexEntry) {
+	for _, e := range dropped {
+		e.mu.Lock()
+		e.stale = true
+		e.mu.Unlock()
+	}
+}
+
+// --- listings ---------------------------------------------------------
+
+// GraphInfo describes one registered graph.
+type GraphInfo struct {
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Labels  int    `json:"labels"`
+	Version int    `json:"version"`
+}
+
+// Graphs lists registered graphs, sorted by name.
+func (s *Service) Graphs() []GraphInfo {
+	s.mu.Lock()
+	entries := make(map[string]*graphEntry, len(s.graphs))
+	for n, e := range s.graphs {
+		entries[n] = e
+	}
+	s.mu.Unlock()
+	out := make([]GraphInfo, 0, len(entries))
+	for n, e := range entries {
+		e.mu.RLock()
+		st := e.g.Stats()
+		out = append(out, GraphInfo{Name: n, Nodes: st.Nodes, Edges: st.Edges, Labels: st.Labels, Version: e.version})
+		e.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GrammarInfo describes one registered grammar.
+type GrammarInfo struct {
+	Name         string   `json:"name"`
+	Nonterminals []string `json:"nonterminals"`
+	Source       string   `json:"source,omitempty"`
+}
+
+// Grammars lists registered grammars, sorted by name.
+func (s *Service) Grammars() []GrammarInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GrammarInfo, 0, len(s.grammars))
+	for n, e := range s.grammars {
+		out = append(out, GrammarInfo{Name: n, Nonterminals: e.gram.Nonterminals(), Source: e.src})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// GrammarInfoFor returns one registered grammar's info.
+func (s *Service) GrammarInfoFor(name string) (GrammarInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.grammars[name]
+	if e == nil {
+		return GrammarInfo{}, notFoundf("server: unknown grammar %q", name)
+	}
+	return GrammarInfo{Name: name, Nonterminals: e.gram.Nonterminals(), Source: e.src}, nil
+}
+
+// --- queries ----------------------------------------------------------
+
+// Target names the (graph, grammar, backend) triple a query runs against.
+// An empty Backend means DefaultBackend.
+type Target struct {
+	Graph   string `json:"graph"`
+	Grammar string `json:"grammar"`
+	Backend string `json:"backend,omitempty"`
+}
+
+func (t Target) key() IndexKey {
+	be := t.Backend
+	if be == "" {
+		be = DefaultBackend
+	}
+	return IndexKey{Graph: t.Graph, Grammar: t.Grammar, Backend: be}
+}
+
+// index returns the cached (building if necessary) closure index for the
+// target, leaving entry.mu read-locked on success; the caller must
+// RUnlock. Answering under the read lock is what lets many queries share
+// an index while updates wait.
+func (s *Service) index(t Target) (*indexEntry, error) {
+	key := t.key()
+	be, err := BackendByName(key.Backend)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ge := s.graphs[key.Graph]
+	re := s.grammars[key.Grammar]
+	if ge == nil || re == nil {
+		s.mu.Unlock()
+		if ge == nil {
+			return nil, notFoundf("server: unknown graph %q", key.Graph)
+		}
+		return nil, notFoundf("server: unknown grammar %q", key.Grammar)
+	}
+	// Register the entry before reading the graph (see package comment:
+	// this ordering, with AddEdges snapshotting after mutation, excludes
+	// lost updates).
+	e := s.indexes[key]
+	if e == nil {
+		e = &indexEntry{key: key, ge: ge, engine: core.NewEngine(core.WithBackend(be))}
+		s.indexes[key] = e
+	}
+	s.mu.Unlock()
+
+	e.mu.RLock()
+	if e.built {
+		return e, nil
+	}
+	e.mu.RUnlock()
+
+	e.mu.Lock()
+	if !e.built {
+		ge.mu.RLock()
+		ix := e.engine.Init(ge.g, re.cnf)
+		ge.mu.RUnlock()
+		// The fixpoint reads only the index, so the graph lock is not
+		// held across the (potentially long) closure. An AddEdges racing
+		// this build either sees built=false and skips — in which case
+		// its mutation finished before our Init and the edges are in the
+		// snapshot we closed over — or serialises behind us on e.mu and
+		// patches the finished index (re-applying edges the build saw is
+		// a no-op: Update seeds only bits that are not already present).
+		e.build = e.engine.Close(ix)
+		e.ix = ix
+		e.built = true
+	}
+	e.mu.Unlock()
+
+	e.mu.RLock()
+	if !e.built || e.ix == nil {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("server: index %v disappeared during build", key)
+	}
+	return e, nil
+}
+
+// resolveNode maps a node name (or decimal id, for graphs without a name
+// table entry) to its id. Callers hold the graph entry's lock.
+func (ge *graphEntry) resolveNode(tok string) (int, error) {
+	if id, ok := ge.names[tok]; ok {
+		return id, nil
+	}
+	if id, err := strconv.Atoi(tok); err == nil {
+		if id < 0 || id >= ge.g.Nodes() {
+			return 0, fmt.Errorf("server: node id %d out of range [0,%d)", id, ge.g.Nodes())
+		}
+		return id, nil
+	}
+	return 0, notFoundf("server: unknown node %q", tok)
+}
+
+// nodeName renders a node id through the graph's name table, falling back
+// to the decimal id. Callers hold the graph entry's lock.
+func (ge *graphEntry) nodeName(id int) string {
+	if id < len(ge.byID) && ge.byID[id] != "" {
+		return ge.byID[id]
+	}
+	return strconv.Itoa(id)
+}
+
+func invertNames(n int, names map[string]int) []string {
+	byID := make([]string, n)
+	for name, id := range names {
+		if id >= 0 && id < n {
+			byID[id] = name
+		}
+	}
+	return byID
+}
+
+func (s *Service) graphEntry(name string) (*graphEntry, error) {
+	s.mu.Lock()
+	ge := s.graphs[name]
+	s.mu.Unlock()
+	if ge == nil {
+		return nil, notFoundf("server: unknown graph %q", name)
+	}
+	return ge, nil
+}
+
+// Has reports whether (from, to) is in R_nt on the target. from and to are
+// node names (or decimal ids).
+func (s *Service) Has(t Target, nt, from, to string) (bool, error) {
+	e, err := s.index(t)
+	if err != nil {
+		return false, err
+	}
+	defer e.mu.RUnlock()
+	e.queries.Add(1)
+	// Names resolve through e.ge — the graph the index was built from —
+	// not a fresh registry lookup: a racing graph replacement under the
+	// same name is a different node-id namespace.
+	e.ge.mu.RLock()
+	i, errI := e.ge.resolveNode(from)
+	j, errJ := e.ge.resolveNode(to)
+	e.ge.mu.RUnlock()
+	if errI != nil {
+		return false, errI
+	}
+	if errJ != nil {
+		return false, errJ
+	}
+	if _, ok := e.ix.CNF().Index(nt); !ok {
+		return false, notFoundf("server: unknown non-terminal %q", nt)
+	}
+	if i >= e.ix.Nodes() || j >= e.ix.Nodes() {
+		// Nodes added after this index was built (stale in-flight read).
+		return false, nil
+	}
+	return e.ix.Has(nt, i, j), nil
+}
+
+// NamedPair is one relation element with node names resolved.
+type NamedPair struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Relation returns R_nt on the target as (from, to) node-name pairs in
+// row-major node order. Names come from the graph the index was built
+// from (see Has).
+func (s *Service) Relation(t Target, nt string) ([]NamedPair, error) {
+	e, err := s.index(t)
+	if err != nil {
+		return nil, err
+	}
+	e.queries.Add(1)
+	if _, ok := e.ix.CNF().Index(nt); !ok {
+		e.mu.RUnlock()
+		return nil, notFoundf("server: unknown non-terminal %q", nt)
+	}
+	pairs := e.ix.Relation(nt)
+	ge := e.ge
+	e.mu.RUnlock()
+	out := make([]NamedPair, len(pairs))
+	ge.mu.RLock()
+	for k, p := range pairs {
+		out[k] = NamedPair{From: ge.nodeName(p.I), To: ge.nodeName(p.J)}
+	}
+	ge.mu.RUnlock()
+	return out, nil
+}
+
+// Count returns |R_nt| on the target.
+func (s *Service) Count(t Target, nt string) (int, error) {
+	e, err := s.index(t)
+	if err != nil {
+		return 0, err
+	}
+	defer e.mu.RUnlock()
+	e.queries.Add(1)
+	if _, ok := e.ix.CNF().Index(nt); !ok {
+		return 0, notFoundf("server: unknown non-terminal %q", nt)
+	}
+	return e.ix.Count(nt), nil
+}
+
+// Counts returns |R_A| for every non-terminal A of the target's grammar.
+func (s *Service) Counts(t Target) (map[string]int, error) {
+	e, err := s.index(t)
+	if err != nil {
+		return nil, err
+	}
+	defer e.mu.RUnlock()
+	e.queries.Add(1)
+	return e.ix.Counts(), nil
+}
+
+// --- mutation ---------------------------------------------------------
+
+// EdgeSpec is one edge addressed by node names (or decimal ids). Unknown
+// names are interned as new nodes, growing the graph.
+type EdgeSpec struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// UpdateResult reports what an AddEdges call did.
+type UpdateResult struct {
+	// Added is the number of edges inserted into the graph.
+	Added int `json:"added"`
+	// NewNodes is the number of nodes interned by this update.
+	NewNodes int `json:"new_nodes"`
+	// Patched counts cached indexes brought up to date incrementally.
+	Patched int `json:"patched"`
+	// Invalidated counts cached indexes dropped because the update grew
+	// the node set past their matrix dimension; they rebuild on next use.
+	Invalidated int `json:"invalidated"`
+	// UpdateStats accumulates the incremental closure work across all
+	// patched indexes.
+	UpdateStats core.Stats `json:"update_stats"`
+}
+
+// AddEdges inserts edges into the named graph and brings every cached
+// index on that graph up to date: indexes whose node range still covers
+// the graph are patched with the incremental delta closure
+// (core.Engine.Update); indexes outgrown by new nodes are invalidated.
+func (s *Service) AddEdges(graphName string, specs []EdgeSpec) (UpdateResult, error) {
+	var res UpdateResult
+	ge, err := s.graphEntry(graphName)
+	if err != nil {
+		return res, err
+	}
+
+	// Phase 1: mutate the graph. The whole batch is validated before the
+	// first mutation so a bad spec cannot leave the graph half-updated
+	// (and cached indexes permanently out of sync with it).
+	ge.mu.Lock()
+	for _, spec := range specs {
+		if spec.Label == "" {
+			ge.mu.Unlock()
+			return UpdateResult{}, fmt.Errorf("server: edge %v has empty label", spec)
+		}
+		for _, tok := range []string{spec.From, spec.To} {
+			if _, err := ge.resolveNode(tok); err == nil {
+				continue
+			}
+			if _, err := strconv.Atoi(tok); err == nil {
+				// A numeric token resolveNode rejected is an
+				// out-of-range id, not a new node name.
+				ge.mu.Unlock()
+				return UpdateResult{}, fmt.Errorf("server: node id %s out of range [0,%d)", tok, ge.g.Nodes())
+			}
+			// A non-numeric unknown token interns as a new node below.
+		}
+	}
+	before := ge.g.Nodes()
+	edges := make([]graph.Edge, 0, len(specs))
+	intern := func(tok string) int {
+		if id, err := ge.resolveNode(tok); err == nil {
+			return id
+		}
+		id := ge.g.Nodes()
+		ge.g.EnsureNode(id)
+		ge.names[tok] = id
+		ge.byID = append(ge.byID, tok)
+		return id
+	}
+	maxNode := -1
+	for _, spec := range specs {
+		from, to := intern(spec.From), intern(spec.To)
+		ge.g.AddEdge(from, spec.Label, to)
+		edges = append(edges, graph.Edge{From: from, Label: spec.Label, To: to})
+		if from > maxNode {
+			maxNode = from
+		}
+		if to > maxNode {
+			maxNode = to
+		}
+	}
+	ge.version++
+	nodes := ge.g.Nodes()
+	ge.mu.Unlock()
+	res.Added = len(edges)
+	res.NewNodes = nodes - before
+
+	// Phase 2: snapshot the cache after the mutation (the ordering that,
+	// paired with index() registering entries before reading the graph,
+	// excludes lost updates) and patch or invalidate each index. Updates
+	// racing on the same index serialise on e.mu in either order: Update
+	// only ever adds bits and re-applying present edges is a no-op, so the
+	// closure is confluent.
+	s.mu.Lock()
+	var entries []*indexEntry
+	for k, e := range s.indexes {
+		if k.Graph == graphName && e.ge == ge {
+			// The identity check skips entries built on a replacement
+			// graph registered under the same name while this call was
+			// mutating the old one: their node ids are a different
+			// namespace and our edges must not be patched into them.
+			entries = append(entries, e)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, e := range entries {
+		e.mu.Lock()
+		switch {
+		case e.stale || !e.built:
+			// Unbuilt entries will read the post-mutation graph when
+			// they build; stale ones are already off the cache.
+		case maxNode >= e.ix.Nodes():
+			e.stale = true
+			res.Invalidated++
+		default:
+			st := e.engine.Update(e.ix, edges...)
+			e.update.Add(st)
+			e.updates++
+			res.UpdateStats.Add(st)
+			res.Patched++
+		}
+		stale := e.stale
+		key := e.key
+		e.mu.Unlock()
+		if stale {
+			s.mu.Lock()
+			if s.indexes[key] == e {
+				delete(s.indexes, key)
+			}
+			s.mu.Unlock()
+		}
+	}
+	return res, nil
+}
+
+// --- statistics -------------------------------------------------------
+
+// IndexStats describes one cached closure index.
+type IndexStats struct {
+	Graph   string `json:"graph"`
+	Grammar string `json:"grammar"`
+	Backend string `json:"backend"`
+	Nodes   int    `json:"nodes"`
+	// Entries is the total number of set bits across the index's
+	// relation matrices.
+	Entries int `json:"entries"`
+	// Build is the closure work of the initial full fixpoint.
+	Build core.Stats `json:"build"`
+	// Update accumulates the incremental closure work of every edge
+	// update patched into this index since it was built.
+	Update  core.Stats `json:"update"`
+	Updates int        `json:"updates"`
+	Queries int64      `json:"queries"`
+}
+
+// Stats reports every cached index, sorted by (graph, grammar, backend).
+func (s *Service) Stats() []IndexStats {
+	s.mu.Lock()
+	entries := make([]*indexEntry, 0, len(s.indexes))
+	for _, e := range s.indexes {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	out := make([]IndexStats, 0, len(entries))
+	for _, e := range entries {
+		e.mu.RLock()
+		if e.built {
+			entries := 0
+			for _, c := range e.ix.Counts() {
+				entries += c
+			}
+			out = append(out, IndexStats{
+				Graph:   e.key.Graph,
+				Grammar: e.key.Grammar,
+				Backend: e.key.Backend,
+				Nodes:   e.ix.Nodes(),
+				Entries: entries,
+				Build:   e.build,
+				Update:  e.update,
+				Updates: e.updates,
+				Queries: e.queries.Load(),
+			})
+		}
+		e.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Graph != b.Graph {
+			return a.Graph < b.Graph
+		}
+		if a.Grammar != b.Grammar {
+			return a.Grammar < b.Grammar
+		}
+		return a.Backend < b.Backend
+	})
+	return out
+}
+
+// IndexStatsFor returns the stats of one cached index, if it is built.
+func (s *Service) IndexStatsFor(t Target) (IndexStats, bool) {
+	key := t.key()
+	for _, st := range s.Stats() {
+		if st.Graph == key.Graph && st.Grammar == key.Grammar && st.Backend == key.Backend {
+			return st, true
+		}
+	}
+	return IndexStats{}, false
+}
