@@ -1,0 +1,80 @@
+package cfpq
+
+import (
+	"fmt"
+	"strings"
+
+	"cfpq/internal/matrix"
+)
+
+// Backend selects the matrix representation and multiplication kernel an
+// Engine evaluates with — the paper's four implementations. It is a small
+// value type: pass it around, compare it by Name, store it in configs. The
+// zero value is the serial sparse backend (the paper's sCPU and this
+// library's default).
+//
+//	cfpq.NewEngine(cfpq.Sparse)            // CSR sparse, serial  (sCPU)
+//	cfpq.NewEngine(cfpq.Dense)             // bit-packed dense, serial
+//	cfpq.NewEngine(cfpq.SparseParallel(0)) // CSR sparse, row-parallel (sGPU)
+//	cfpq.NewEngine(cfpq.DenseParallel(0))  // dense, row-parallel     (dGPU)
+type Backend struct {
+	m matrix.Backend
+}
+
+// Sparse and Dense are the two serial backends. They are values, not
+// options: hand them to NewEngine.
+var (
+	// Sparse is the serial CSR sparse backend (the paper's sCPU analogue
+	// and the default).
+	Sparse = Backend{m: matrix.Sparse()}
+	// Dense is the serial bit-packed dense backend.
+	Dense = Backend{m: matrix.Dense()}
+)
+
+// SparseParallel is the row-parallel CSR sparse backend (the paper's sGPU
+// analogue); workers ≤ 0 means GOMAXPROCS.
+func SparseParallel(workers int) Backend {
+	return Backend{m: matrix.SparseParallel(workers)}
+}
+
+// DenseParallel is the row-parallel dense backend (the paper's dGPU
+// analogue); workers ≤ 0 means GOMAXPROCS.
+func DenseParallel(workers int) Backend {
+	return Backend{m: matrix.DenseParallel(workers)}
+}
+
+// Name identifies the backend: "sparse", "sparse-parallel", "dense" or
+// "dense-parallel".
+func (b Backend) Name() string { return b.mat().Name() }
+
+// String implements fmt.Stringer.
+func (b Backend) String() string { return b.Name() }
+
+// mat resolves the underlying matrix backend; the zero value means Sparse.
+func (b Backend) mat() matrix.Backend {
+	if b.m == nil {
+		return matrix.Sparse()
+	}
+	return b.m
+}
+
+// Backends returns one backend of each kind, in the order the paper's
+// tables report them.
+func Backends() []Backend {
+	return []Backend{Dense, DenseParallel(0), Sparse, SparseParallel(0)}
+}
+
+// BackendByName resolves one of the four backends by its Name — the form
+// CLIs and HTTP APIs receive backend choices in.
+func BackendByName(name string) (Backend, error) {
+	for _, b := range Backends() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, b := range Backends() {
+		names = append(names, b.Name())
+	}
+	return Backend{}, fmt.Errorf("cfpq: unknown backend %q (want %s)", name, strings.Join(names, ", "))
+}

@@ -7,7 +7,10 @@
 //
 // For the formatted tables in the paper's layout (with #results columns and
 // result-agreement checking), run ./cmd/cfpq-bench instead.
-package cfpq
+//
+// This file is an external test package: internal/bench evaluates through
+// the public cfpq API, so an in-package test would be an import cycle.
+package cfpq_test
 
 import (
 	"fmt"

@@ -1,7 +1,7 @@
 package cfpq
 
 import (
-	"fmt"
+	"context"
 	"io"
 
 	"cfpq/internal/core"
@@ -31,6 +31,8 @@ type (
 	PathIndex = core.PathIndex
 	// Stats reports closure work (passes and matrix products).
 	Stats = core.Stats
+	// AllPathsOptions bounds all-path enumeration.
+	AllPathsOptions = core.AllPathsOptions
 )
 
 // NewGraph returns an empty graph with n nodes; AddEdge grows it on demand.
@@ -61,39 +63,47 @@ func MustParseGrammar(text string) *Grammar { return grammar.MustParse(text) }
 // same grammar.
 func ToCNF(g *Grammar) (*CNF, error) { return grammar.ToCNF(g) }
 
-// Option configures query evaluation.
+// Option configures one evaluation call on an Engine.
 type Option func(*config)
 
 type config struct {
-	engineOpts []core.Option
+	// backend, when set, overrides the engine's backend. Only the
+	// deprecated WithX backend options set it.
+	backend    *Backend
 	emptyPaths bool
+	engineOpts []core.Option
 }
 
 // WithDense selects bit-packed dense matrices (serial kernel).
+//
+// Deprecated: construct an engine with the Dense backend value instead:
+// NewEngine(Dense).
 func WithDense() Option {
-	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.Dense())) }
+	return func(c *config) { b := Dense; c.backend = &b }
 }
 
 // WithDenseParallel selects dense matrices with a row-parallel kernel
 // (the paper's dGPU analogue); workers ≤ 0 means GOMAXPROCS.
+//
+// Deprecated: use NewEngine(DenseParallel(workers)).
 func WithDenseParallel(workers int) Option {
-	return func(c *config) {
-		c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.DenseParallel(workers)))
-	}
+	return func(c *config) { b := DenseParallel(workers); c.backend = &b }
 }
 
 // WithSparse selects CSR sparse matrices (the paper's sCPU analogue). This
 // is the default.
+//
+// Deprecated: use NewEngine(Sparse).
 func WithSparse() Option {
-	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.Sparse())) }
+	return func(c *config) { b := Sparse; c.backend = &b }
 }
 
 // WithSparseParallel selects CSR sparse matrices with a row-parallel SpGEMM
 // (the paper's sGPU analogue); workers ≤ 0 means GOMAXPROCS.
+//
+// Deprecated: use NewEngine(SparseParallel(workers)).
 func WithSparseParallel(workers int) Option {
-	return func(c *config) {
-		c.engineOpts = append(c.engineOpts, core.WithBackend(matrix.SparseParallel(workers)))
-	}
+	return func(c *config) { b := SparseParallel(workers); c.backend = &b }
 }
 
 // WithEmptyPaths includes the reflexive pairs (v, v) in query results when
@@ -112,6 +122,14 @@ func WithNaiveIteration() Option {
 	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithNaiveIteration()) }
 }
 
+// WithDeltaIteration selects the semi-naive closure schedule: each pass
+// multiplies only the frontier (the bits added by the previous pass)
+// against the full matrices. Same fixpoint, less work per pass as the
+// closure converges. Mutually exclusive with WithNaiveIteration.
+func WithDeltaIteration() Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithDeltaIteration()) }
+}
+
 // WithTrace installs a callback invoked with the evolving index after
 // initialisation (iteration 0) and after each fixpoint pass. The callback
 // must not retain or mutate the index.
@@ -127,37 +145,45 @@ func buildConfig(opts []Option) *config {
 	return c
 }
 
+// --- deprecated one-shot wrappers --------------------------------------
+//
+// The free functions below predate Engine. They evaluate with a default
+// (sparse) engine, a background context, and any backend chosen through
+// the deprecated WithX options. They remain so existing callers keep
+// working; new code should construct an Engine.
+
 // Query evaluates R_start on the graph under the relational semantics and
 // returns the sorted pair list.
+//
+// Deprecated: use NewEngine(backend).Query with a context.
 func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
-	c := buildConfig(opts)
-	e := core.NewEngine(c.engineOpts...)
-	return e.Query(g, gram, start, core.QueryOptions{IncludeEmptyPaths: c.emptyPaths})
+	return NewEngine(Sparse).Query(context.Background(), g, gram, start, opts...)
 }
 
 // Evaluate runs the matrix closure and returns the full Index, from which
 // the relation of every non-terminal can be read (Relation, Has, Count).
-// Use this instead of Query when several non-terminals are of interest.
+//
+// Deprecated: use NewEngine(backend).Evaluate with a context.
 func Evaluate(g *Graph, cnf *CNF, opts ...Option) (*Index, Stats) {
-	c := buildConfig(opts)
-	return core.NewEngine(c.engineOpts...).Run(g, cnf)
+	ix, stats, _ := NewEngine(Sparse).Evaluate(context.Background(), g, cnf, opts...)
+	return ix, stats
 }
 
 // SinglePath evaluates the single-path query semantics: the returned
 // PathIndex reports, for every pair of every relation, a witness-path
 // length (Length) and a concrete path of exactly that length (Path).
+//
+// Deprecated: use NewEngine(backend).SinglePath with a context.
 func SinglePath(g *Graph, cnf *CNF) *PathIndex {
-	return core.NewPathIndex(g, cnf)
+	px, _ := NewEngine(Sparse).SinglePath(context.Background(), g, cnf)
+	return px
 }
-
-// AllPathsOptions bounds all-path enumeration.
-type AllPathsOptions = core.AllPathsOptions
 
 // AllPaths enumerates distinct paths witnessing (start, i, j) in
 // nondecreasing length order, bounded by opts.
+//
+// Deprecated: use NewEngine(backend).AllPaths with a context, or the
+// streaming Prepared.Paths.
 func AllPaths(g *Graph, ix *Index, start string, i, j int, opts AllPathsOptions) ([][]Edge, error) {
-	if _, ok := ix.CNF().Index(start); !ok {
-		return nil, fmt.Errorf("cfpq: unknown non-terminal %q", start)
-	}
-	return ix.AllPaths(g, start, i, j, opts), nil
+	return NewEngine(Sparse).AllPaths(context.Background(), g, ix, start, i, j, opts)
 }

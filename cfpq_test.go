@@ -1,6 +1,7 @@
 package cfpq
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 func TestQuickstartFromDoc(t *testing.T) {
 	// The doc.go example must work exactly as written.
+	eng := NewEngine(Sparse)
 	g := NewGraph(3)
 	g.AddEdge(0, "a", 1)
 	g.AddEdge(1, "b", 2)
@@ -15,12 +17,17 @@ func TestQuickstartFromDoc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs, err := Query(g, gram, "S")
+	pairs, err := eng.Query(context.Background(), g, gram, "S")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if want := []Pair{{I: 0, J: 2}}; !reflect.DeepEqual(pairs, want) {
 		t.Errorf("pairs = %v, want %v", pairs, want)
+	}
+	// The deprecated free-function form keeps working.
+	legacy, err := Query(g, gram, "S")
+	if err != nil || !reflect.DeepEqual(legacy, pairs) {
+		t.Errorf("legacy Query = %v, %v", legacy, err)
 	}
 }
 

@@ -16,8 +16,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"cfpq/internal/cli"
 )
@@ -27,7 +29,11 @@ func main() {
 	if err != nil {
 		os.Exit(2)
 	}
-	if err := cli.Run(cfg, os.Stdout); err != nil {
+	// Ctrl-C cancels the closure between fixpoint passes instead of
+	// killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := cli.Run(ctx, cfg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "cfpq: %v\n", err)
 		os.Exit(1)
 	}

@@ -46,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"cfpq/internal/server"
 )
@@ -94,7 +95,15 @@ func main() {
 
 	log.Printf("cfpqd: listening on %s (%d graphs, %d grammars preloaded)",
 		*addr, len(graphs), len(grammars))
-	if err := http.ListenAndServe(*addr, server.Handler(svc)); err != nil {
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.Handler(svc),
+		// Slow-client protection: the service accepts large uploads, so
+		// unbounded header/body stalls must not pin goroutines forever.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+	}
+	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
 }

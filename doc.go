@@ -17,29 +17,55 @@
 // the all-path semantics enumerates all of them (infinitely many on cyclic
 // graphs, so enumeration is bounded).
 //
-// # Quick start
+// # Engine: the one query surface
 //
+// All evaluation goes through an Engine, constructed once with a Backend —
+// one of the paper's four matrix implementations — and carrying every query
+// method. Each method takes a context.Context, checked between closure
+// passes, so long evaluations honour cancellation and deadlines.
+//
+//	eng := cfpq.NewEngine(cfpq.Sparse) // or Dense, SparseParallel(n), DenseParallel(n)
 //	g := cfpq.NewGraph(3)
 //	g.AddEdge(0, "a", 1)
 //	g.AddEdge(1, "b", 2)
 //	gram, _ := cfpq.ParseGrammar("S -> a S b | a b")
-//	pairs, _ := cfpq.Query(g, gram, "S")
+//	pairs, _ := eng.Query(context.Background(), g, gram, "S")
 //	// pairs == [{0 2}]
 //
 // The algorithm reduces query evaluation to a Boolean-matrix transitive
 // closure: one |V|×|V| Boolean matrix per non-terminal, with one matrix
-// multiplication per grammar production per fixpoint pass. Four matrix
-// backends are provided (dense/sparse × serial/parallel); see Options.
+// multiplication per grammar production per fixpoint pass. Beyond Query,
+// the engine evaluates full closures (Evaluate), witness paths
+// (SinglePath, ShortestPath, AllPaths), regular path queries by reduction
+// (RPQ), conjunctive grammars (QueryConjunctive), incremental maintenance
+// (Update) and index persistence (LoadIndex with SaveIndex).
+//
+// # Prepared: cached, incrementally-maintained queries
+//
+// For repeated queries against one (graph, grammar) pair, Prepare binds
+// the compiled grammar to the graph and caches the evaluated closure in a
+// Prepared handle. The handle answers any number of concurrent queries
+// under a read lock, exposes iter.Seq iterators (Pairs streams the
+// relation without materialising it; Paths yields a bounded path
+// enumeration), and absorbs edge updates with the incremental delta
+// closure instead of re-evaluating — transparently resizing its matrices
+// when edges grow the node set:
+//
+//	p, _ := eng.Prepare(ctx, g, gram)
+//	p.Has("S", 0, 2)
+//	for pair := range p.Pairs("S") { ... }
+//	p.AddEdges(ctx, cfpq.Edge{From: 2, Label: "a", To: 7}) // patched, not rebuilt
+//
+// The free functions (Query, Evaluate, SinglePath, RPQ, Update, …) predate
+// Engine and remain as deprecated wrappers over a default sparse engine.
 //
 // # Serving queries
 //
-// Beyond the one-shot library API, cmd/cfpqd serves CFPQs over HTTP: it
-// registers named graphs (N-Triples or edge-list documents) and grammars,
-// builds the closure index of each (graph, grammar, backend) combination
-// on first use, caches it for concurrent readers under a read-write lock
-// per index, and — when edges are added to a live graph — patches every
-// cached index with the incremental semi-naive delta closure instead of
-// recomputing from scratch. A typical session:
+// cmd/cfpqd serves CFPQs over HTTP: it registers named graphs (N-Triples
+// or edge-list documents) and grammars, and caches one Prepared handle per
+// (graph, grammar, backend) combination — the HTTP layer is registry and
+// naming only; caching, locking and incremental updates are the public
+// Prepared machinery. A typical session:
 //
 //	cfpqd -addr :8080 &
 //	curl -X PUT --data-binary @wine.nt 'localhost:8080/v1/graphs/wine?format=ntriples'
@@ -59,5 +85,5 @@
 // semantics (internal/core), the concurrent query service
 // (internal/server), the Hellings and GLL baselines (internal/baseline),
 // the paper's evaluation datasets (internal/dataset) and the table harness
-// (internal/bench).
+// (internal/bench) — all of which evaluate through the public Engine.
 package cfpq

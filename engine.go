@@ -1,0 +1,164 @@
+package cfpq
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"cfpq/internal/conjunctive"
+	"cfpq/internal/core"
+	"cfpq/internal/rpq"
+)
+
+// Engine is the one query surface of this library: a closure engine bound
+// to a matrix Backend, carrying every evaluation method — relational
+// queries, full closures, single-/shortest-/all-path semantics, RPQs,
+// conjunctive queries, incremental updates and index (de)serialisation.
+// Construct it once and share it: an Engine is immutable and safe for
+// concurrent use; all per-call state lives in the arguments and results.
+//
+// Every query method takes a context.Context that is checked between
+// closure passes, so long evaluations on large graphs can be cancelled or
+// given deadlines; a cancelled call returns ctx.Err().
+//
+// For repeated queries against one (graph, grammar) pair, Prepare a
+// Prepared handle instead of re-running the closure per call.
+type Engine struct {
+	backend Backend
+}
+
+// NewEngine returns an engine evaluating with the given backend. The zero
+// Backend value selects serial sparse.
+func NewEngine(b Backend) *Engine { return &Engine{backend: b} }
+
+// Backend returns the engine's backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// resolveBackend applies the (deprecated) per-call backend override to the
+// engine's backend.
+func (e *Engine) resolveBackend(cfg *config) Backend {
+	if cfg.backend != nil {
+		return *cfg.backend
+	}
+	return e.backend
+}
+
+// newCore resolves per-call options against the engine's backend and
+// builds the internal closure engine. This is deliberately the only place
+// in the library that constructs core.NewEngine: every evaluation path —
+// library, server, CLI, bench — funnels through it.
+func (e *Engine) newCore(cfg *config) *core.Engine {
+	return core.NewEngine(append([]core.Option{core.WithBackend(e.resolveBackend(cfg).mat())}, cfg.engineOpts...)...)
+}
+
+// Query evaluates R_start on the graph under the relational semantics and
+// returns the sorted pair list.
+func (e *Engine) Query(ctx context.Context, g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
+	cfg := buildConfig(opts)
+	return e.newCore(cfg).QueryContext(ctx, g, gram, start, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+}
+
+// Evaluate runs the matrix closure and returns the full Index, from which
+// the relation of every non-terminal can be read (Relation, Has, Count).
+// Use this instead of Query when several non-terminals are of interest.
+func (e *Engine) Evaluate(ctx context.Context, g *Graph, cnf *CNF, opts ...Option) (*Index, Stats, error) {
+	return e.newCore(buildConfig(opts)).RunContext(ctx, g, cnf)
+}
+
+// SinglePath evaluates the single-path query semantics: the returned
+// PathIndex reports, for every pair of every relation, a witness-path
+// length (Length) and a concrete path of exactly that length (Path).
+func (e *Engine) SinglePath(ctx context.Context, g *Graph, cnf *CNF) (*PathIndex, error) {
+	return core.NewPathIndexContext(ctx, g, cnf)
+}
+
+// ShortestPath is SinglePath with minimal witness lengths: the recorded
+// length (and the extracted path) of every pair is the shortest possible,
+// as in Hellings' single-path algorithm.
+func (e *Engine) ShortestPath(ctx context.Context, g *Graph, cnf *CNF) (*PathIndex, error) {
+	return core.NewShortestPathIndexContext(ctx, g, cnf)
+}
+
+// AllPaths enumerates distinct paths witnessing (start, i, j) in
+// nondecreasing length order, bounded by opts. The context is checked
+// between length levels.
+func (e *Engine) AllPaths(ctx context.Context, g *Graph, ix *Index, start string, i, j int, opts AllPathsOptions) ([][]Edge, error) {
+	if _, ok := ix.CNF().Index(start); !ok {
+		return nil, fmt.Errorf("cfpq: unknown non-terminal %q", start)
+	}
+	return ix.AllPathsContext(ctx, g, start, i, j, opts)
+}
+
+// RPQ evaluates a regular path query — the expression syntax is
+//
+//	subClassOf_r* type (a | b)+ c?
+//
+// — by compiling the expression to an NFA, the NFA to a right-linear
+// grammar, and evaluating that grammar with this engine.
+func (e *Engine) RPQ(ctx context.Context, g *Graph, expr string, opts ...Option) ([]Pair, error) {
+	cfg := buildConfig(opts)
+	r, err := rpq.ParseRegex(expr)
+	if err != nil {
+		return nil, err
+	}
+	gram, start, nfa := rpq.Grammar(r)
+	if !gram.HasNonterminal(start) {
+		// Degenerate: the language is empty or {ε}.
+		if nfa.AcceptsEmpty && cfg.emptyPaths {
+			return rpq.ReflexivePairs(g.Nodes()), nil
+		}
+		return nil, nil
+	}
+	return e.newCore(cfg).QueryContext(ctx, g, gram, start, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+}
+
+// QueryConjunctive evaluates a conjunctive path query. Per the paper's
+// Section 7 hypothesis (verified by this package's tests), the result is
+// an upper approximation of the single-path relation on cyclic graphs and
+// exact on linear inputs.
+func (e *Engine) QueryConjunctive(ctx context.Context, g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
+	cfg := buildConfig(opts)
+	res, err := conjunctive.EvaluateContext(ctx, g, cg, e.resolveBackend(cfg).mat())
+	if err != nil {
+		return nil, err
+	}
+	return res.Relation(start), nil
+}
+
+// Update incorporates newly added edges into an evaluated Index without
+// recomputing the closure (dynamic CFPQ): only the consequences of the new
+// edges are propagated. Frontier matrices come from the index's own
+// backend, so an index built with a parallel kernel keeps it. Edges that
+// grow the node set transparently resize the index in place first.
+func (e *Engine) Update(ctx context.Context, ix *Index, edges ...Edge) (Stats, error) {
+	return e.newCore(&config{}).UpdateContext(ctx, ix, edges...)
+}
+
+// LoadIndex reads an index previously written by SaveIndex, materialised
+// with this engine's backend. The CNF must be the grammar the index was
+// computed for.
+func (e *Engine) LoadIndex(r io.Reader, cnf *CNF) (*Index, error) {
+	return core.ReadIndex(r, cnf, e.backend.mat())
+}
+
+// Prepare compiles the grammar and binds it to the graph: the closure is
+// evaluated once and cached in the returned Prepared handle, which answers
+// any number of concurrent queries and absorbs edge updates incrementally.
+// Prepare takes ownership of g — mutate it only through Prepared.AddEdges.
+func (e *Engine) Prepare(ctx context.Context, g *Graph, gram *Grammar) (*Prepared, error) {
+	cnf, err := ToCNF(gram)
+	if err != nil {
+		return nil, err
+	}
+	return e.PrepareCNF(ctx, g, cnf)
+}
+
+// PrepareCNF is Prepare for a grammar already in Chomsky Normal Form,
+// skipping the conversion (useful when many graphs share one grammar).
+func (e *Engine) PrepareCNF(ctx context.Context, g *Graph, cnf *CNF) (*Prepared, error) {
+	ix, build, err := e.newCore(&config{}).RunContext(ctx, g, cnf)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{eng: e, cnf: cnf, g: g, ix: ix, build: build}, nil
+}

@@ -1,7 +1,9 @@
 // Dynamic demonstrates the library extensions around the paper's core
-// algorithm: regular path queries (RPQ) answered through the same matrix
-// machinery, incremental maintenance of an evaluated query when edges are
-// added (dynamic CFPQ), and persisting the evaluated index.
+// algorithm through the Engine/Prepared API: regular path queries (RPQ)
+// answered through the same matrix machinery, a Prepared handle that keeps
+// an evaluated query hot and absorbs edge updates incrementally (dynamic
+// CFPQ), streaming iteration over a relation, and persisting the evaluated
+// index.
 //
 // The scenario is a package-dependency graph: `imports` edges between
 // modules, with a vulnerability introduced mid-session.
@@ -13,12 +15,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"cfpq"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+
 	mods := []string{"app", "api", "auth", "db", "log", "vuln"}
 	id := map[string]int{}
 	for i, m := range mods {
@@ -37,7 +43,7 @@ func main() {
 	imports("db", "log")
 
 	// 1. RPQ: transitive dependencies are `imports+`.
-	pairs, err := cfpq.RPQ(g, "imports+")
+	pairs, err := eng.RPQ(ctx, g, "imports+")
 	if err != nil {
 		panic(err)
 	}
@@ -46,36 +52,52 @@ func main() {
 		fmt.Printf("  %s -> %s\n", mods[p.I], mods[p.J])
 	}
 
-	// 2. The same relation as a CFPQ, evaluated once into an Index.
+	// 2. The same relation as a CFPQ, prepared once: the closure is
+	// evaluated and cached in a handle that answers any number of
+	// queries and stays current under edge updates. (Prepare takes
+	// ownership of the graph, so hand it a clone.)
 	gram := cfpq.MustParseGrammar("Dep -> imports Dep | imports")
-	cnf, err := cfpq.ToCNF(gram)
+	prep, err := eng.Prepare(ctx, g.Clone(), gram)
 	if err != nil {
 		panic(err)
 	}
-	ix, stats := cfpq.Evaluate(g, cnf)
-	fmt.Printf("\nCFPQ closure: %d pairs in %d passes\n", ix.Count("Dep"), stats.Iterations)
+	fmt.Printf("\nPrepared closure: %d pairs in %d passes\n",
+		prep.Count("Dep"), prep.Stats().Build.Iterations)
 
 	// 3. Dynamic update: db starts importing vuln; only the consequences
-	// of the new edge are propagated — no full re-evaluation.
+	// of the new edge are propagated — no full re-evaluation. The edge
+	// goes through the handle, which keeps graph and index in sync.
 	fmt.Println("\nAdding edge db -imports-> vuln ...")
-	newEdge := imports("db", "vuln")
-	upd := cfpq.Update(ix, newEdge)
-	fmt.Printf("Incremental update: %d passes, %d matrix products\n", upd.Iterations, upd.Products)
-	fmt.Println("Modules now depending on vuln:")
-	for _, p := range ix.Relation("Dep") {
+	info, err := prep.AddEdges(ctx, cfpq.Edge{From: id["db"], Label: "imports", To: id["vuln"]})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Incremental update: %d passes, %d matrix products\n",
+		info.Stats.Iterations, info.Stats.Products)
+	fmt.Println("Modules now depending on vuln (streamed):")
+	for p := range prep.Pairs("Dep") {
 		if mods[p.J] == "vuln" {
 			fmt.Printf("  %s\n", mods[p.I])
 		}
 	}
 
-	// 4. Persist the evaluated index and reload it (e.g. in a later
+	// 4. Persist an evaluated index and reload it (e.g. in a later
 	// session) without re-running the closure.
+	g.AddEdge(id["db"], "imports", id["vuln"])
+	cnf, err := cfpq.ToCNF(gram)
+	if err != nil {
+		panic(err)
+	}
+	ix, _, err := eng.Evaluate(ctx, g, cnf)
+	if err != nil {
+		panic(err)
+	}
 	var buf bytes.Buffer
 	if err := cfpq.SaveIndex(&buf, ix); err != nil {
 		panic(err)
 	}
 	size := buf.Len()
-	reloaded, err := cfpq.LoadIndex(&buf, cnf)
+	reloaded, err := eng.LoadIndex(&buf, cnf)
 	if err != nil {
 		panic(err)
 	}

@@ -1,5 +1,5 @@
 // Hierarchy demonstrates the single-path and all-path query semantics
-// (paper Sections 5 and 7) through the public API, on a same-generation
+// (paper Sections 5 and 7) through the Engine API, on a same-generation
 // query over a corporate reporting hierarchy: employees are on the same
 // level when they sit at equal depth below a common manager.
 //
@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cfpq"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+
 	// reportsTo edges child → parent, plus explicit inverse edges.
 	people := []string{"ceo", "vp1", "vp2", "eng1", "eng2", "sales1"}
 	id := map[string]int{}
@@ -41,7 +45,10 @@ func main() {
 		panic(err)
 	}
 
-	ix, _ := cfpq.Evaluate(g, cnf)
+	ix, _, err := eng.Evaluate(ctx, g, cnf)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("Same-level pairs (relational semantics):")
 	for _, p := range ix.Relation("Same") {
 		if p.I < p.J {
@@ -50,7 +57,10 @@ func main() {
 	}
 
 	// Single-path semantics: one witness per pair, with its length.
-	px := cfpq.SinglePath(g, cnf)
+	px, err := eng.SinglePath(ctx, g, cnf)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nWitness paths (single-path semantics):")
 	for _, lp := range px.Relation("Same") {
 		if lp.I >= lp.J {
@@ -68,7 +78,7 @@ func main() {
 
 	// All-path semantics: enumerate every distinct witness for one pair.
 	fmt.Println("\nAll paths eng1 ~ sales1 (all-path semantics):")
-	paths, err := cfpq.AllPaths(g, ix, "Same", id["eng1"], id["sales1"],
+	paths, err := eng.AllPaths(ctx, g, ix, "Same", id["eng1"], id["sales1"],
 		cfpq.AllPathsOptions{MaxPaths: 10})
 	if err != nil {
 		panic(err)

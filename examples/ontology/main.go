@@ -1,8 +1,8 @@
 // Ontology runs the paper's two evaluation queries — same-layer (Query 1,
 // Figure 10) and adjacent-layer (Query 2, Figure 11) — on one of the
-// synthetic ontology graphs, comparing all four implementations and showing
-// single-path witnesses, i.e. the navigation-query workload the paper's
-// evaluation section is built on.
+// synthetic ontology graphs, comparing all four backends through the
+// public Engine API and showing single-path witnesses, i.e. the
+// navigation-query workload the paper's evaluation section is built on.
 //
 // Run with:
 //
@@ -11,21 +11,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"cfpq"
 	"cfpq/internal/baseline"
-	"cfpq/internal/core"
 	"cfpq/internal/dataset"
-	"cfpq/internal/grammar"
-	"cfpq/internal/matrix"
 )
 
 func main() {
 	name := flag.String("name", "foaf", "dataset name (see cmd/graphgen -list)")
 	flag.Parse()
+	ctx := context.Background()
 
 	d, ok := dataset.ByName(*name)
 	if !ok {
@@ -37,14 +37,17 @@ func main() {
 
 	for q := 1; q <= 2; q++ {
 		gram := dataset.Query(q)
-		cnf := grammar.MustCNF(gram)
+		cnf := dataset.QueryCNF(q)
 		fmt.Printf("Query %d grammar:\n%s\n", q, gram)
 
-		for _, be := range []matrix.Backend{
-			matrix.DenseParallel(0), matrix.Sparse(), matrix.SparseParallel(0),
+		for _, be := range []cfpq.Backend{
+			cfpq.DenseParallel(0), cfpq.Sparse, cfpq.SparseParallel(0),
 		} {
 			start := time.Now()
-			ix, stats := core.NewEngine(core.WithBackend(be)).Run(g, cnf)
+			ix, stats, err := cfpq.NewEngine(be).Evaluate(ctx, g, cnf)
+			if err != nil {
+				panic(err)
+			}
 			fmt.Printf("  %-16s |R_S| = %-6d (%d passes, %d products, %v)\n",
 				be.Name(), ix.Count("S"), stats.Iterations, stats.Products, time.Since(start).Round(time.Microsecond))
 		}
@@ -54,8 +57,11 @@ func main() {
 	}
 
 	// Single-path semantics on Query 2: print a few witness paths.
-	cnf := dataset.QueryCNF(2)
-	px := core.NewPathIndex(g, cnf)
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	px, err := eng.SinglePath(ctx, g, dataset.QueryCNF(2))
+	if err != nil {
+		panic(err)
+	}
 	rel := px.Relation("S")
 	fmt.Printf("Query 2 single-path witnesses (%d pairs, first 5):\n", len(rel))
 	for i, lp := range rel {
@@ -63,6 +69,10 @@ func main() {
 			break
 		}
 		path, _ := px.Path("S", lp.I, lp.J)
-		fmt.Printf("  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, core.Labels(path))
+		labels := make([]string, len(path))
+		for k, e := range path {
+			labels[k] = e.Label
+		}
+		fmt.Printf("  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, labels)
 	}
 }

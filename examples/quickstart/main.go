@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cfpq"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// The grammar G' of Figure 4 — the same-generation query in Chomsky
 	// Normal Form, with the paper's auxiliary non-terminal names. (The
 	// library normalises arbitrary grammars itself; we feed the paper's
@@ -47,15 +50,19 @@ func main() {
 	}
 	fmt.Println()
 
-	// Naive iteration reproduces the paper's T ← T ∪ (T × T) states
-	// exactly; the trace callback prints each Tᵢ (Figures 6–8).
-	ix, stats := cfpq.Evaluate(g, cnf,
-		cfpq.WithDense(),
+	// One engine, one backend choice. Naive iteration reproduces the
+	// paper's T ← T ∪ (T × T) states exactly; the trace callback prints
+	// each Tᵢ (Figures 6–8).
+	eng := cfpq.NewEngine(cfpq.Dense)
+	ix, stats, err := eng.Evaluate(ctx, g, cnf,
 		cfpq.WithNaiveIteration(),
 		cfpq.WithTrace(func(iteration int, ix *cfpq.Index) {
 			fmt.Printf("T%d =\n%s\n", iteration, ix.FormatMatrix())
 		}),
 	)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("Fixpoint after %d iterations (paper: T6 = T5).\n\n", stats.Iterations)
 
 	// The context-free relations of Figure 9.
@@ -66,7 +73,10 @@ func main() {
 	fmt.Println()
 
 	// Section 5: single-path semantics — a concrete witness per pair.
-	px := cfpq.SinglePath(g, cnf)
+	px, err := eng.SinglePath(ctx, g, cnf)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("Single-path witnesses for R_S:")
 	for _, lp := range px.Relation("S") {
 		path, _ := px.Path("S", lp.I, lp.J)

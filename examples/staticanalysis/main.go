@@ -23,12 +23,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"cfpq"
 )
 
 func main() {
+	ctx := context.Background()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+
 	// Program:
 	//	o1: a = new Obj()
 	//	o2: b = new Obj()
@@ -68,7 +72,7 @@ func main() {
 		Alias    -> PointsTo FlowsTo
 	`)
 
-	pt, err := cfpq.Query(g, gram, "PointsTo")
+	pt, err := eng.Query(ctx, g, gram, "PointsTo")
 	if err != nil {
 		panic(err)
 	}
@@ -77,7 +81,7 @@ func main() {
 		fmt.Printf("  %s → %s\n", vars[p.I], vars[p.J])
 	}
 
-	al, err := cfpq.Query(g, gram, "Alias")
+	al, err := eng.Query(ctx, g, gram, "Alias")
 	if err != nil {
 		panic(err)
 	}

@@ -1,39 +1,19 @@
 package cfpq
 
 import (
+	"context"
 	"io"
 
 	"cfpq/internal/conjunctive"
-	"cfpq/internal/core"
 	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
-	"cfpq/internal/rpq"
 )
 
 // This file exposes the extensions built on the paper's §7 research
-// directions: regular path queries by reduction to CFPQ, conjunctive
+// directions — regular path queries by reduction to CFPQ, conjunctive
 // grammars (upper approximation), minimal-length single-path semantics,
-// and dynamic (incremental) query maintenance.
-
-// RPQ evaluates a regular path query — the expression syntax is
-//
-//	subClassOf_r* type (a | b)+ c?
-//
-// — by compiling the expression to an NFA, the NFA to a right-linear
-// grammar, and evaluating that grammar with the matrix CFPQ engine.
-func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
-	c := buildConfig(opts)
-	be := matrix.Backend(nil)
-	if len(c.engineOpts) > 0 {
-		// Re-resolve the backend choice through a scratch engine: the
-		// options API stores backend selection as engine options.
-		be = core.NewEngine(c.engineOpts...).Backend()
-	}
-	return rpq.EvaluateString(g, expr, rpq.Options{
-		IncludeEmptyPaths: c.emptyPaths,
-		Backend:           be,
-	})
-}
+// and dynamic (incremental) query maintenance — as deprecated one-shot
+// wrappers over Engine, plus the grammar/graph utilities that need no
+// engine at all.
 
 // ConjunctiveGrammar is a grammar with conjunctive productions
 // (`A -> B C & D E`); see ParseConjunctive.
@@ -48,50 +28,41 @@ func ParseConjunctive(text string) (*ConjunctiveGrammar, error) {
 	return conjunctive.Parse(text)
 }
 
-// QueryConjunctive evaluates a conjunctive path query. Per the paper's
-// Section 7 hypothesis (verified by this package's tests), the result is
-// an upper approximation of the single-path relation on cyclic graphs and
-// exact on linear inputs.
-func QueryConjunctive(g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
-	c := buildConfig(opts)
-	be := matrix.Backend(nil)
-	if len(c.engineOpts) > 0 {
-		be = core.NewEngine(c.engineOpts...).Backend()
-	}
-	res, err := conjunctive.Evaluate(g, cg, be)
-	if err != nil {
-		return nil, err
-	}
-	return res.Relation(start), nil
+// RPQ evaluates a regular path query (see Engine.RPQ for the syntax).
+//
+// Deprecated: use NewEngine(backend).RPQ with a context.
+func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
+	return NewEngine(Sparse).RPQ(context.Background(), g, expr, opts...)
 }
 
-// ShortestPath is SinglePath with minimal witness lengths: the recorded
-// length (and the extracted path) of every pair is the shortest possible,
-// as in Hellings' single-path algorithm.
+// QueryConjunctive evaluates a conjunctive path query (see
+// Engine.QueryConjunctive).
+//
+// Deprecated: use NewEngine(backend).QueryConjunctive with a context.
+func QueryConjunctive(g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
+	return NewEngine(Sparse).QueryConjunctive(context.Background(), g, cg, start, opts...)
+}
+
+// ShortestPath is SinglePath with minimal witness lengths; see
+// Engine.ShortestPath.
+//
+// Deprecated: use NewEngine(backend).ShortestPath with a context.
 func ShortestPath(g *Graph, cnf *CNF) *PathIndex {
-	return core.NewShortestPathIndex(g, cnf)
+	px, _ := NewEngine(Sparse).ShortestPath(context.Background(), g, cnf)
+	return px
 }
 
 // Update incorporates newly added edges into an evaluated Index without
-// recomputing the closure (dynamic CFPQ): only the consequences of the new
-// edges are propagated. The edges must stay within the index's node range.
+// recomputing the closure (dynamic CFPQ). The index remembers the backend
+// it was built with, so updates keep the original kernel — parallel
+// included — and edges that grow the node set transparently resize the
+// index in place.
+//
+// Deprecated: use NewEngine(backend).Update with a context, or a Prepared
+// handle, which also keeps the graph in sync.
 func Update(ix *Index, edges ...Edge) Stats {
-	e := core.NewEngine(core.WithBackend(backendOf(ix)))
-	return e.Update(ix, edges...)
-}
-
-// backendOf recovers a compatible backend for the index's matrices so
-// Update allocates frontier matrices of the same representation.
-func backendOf(ix *Index) matrix.Backend {
-	for _, nt := range ix.CNF().Names {
-		switch ix.Matrix(nt).(type) {
-		case *matrix.DenseMatrix:
-			return matrix.Dense()
-		case *matrix.SparseMatrix:
-			return matrix.Sparse()
-		}
-	}
-	return matrix.Sparse()
+	stats, _ := NewEngine(Sparse).Update(context.Background(), ix, edges...)
+	return stats
 }
 
 // ReverseGraph returns the graph with all edges flipped; together with
@@ -109,11 +80,13 @@ func SaveIndex(w io.Writer, ix *Index) error {
 
 // LoadIndex reads an index previously written by SaveIndex. The CNF must
 // be the grammar the index was computed for.
+//
+// Deprecated: use NewEngine(backend).LoadIndex.
 func LoadIndex(r io.Reader, cnf *CNF, opts ...Option) (*Index, error) {
-	c := buildConfig(opts)
-	be := matrix.Backend(nil)
-	if len(c.engineOpts) > 0 {
-		be = core.NewEngine(c.engineOpts...).Backend()
+	cfg := buildConfig(opts)
+	e := NewEngine(Sparse)
+	if cfg.backend != nil {
+		e = NewEngine(*cfg.backend)
 	}
-	return core.ReadIndex(r, cnf, be)
+	return e.LoadIndex(r, cnf)
 }

@@ -1,15 +1,15 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
-	"cfpq/internal/core"
+	"cfpq"
 	"cfpq/internal/dataset"
 	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
 )
 
 // RunAblations executes the three ablation studies DESIGN.md calls out and
@@ -29,15 +29,19 @@ func RunAblations(w io.Writer) {
 	ablationParallelScaling(w)
 }
 
-// timeClosure reports the best of three runs to damp scheduler noise.
-func timeClosure(g *graph.Graph, q int, opts ...core.Option) (time.Duration, core.Stats) {
+// timeClosure reports the best of three runs to damp scheduler noise. Like
+// the table harness, it evaluates through the public cfpq.Engine.
+func timeClosure(g *graph.Graph, q int, be cfpq.Backend, opts ...cfpq.Option) (time.Duration, cfpq.Stats) {
 	cnf := dataset.QueryCNF(q)
-	e := core.NewEngine(opts...)
+	eng := cfpq.NewEngine(be)
 	var best time.Duration
-	var stats core.Stats
+	var stats cfpq.Stats
 	for r := 0; r < 3; r++ {
 		start := time.Now()
-		_, s := e.Run(g, cnf)
+		_, s, err := eng.Evaluate(context.Background(), g, cnf, opts...)
+		if err != nil {
+			panic(err) // background context: unreachable
+		}
 		if d := time.Since(start); best == 0 || d < best {
 			best = d
 			stats = s
@@ -53,9 +57,9 @@ func ablationIterationSchedule(w io.Writer) {
 	for _, name := range []string{"skos", "foaf", "funding", "wine", "pizza"} {
 		d, _ := dataset.ByName(name)
 		g := d.Build()
-		tNaive, sNaive := timeClosure(g, 1, core.WithBackend(matrix.Sparse()), core.WithNaiveIteration())
-		tIn, sIn := timeClosure(g, 1, core.WithBackend(matrix.Sparse()))
-		tDelta, sDelta := timeClosure(g, 1, core.WithBackend(matrix.Sparse()), core.WithDeltaIteration())
+		tNaive, sNaive := timeClosure(g, 1, cfpq.Sparse, cfpq.WithNaiveIteration())
+		tIn, sIn := timeClosure(g, 1, cfpq.Sparse)
+		tDelta, sDelta := timeClosure(g, 1, cfpq.Sparse, cfpq.WithDeltaIteration())
 		fmt.Fprintf(w, "%-14s %8d %8d %8d %12.2f %12.2f %12.2f\n",
 			name, sNaive.Iterations, sIn.Iterations, sDelta.Iterations,
 			float64(tNaive.Microseconds())/1000,
@@ -72,8 +76,8 @@ func ablationDenseSparseCrossover(w io.Writer) {
 	base := d.Build()
 	for _, k := range []int{1, 2, 4, 8} {
 		g := graph.Repeat(base, k)
-		tDense, _ := timeClosure(g, 1, core.WithBackend(matrix.DenseParallel(0)))
-		tSparse, _ := timeClosure(g, 1, core.WithBackend(matrix.SparseParallel(0)))
+		tDense, _ := timeClosure(g, 1, cfpq.DenseParallel(0))
+		tSparse, _ := timeClosure(g, 1, cfpq.SparseParallel(0))
 		ratio := float64(tDense) / float64(tSparse)
 		fmt.Fprintf(w, "%-8d %8d %12.2f %12.2f %12.1fx\n",
 			k, g.Nodes(),
@@ -90,7 +94,7 @@ func ablationParallelScaling(w io.Writer) {
 	var base time.Duration
 	maxW := runtime.GOMAXPROCS(0)
 	for workers := 1; workers <= maxW; workers *= 2 {
-		t, _ := timeClosure(g, 1, core.WithBackend(matrix.SparseParallel(workers)))
+		t, _ := timeClosure(g, 1, cfpq.SparseParallel(workers))
 		if workers == 1 {
 			base = t
 		}

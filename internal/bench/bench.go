@@ -13,16 +13,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
+	"cfpq"
 	"cfpq/internal/baseline"
-	"cfpq/internal/core"
 	"cfpq/internal/dataset"
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
 )
 
 // Impl is one measured implementation.
@@ -38,13 +38,19 @@ type Impl struct {
 }
 
 // Implementations returns the paper's four implementations for query q,
-// in table-column order.
+// in table-column order. The matrix implementations all evaluate through
+// the public cfpq.Engine — the same surface the library, CLI and server
+// expose — so the harness measures what users actually run.
 func Implementations(q int) []Impl {
 	gram := dataset.Query(q)
 	cnf := grammar.MustCNF(gram)
-	matrixImpl := func(be matrix.Backend) func(g *graph.Graph) int {
+	matrixImpl := func(be cfpq.Backend) func(g *graph.Graph) int {
+		eng := cfpq.NewEngine(be)
 		return func(g *graph.Graph) int {
-			ix, _ := core.NewEngine(core.WithBackend(be)).Run(g, cnf)
+			ix, _, err := eng.Evaluate(context.Background(), g, cnf)
+			if err != nil {
+				panic(err) // background context: unreachable
+			}
 			return ix.Count("S")
 		}
 	}
@@ -55,9 +61,9 @@ func Implementations(q int) []Impl {
 				return len(baseline.NewGLL(gram).Relation(g, "S"))
 			},
 		},
-		{Name: "dGPU", Run: matrixImpl(matrix.DenseParallel(0)), SkipSynthetic: true},
-		{Name: "sCPU", Run: matrixImpl(matrix.Sparse())},
-		{Name: "sGPU", Run: matrixImpl(matrix.SparseParallel(0))},
+		{Name: "dGPU", Run: matrixImpl(cfpq.DenseParallel(0)), SkipSynthetic: true},
+		{Name: "sCPU", Run: matrixImpl(cfpq.Sparse)},
+		{Name: "sGPU", Run: matrixImpl(cfpq.SparseParallel(0))},
 	}
 }
 

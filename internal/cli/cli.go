@@ -1,18 +1,18 @@
 // Package cli implements the cfpq command-line tool: flag parsing, input
 // loading and result printing, factored out of cmd/cfpq so the whole
-// pipeline is unit-testable.
+// pipeline is unit-testable. Evaluation goes through the public
+// cfpq.Engine, the same surface the server and benchmarks use.
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"cfpq/internal/core"
-	"cfpq/internal/grammar"
+	"cfpq"
 	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
 )
 
 // Config is the parsed command line.
@@ -53,18 +53,15 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 	return cfg, nil
 }
 
-// BackendByName resolves a backend name.
-func BackendByName(name string) (matrix.Backend, error) {
-	for _, be := range matrix.Backends() {
-		if be.Name() == name {
-			return be, nil
-		}
-	}
-	return nil, fmt.Errorf("cfpq: unknown backend %q", name)
+// BackendByName resolves a backend name; the library error already names
+// the valid choices.
+func BackendByName(name string) (cfpq.Backend, error) {
+	return cfpq.BackendByName(name)
 }
 
-// Run executes the query described by cfg, writing results to out.
-func Run(cfg *Config, out io.Writer) error {
+// Run executes the query described by cfg, writing results to out. The
+// context cancels the closure between passes (e.g. on SIGINT).
+func Run(ctx context.Context, cfg *Config, out io.Writer) error {
 	backend, err := BackendByName(cfg.Backend)
 	if err != nil {
 		return err
@@ -73,7 +70,7 @@ func Run(cfg *Config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	g, ids, err := graph.LoadNTriples(gf)
+	g, ids, err := cfpq.LoadNTriples(gf)
 	gf.Close()
 	if err != nil {
 		return err
@@ -82,26 +79,34 @@ func Run(cfg *Config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	gram, err := grammar.Parse(qf)
+	qtext, err := io.ReadAll(qf)
 	qf.Close()
 	if err != nil {
 		return err
 	}
-	return Execute(cfg, g, ids, gram, backend, out)
+	gram, err := cfpq.ParseGrammar(string(qtext))
+	if err != nil {
+		return err
+	}
+	return Execute(ctx, cfg, g, ids, gram, backend, out)
 }
 
 // Execute runs the already-loaded query. Split from Run so tests can drive
 // it without touching the filesystem.
-func Execute(cfg *Config, g *graph.Graph, ids map[string]int, gram *grammar.Grammar, backend matrix.Backend, out io.Writer) error {
+func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int, gram *cfpq.Grammar, backend cfpq.Backend, out io.Writer) error {
 	nodeName := func(v int) string { return fmt.Sprintf("%d", v) }
 	if cfg.Names {
 		table := graph.NodeNames(g.Nodes(), ids)
 		nodeName = func(v int) string { return table[v] }
 	}
+	eng := cfpq.NewEngine(backend)
 	switch cfg.Semantics {
 	case "relational":
-		e := core.NewEngine(core.WithBackend(backend))
-		pairs, err := e.Query(g, gram, cfg.Start, core.QueryOptions{IncludeEmptyPaths: cfg.EmptyPaths})
+		var opts []cfpq.Option
+		if cfg.EmptyPaths {
+			opts = append(opts, cfpq.WithEmptyPaths())
+		}
+		pairs, err := eng.Query(ctx, g, gram, cfg.Start, opts...)
 		if err != nil {
 			return err
 		}
@@ -114,11 +119,14 @@ func Execute(cfg *Config, g *graph.Graph, ids map[string]int, gram *grammar.Gram
 		}
 		return nil
 	case "single-path":
-		cnf, err := grammar.ToCNF(gram)
+		cnf, err := cfpq.ToCNF(gram)
 		if err != nil {
 			return err
 		}
-		px := core.NewPathIndex(g, cnf)
+		px, err := eng.SinglePath(ctx, g, cnf)
+		if err != nil {
+			return err
+		}
 		rel := px.Relation(cfg.Start)
 		if cfg.CountOnly {
 			fmt.Fprintln(out, len(rel))

@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,6 +20,8 @@ func writeFile(t *testing.T, dir, name, content string) string {
 	}
 	return path
 }
+
+var ctx = context.Background()
 
 const sampleNT = "<a> <p> <b> .\n<b> <p> <c> .\n"
 const sampleGrammar = "S -> p S | p\n"
@@ -82,7 +85,7 @@ func TestRunRelational(t *testing.T) {
 		Semantics: "relational",
 	}
 	var out bytes.Buffer
-	if err := Run(cfg, &out); err != nil {
+	if err := Run(ctx, cfg, &out); err != nil {
 		t.Fatal(err)
 	}
 	// Nodes a=0, b=1, c=2; p-edges 0→1→2 ⇒ pairs (0,1),(0,2),(1,2).
@@ -103,7 +106,7 @@ func TestRunNames(t *testing.T) {
 		Names:     true,
 	}
 	var out bytes.Buffer
-	if err := Run(cfg, &out); err != nil {
+	if err := Run(ctx, cfg, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "a\tb\n") {
@@ -122,7 +125,7 @@ func TestRunCount(t *testing.T) {
 		CountOnly: true,
 	}
 	var out bytes.Buffer
-	if err := Run(cfg, &out); err != nil {
+	if err := Run(ctx, cfg, &out); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "3" {
@@ -140,7 +143,7 @@ func TestRunSinglePath(t *testing.T) {
 		Semantics: "single-path",
 	}
 	var out bytes.Buffer
-	if err := Run(cfg, &out); err != nil {
+	if err := Run(ctx, cfg, &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -171,7 +174,7 @@ func TestRunErrors(t *testing.T) {
 	}
 	for i, mutate := range cases {
 		cfg := mutate(*good)
-		if err := Run(&cfg, &out); err == nil {
+		if err := Run(ctx, &cfg, &out); err == nil {
 			t.Errorf("case %d: expected error", i)
 		}
 	}
@@ -185,7 +188,7 @@ func TestRunBadInputFiles(t *testing.T) {
 		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
 		Start:     "S", Backend: "sparse", Semantics: "relational",
 	}
-	if err := Run(badGraph, &out); err == nil {
+	if err := Run(ctx, badGraph, &out); err == nil {
 		t.Error("malformed graph should fail")
 	}
 	badQuery := &Config{
@@ -193,7 +196,7 @@ func TestRunBadInputFiles(t *testing.T) {
 		QueryPath: writeFile(t, dir, "bad.g", "not a grammar\n"),
 		Start:     "S", Backend: "sparse", Semantics: "relational",
 	}
-	if err := Run(badQuery, &out); err == nil {
+	if err := Run(ctx, badQuery, &out); err == nil {
 		t.Error("malformed grammar should fail")
 	}
 }
@@ -206,7 +209,7 @@ func TestExecuteDirect(t *testing.T) {
 	be, _ := BackendByName("dense")
 	var out bytes.Buffer
 	cfg := &Config{Start: "S", Semantics: "relational"}
-	if err := Execute(cfg, g, nil, gram, be, &out); err != nil {
+	if err := Execute(ctx, cfg, g, nil, gram, be, &out); err != nil {
 		t.Fatal(err)
 	}
 	if out.String() != "0\t1\n" {

@@ -23,6 +23,7 @@
 package conjunctive
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -295,6 +296,12 @@ func (r *Result) Has(nt string, i, j int) bool {
 // backend (nil selects the serial sparse backend). Per fixpoint pass, each
 // conjunctive rule contributes the intersection of its conjunct products.
 func Evaluate(g *graph.Graph, cg *Grammar, be matrix.Backend) (*Result, error) {
+	return EvaluateContext(context.Background(), g, cg, be)
+}
+
+// EvaluateContext is Evaluate with cooperative cancellation between
+// fixpoint passes.
+func EvaluateContext(ctx context.Context, g *graph.Graph, cg *Grammar, be matrix.Backend) (*Result, error) {
 	nm, err := cg.compile()
 	if err != nil {
 		return nil, err
@@ -315,6 +322,9 @@ func Evaluate(g *graph.Graph, cg *Grammar, be matrix.Backend) (*Result, error) {
 		}
 	}
 	for changed := true; changed; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, rule := range nm.rules {
 			acc := be.NewMatrix(n)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,15 +52,23 @@ func pathKey(p []graph.Edge) string {
 // grammars; an internal work budget proportional to MaxPaths keeps calls
 // bounded, at the price of possible incompleteness on adversarial inputs.
 func (ix *Index) AllPaths(g *graph.Graph, nt string, i, j int, opts AllPathsOptions) [][]graph.Edge {
+	paths, _ := ix.AllPathsContext(context.Background(), g, nt, i, j, opts)
+	return paths
+}
+
+// AllPathsContext is AllPaths with cooperative cancellation: the context is
+// checked between length levels of the iterative deepening, so a cancelled
+// enumeration returns the (complete) prefix found so far plus ctx.Err().
+func (ix *Index) AllPathsContext(ctx context.Context, g *graph.Graph, nt string, i, j int, opts AllPathsOptions) ([][]graph.Edge, error) {
 	a, ok := ix.cnf.Index(nt)
 	if !ok {
-		return nil
+		return nil, nil
 	}
 	if opts.MaxPaths <= 0 {
 		opts.MaxPaths = 1024
 	}
-	if !ix.mats[a].Get(i, j) {
-		return nil
+	if i < 0 || i >= ix.n || j < 0 || j >= ix.n || !ix.mats[a].Get(i, j) {
+		return nil, nil
 	}
 	maxLen := opts.MaxLength
 	if maxLen <= 0 {
@@ -77,6 +86,9 @@ func (ix *Index) AllPaths(g *graph.Graph, nt string, i, j int, opts AllPathsOpti
 	// Iterative deepening on exact path length keeps output ordered by
 	// length and terminates on cyclic graphs.
 	for l := 1; l <= maxLen && !st.full(); l++ {
+		if err := ctx.Err(); err != nil {
+			return st.out, err
+		}
 		ix.enumLength(st, a, i, j, l, func(path []graph.Edge) {
 			key := pathKey(path)
 			if !st.seen[key] {
@@ -85,7 +97,7 @@ func (ix *Index) AllPaths(g *graph.Graph, nt string, i, j int, opts AllPathsOpti
 			}
 		})
 	}
-	return st.out
+	return st.out, nil
 }
 
 // enumLength invokes yield for every derivation of a path of exactly

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,9 +30,10 @@ import (
 // non-terminal. After Close, M_A[i][j] is set iff (i, j) ∈ R_A — node j is
 // reachable from node i along a path deriving from A (paper Theorem 2).
 type Index struct {
-	cnf  *grammar.CNF
-	n    int
-	mats []matrix.Bool // indexed by non-terminal index
+	cnf     *grammar.CNF
+	n       int
+	mats    []matrix.Bool  // indexed by non-terminal index
+	backend matrix.Backend // the backend the matrices were allocated from
 }
 
 // CNF returns the grammar the index was built for.
@@ -39,6 +41,26 @@ func (ix *Index) CNF() *grammar.CNF { return ix.cnf }
 
 // Nodes returns the number of graph nodes.
 func (ix *Index) Nodes() int { return ix.n }
+
+// Backend returns the matrix backend the index's matrices were allocated
+// from, so incremental updates allocate frontier matrices of the exact same
+// representation and kernel (serial/parallel included). It is nil only for
+// indexes predating backend recording.
+func (ix *Index) Backend() matrix.Backend { return ix.backend }
+
+// Grow resizes every relation matrix in place to n×n (no-op if n ≤ Nodes).
+// The closure property is preserved: new nodes are isolated until edges
+// touching them are propagated with Update, so an in-place Grow followed by
+// Update is exactly the closure of the enlarged graph.
+func (ix *Index) Grow(n int) {
+	if n <= ix.n {
+		return
+	}
+	for _, m := range ix.mats {
+		m.Grow(n)
+	}
+	ix.n = n
+}
 
 // Matrix returns the Boolean matrix of the named non-terminal, or nil if
 // the non-terminal does not exist in the CNF grammar.
@@ -86,7 +108,7 @@ func (ix *Index) Counts() map[string]int {
 
 // Clone returns a deep copy of the index.
 func (ix *Index) Clone() *Index {
-	cp := &Index{cnf: ix.cnf, n: ix.n, mats: make([]matrix.Bool, len(ix.mats))}
+	cp := &Index{cnf: ix.cnf, n: ix.n, backend: ix.backend, mats: make([]matrix.Bool, len(ix.mats))}
 	for i, m := range ix.mats {
 		cp.mats[i] = m.Clone()
 	}
@@ -180,7 +202,7 @@ func (e *Engine) Backend() matrix.Backend { return e.backend }
 // contribute the union of their head non-terminals.
 func (e *Engine) Init(g *graph.Graph, cnf *grammar.CNF) *Index {
 	n := g.Nodes()
-	ix := &Index{cnf: cnf, n: n, mats: make([]matrix.Bool, cnf.NonterminalCount())}
+	ix := &Index{cnf: cnf, n: n, backend: e.backend, mats: make([]matrix.Bool, cnf.NonterminalCount())}
 	for a := range ix.mats {
 		ix.mats[a] = e.backend.NewMatrix(n)
 	}
@@ -199,17 +221,29 @@ func (e *Engine) Init(g *graph.Graph, cnf *grammar.CNF) *Index {
 // adds bits and the total bit count is bounded by |V|²·|N| (paper
 // Theorem 3).
 func (e *Engine) Close(ix *Index) Stats {
+	stats, _ := e.CloseContext(context.Background(), ix)
+	return stats
+}
+
+// CloseContext is Close with cooperative cancellation: the context is
+// checked between fixpoint passes and ctx.Err() is returned if it fires.
+// The index is left in a sound intermediate state (every bit justified by a
+// derivation) but is not a fixpoint.
+func (e *Engine) CloseContext(ctx context.Context, ix *Index) (Stats, error) {
 	if e.naive && e.delta {
 		panic("core: WithNaiveIteration and WithDeltaIteration are mutually exclusive")
 	}
 	if e.delta {
-		return e.closeDelta(ix)
+		return e.closeDelta(ctx, ix)
 	}
 	if e.trace != nil {
 		e.trace(0, ix)
 	}
 	stats := Stats{}
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		changed := false
 		if e.naive {
@@ -236,7 +270,7 @@ func (e *Engine) Close(ix *Index) Stats {
 			e.trace(stats.Iterations, ix)
 		}
 		if !changed {
-			return stats
+			return stats, nil
 		}
 	}
 }
@@ -246,6 +280,16 @@ func (e *Engine) Run(g *graph.Graph, cnf *grammar.CNF) (*Index, Stats) {
 	ix := e.Init(g, cnf)
 	stats := e.Close(ix)
 	return ix, stats
+}
+
+// RunContext is Run with cooperative cancellation between closure passes.
+func (e *Engine) RunContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF) (*Index, Stats, error) {
+	ix := e.Init(g, cnf)
+	stats, err := e.CloseContext(ctx, ix)
+	if err != nil {
+		return nil, stats, err
+	}
+	return ix, stats, nil
 }
 
 // QueryOptions refine Query.
@@ -261,6 +305,12 @@ type QueryOptions struct {
 // returns the sorted pair list. It is the one-call convenience API; use
 // Run/Index for repeated queries over the same closure.
 func (e *Engine) Query(g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, error) {
+	return e.QueryContext(context.Background(), g, gram, start, opts)
+}
+
+// QueryContext is Query with cooperative cancellation between closure
+// passes.
+func (e *Engine) QueryContext(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, error) {
 	if !gram.HasNonterminal(start) {
 		return nil, fmt.Errorf("core: unknown non-terminal %q", start)
 	}
@@ -268,7 +318,10 @@ func (e *Engine) Query(g *graph.Graph, gram *grammar.Grammar, start string, opts
 	if err != nil {
 		return nil, err
 	}
-	ix, _ := e.Run(g, cnf)
+	ix, _, err := e.RunContext(ctx, g, cnf)
+	if err != nil {
+		return nil, err
+	}
 	pairs := ix.Relation(start)
 	if opts.IncludeEmptyPaths && cnf.Nullable[start] {
 		seen := make(map[matrix.Pair]bool, len(pairs))

@@ -1,6 +1,10 @@
 package core
 
-import "cfpq/internal/matrix"
+import (
+	"context"
+
+	"cfpq/internal/matrix"
+)
 
 // WithDeltaIteration selects the semi-naive (incremental) closure schedule,
 // the paper's Section 7 direction of "asymptotically more efficient
@@ -22,7 +26,7 @@ func WithDeltaIteration() Option {
 
 // closeDelta runs the semi-naive fixpoint. The initial frontier is the
 // whole initialised index.
-func (e *Engine) closeDelta(ix *Index) Stats {
+func (e *Engine) closeDelta(ctx context.Context, ix *Index) (Stats, error) {
 	if e.trace != nil {
 		e.trace(0, ix)
 	}
@@ -34,6 +38,9 @@ func (e *Engine) closeDelta(ix *Index) Stats {
 		delta[a] = m.Clone()
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		next := make([]matrix.Bool, nn)
 		for a := range next {
@@ -57,7 +64,7 @@ func (e *Engine) closeDelta(ix *Index) Stats {
 			e.trace(stats.Iterations, ix)
 		}
 		if !changed {
-			return stats
+			return stats, nil
 		}
 	}
 }

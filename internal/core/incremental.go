@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"cfpq/internal/graph"
 	"cfpq/internal/matrix"
 )
@@ -12,20 +14,51 @@ import (
 // rules, and each pass propagates only frontier bits through the binary
 // rules until nothing new appears.
 //
-// The caller must have added the edges to the graph as well if it intends
-// to keep using graph-dependent APIs (AllPaths, PathIndex); Update itself
-// needs only the edge list. Nodes referenced by the edges must be within
-// the index's node range (indices are fixed-size matrices; grow by
-// re-running Run on the enlarged graph).
+// Frontier matrices are allocated from the index's own backend (recorded at
+// Init/ReadIndex time), so an index built with a parallel kernel keeps that
+// kernel through updates regardless of how this engine was configured; the
+// engine's backend is the fallback for indexes without one.
+//
+// Edges that reference nodes beyond the index's node range transparently
+// grow the matrices first (Index.Grow): the old closure is unaffected by
+// isolated new nodes, so grow-then-propagate is exactly the closure of the
+// enlarged graph. The caller must have added the edges to the graph as well
+// if it intends to keep using graph-dependent APIs (AllPaths, PathIndex);
+// Update itself needs only the edge list.
 //
 // Update returns closure statistics for the incremental run; zero
 // iterations of change means the edges added nothing new.
 func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
+	stats, _ := e.UpdateContext(context.Background(), ix, edges...)
+	return stats
+}
+
+// UpdateContext is Update with cooperative cancellation between delta
+// passes. On cancellation the index is sound (every bit justified) but the
+// consequences of the new edges may be only partially propagated; callers
+// that must not serve such a state should rebuild.
+func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Edge) (Stats, error) {
+	be := ix.backend
+	if be == nil {
+		be = e.backend
+	}
+	maxNode := -1
+	for _, edge := range edges {
+		if edge.From > maxNode {
+			maxNode = edge.From
+		}
+		if edge.To > maxNode {
+			maxNode = edge.To
+		}
+	}
+	if maxNode >= ix.n {
+		ix.Grow(maxNode + 1)
+	}
 	n := ix.n
 	nn := len(ix.mats)
 	delta := make([]matrix.Bool, nn)
 	for a := range delta {
-		delta[a] = e.backend.NewMatrix(n)
+		delta[a] = be.NewMatrix(n)
 	}
 	seeded := false
 	for _, edge := range edges {
@@ -39,13 +72,16 @@ func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
 	}
 	stats := Stats{}
 	if !seeded {
-		return stats
+		return stats, nil
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		next := make([]matrix.Bool, nn)
 		for a := range next {
-			next[a] = e.backend.NewMatrix(n)
+			next[a] = be.NewMatrix(n)
 		}
 		for _, r := range ix.cnf.Binary {
 			stats.Products += 2
@@ -62,7 +98,7 @@ func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
 		}
 		delta = next
 		if !changed {
-			return stats
+			return stats, nil
 		}
 	}
 }

@@ -117,7 +117,7 @@ func ReadIndex(r io.Reader, cnf *grammar.CNF, be matrix.Backend) (*Index, error)
 		return nil, fmt.Errorf("core: index has %d non-terminals, grammar has %d",
 			nn32, cnf.NonterminalCount())
 	}
-	ix := &Index{cnf: cnf, n: n, mats: make([]matrix.Bool, cnf.NonterminalCount())}
+	ix := &Index{cnf: cnf, n: n, backend: be, mats: make([]matrix.Bool, cnf.NonterminalCount())}
 	for k := 0; k < int(nn32); k++ {
 		var nameLen uint16
 		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {

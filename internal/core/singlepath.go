@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,7 +32,20 @@ type PathIndex struct {
 // replaced by length bookkeeping. Lengths are fixed at first derivation, as
 // in the paper.
 func NewPathIndex(g *graph.Graph, cnf *grammar.CNF) *PathIndex {
-	return newPathIndex(g, cnf, false)
+	p, _ := newPathIndex(context.Background(), g, cnf, false)
+	return p
+}
+
+// NewPathIndexContext is NewPathIndex with cooperative cancellation between
+// fixpoint passes.
+func NewPathIndexContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF) (*PathIndex, error) {
+	return newPathIndex(ctx, g, cnf, false)
+}
+
+// NewShortestPathIndexContext is NewShortestPathIndex with cooperative
+// cancellation between fixpoint passes.
+func NewShortestPathIndexContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF) (*PathIndex, error) {
+	return newPathIndex(ctx, g, cnf, true)
 }
 
 // NewShortestPathIndex is NewPathIndex over the min-plus relaxation: the
@@ -41,10 +55,11 @@ func NewPathIndex(g *graph.Graph, cnf *grammar.CNF) *PathIndex {
 // minimal, at the cost of more fixpoint work). Path extraction works
 // unchanged and returns a shortest witness.
 func NewShortestPathIndex(g *graph.Graph, cnf *grammar.CNF) *PathIndex {
-	return newPathIndex(g, cnf, true)
+	p, _ := newPathIndex(context.Background(), g, cnf, true)
+	return p
 }
 
-func newPathIndex(g *graph.Graph, cnf *grammar.CNF, shortest bool) *PathIndex {
+func newPathIndex(ctx context.Context, g *graph.Graph, cnf *grammar.CNF, shortest bool) (*PathIndex, error) {
 	n := g.Nodes()
 	p := &PathIndex{
 		cnf:     cnf,
@@ -74,8 +89,12 @@ func newPathIndex(g *graph.Graph, cnf *grammar.CNF, shortest bool) *PathIndex {
 	// Fixpoint: for A → B C, (i,k,l_B) and (k,j,l_C) yield (i,j,l_B+l_C).
 	// First-found mode never overwrites (the paper's rule); shortest mode
 	// relaxes with min until no length decreases (lengths are positive
-	// integers bounded below, so this terminates).
+	// integers bounded below, so this terminates). The context is checked
+	// between passes.
 	for changed := true; changed; {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed = false
 		for _, r := range cnf.Binary {
 			for i := 0; i < n; i++ {
@@ -107,7 +126,7 @@ func newPathIndex(g *graph.Graph, cnf *grammar.CNF, shortest bool) *PathIndex {
 			}
 		}
 	}
-	return p
+	return p, nil
 }
 
 // Length returns the recorded witness-path length for (nt, i, j), or false

@@ -88,6 +88,21 @@ func (m *DenseMatrix) Nnz() int {
 	return total
 }
 
+// Grow resizes the matrix to n×n in place, keeping every entry. The words
+// are re-packed row by row because the stride (words per row) changes with
+// the dimension.
+func (m *DenseMatrix) Grow(n int) {
+	if n <= m.n {
+		return
+	}
+	stride := (n + 63) / 64
+	words := make([]uint64, n*stride)
+	for i := 0; i < m.n; i++ {
+		copy(words[i*stride:i*stride+m.stride], m.words[i*m.stride:(i+1)*m.stride])
+	}
+	m.n, m.stride, m.words = n, stride, words
+}
+
 // Clone returns an independent copy.
 func (m *DenseMatrix) Clone() Bool {
 	cp := *m

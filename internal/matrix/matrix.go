@@ -43,6 +43,11 @@ type Bool interface {
 	AndNot(other Bool) bool
 	// Equal reports whether m and other have identical entries.
 	Equal(other Bool) bool
+	// Grow resizes the matrix in place to n×n (n ≥ Dim), preserving every
+	// set entry; the new rows and columns are empty. Growing is what lets
+	// an evaluated index absorb edges that enlarge the node set without a
+	// from-scratch rebuild. n < Dim is a no-op.
+	Grow(n int)
 	// Clone returns an independent copy.
 	Clone() Bool
 	// Range calls fn for every set entry in row-major order; fn returning

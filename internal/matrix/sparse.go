@@ -94,6 +94,18 @@ func (m *SparseMatrix) Set(i, j int) {
 // Nnz returns the number of set entries.
 func (m *SparseMatrix) Nnz() int { return m.nnz }
 
+// Grow resizes the matrix to n×n in place, keeping every entry. The CSR
+// row list simply gains empty rows; column indices need no translation.
+func (m *SparseMatrix) Grow(n int) {
+	if n <= m.n {
+		return
+	}
+	rows := make([][]int32, n)
+	copy(rows, m.rows)
+	m.rows = rows
+	m.n = n
+}
+
 // Clone returns an independent copy.
 func (m *SparseMatrix) Clone() Bool {
 	cp := &SparseMatrix{

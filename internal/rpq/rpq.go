@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"cfpq/internal/core"
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
 	"cfpq/internal/matrix"
@@ -15,16 +14,14 @@ type Options struct {
 	// IncludeEmptyPaths adds (v, v) for every node when the expression
 	// accepts the empty word (e.g. `a*`).
 	IncludeEmptyPaths bool
-	// Backend selects the matrix backend for the CFPQ reduction; nil means
-	// serial sparse. Ignored by EvaluateBFS.
-	Backend matrix.Backend
 }
 
 // Grammar converts the expression's NFA into an equivalent right-linear
 // context-free grammar: one non-terminal Qᵢ per state, productions
 // Qᵢ → x Qⱼ per transition and Qᵢ → x when Qⱼ accepts. The start
 // non-terminal is Q<Start>. This is the reduction that lets the matrix
-// CFPQ engine answer RPQs.
+// CFPQ engine answer RPQs; the evaluation itself lives in the public cfpq
+// package (Engine.RPQ), so this package holds no query engine of its own.
 func Grammar(r Regex) (*grammar.Grammar, string, *NFA) {
 	nfa := CompileNFA(r)
 	g := grammar.New()
@@ -46,38 +43,10 @@ func Grammar(r Regex) (*grammar.Grammar, string, *NFA) {
 	return g, nt(nfa.Start), nfa
 }
 
-// Evaluate answers the RPQ under the relational semantics by reduction to
-// CFPQ: pairs (m, n) such that some path m → n spells a word in L(r).
-func Evaluate(g *graph.Graph, r Regex, opts Options) ([]matrix.Pair, error) {
-	gram, start, nfa := Grammar(r)
-	engineOpts := []core.Option{}
-	if opts.Backend != nil {
-		engineOpts = append(engineOpts, core.WithBackend(opts.Backend))
-	}
-	e := core.NewEngine(engineOpts...)
-	if !gram.HasNonterminal(start) {
-		// Degenerate: the language is empty or {ε}.
-		if nfa.AcceptsEmpty && opts.IncludeEmptyPaths {
-			return reflexivePairs(g.Nodes()), nil
-		}
-		return nil, nil
-	}
-	return e.Query(g, gram, start, core.QueryOptions{IncludeEmptyPaths: opts.IncludeEmptyPaths})
-}
-
-// EvaluateString parses and evaluates an RPQ expression.
-func EvaluateString(g *graph.Graph, expr string, opts Options) ([]matrix.Pair, error) {
-	r, err := ParseRegex(expr)
-	if err != nil {
-		return nil, err
-	}
-	return Evaluate(g, r, opts)
-}
-
-// EvaluateBFS answers the same query by direct breadth-first search over
-// the product of the graph and the NFA — the classical RPQ algorithm. It
-// serves as an independent oracle for the CFPQ reduction and as a
-// baseline for benchmarks.
+// EvaluateBFS answers the RPQ by direct breadth-first search over the
+// product of the graph and the NFA — the classical RPQ algorithm. It
+// serves as an independent oracle for the CFPQ reduction and as a baseline
+// for benchmarks.
 func EvaluateBFS(g *graph.Graph, r Regex, opts Options) []matrix.Pair {
 	nfa := CompileNFA(r)
 	adj := graph.NewAdjacency(g)
@@ -134,7 +103,9 @@ func EvaluateBFS(g *graph.Graph, r Regex, opts Options) []matrix.Pair {
 	return pairs
 }
 
-func reflexivePairs(n int) []matrix.Pair {
+// ReflexivePairs is the relation {(v, v) | v ∈ V}: the answer to an
+// ε-accepting expression whose language is otherwise empty.
+func ReflexivePairs(n int) []matrix.Pair {
 	out := make([]matrix.Pair, n)
 	for v := 0; v < n; v++ {
 		out[v] = matrix.Pair{I: v, J: v}

@@ -1,14 +1,14 @@
 package rpq
 
 import (
-	"math/rand"
-	"reflect"
 	"strings"
 	"testing"
-
-	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
 )
+
+// The evaluation tests — chain/star/cycle behaviour and the headline
+// CFPQ-reduction-vs-BFS cross-check — live in the root cfpq package
+// (rpq_eval_test.go), because evaluation itself now goes through the public
+// Engine API; this package only compiles expressions and reduces them.
 
 func TestParseRegex(t *testing.T) {
 	cases := []struct {
@@ -76,111 +76,6 @@ func TestNFAAccepts(t *testing.T) {
 		}
 		if nfa.AcceptsEmpty != nfa.Accepts(nil) {
 			t.Errorf("%q: AcceptsEmpty inconsistent", c.expr)
-		}
-	}
-}
-
-func TestEvaluateChain(t *testing.T) {
-	g := graph.Chain(5, "a") // 0→1→2→3→4
-	pairs, err := EvaluateString(g, "a a", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []matrix.Pair{{I: 0, J: 2}, {I: 1, J: 3}, {I: 2, J: 4}}
-	if !reflect.DeepEqual(pairs, want) {
-		t.Errorf("pairs = %v, want %v", pairs, want)
-	}
-}
-
-func TestEvaluateStar(t *testing.T) {
-	g := graph.Chain(4, "a")
-	pairs, err := EvaluateString(g, "a*", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Without empty paths: all i<j pairs.
-	want := []matrix.Pair{
-		{I: 0, J: 1}, {I: 0, J: 2}, {I: 0, J: 3},
-		{I: 1, J: 2}, {I: 1, J: 3},
-		{I: 2, J: 3},
-	}
-	if !reflect.DeepEqual(pairs, want) {
-		t.Errorf("pairs = %v, want %v", pairs, want)
-	}
-	withEmpty, err := EvaluateString(g, "a*", Options{IncludeEmptyPaths: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(withEmpty) != len(want)+4 {
-		t.Errorf("with empty paths: %v", withEmpty)
-	}
-}
-
-func TestEvaluateEmptyLanguageAndEpsilonOnly(t *testing.T) {
-	g := graph.Chain(3, "a")
-	// `b` never matches on an a-chain.
-	pairs, err := EvaluateString(g, "b", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pairs != nil {
-		t.Errorf("pairs = %v, want nil", pairs)
-	}
-	// `b?` matches only ε here.
-	pairs, err = EvaluateString(g, "b?", Options{IncludeEmptyPaths: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := []matrix.Pair{{I: 0, J: 0}, {I: 1, J: 1}, {I: 2, J: 2}}
-	if !reflect.DeepEqual(pairs, want) {
-		t.Errorf("pairs = %v, want %v", pairs, want)
-	}
-}
-
-func TestEvaluateOnCycle(t *testing.T) {
-	g := graph.Cycle(3, "a")
-	pairs, err := EvaluateString(g, "a a a", Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Three a-steps on a 3-cycle return to the start: exactly (v, v).
-	want := []matrix.Pair{{I: 0, J: 0}, {I: 1, J: 1}, {I: 2, J: 2}}
-	if !reflect.DeepEqual(pairs, want) {
-		t.Errorf("pairs = %v, want %v", pairs, want)
-	}
-}
-
-// TestCFPQReductionAgainstBFS is the headline property: the CFPQ reduction
-// and the product-graph BFS must agree on random graphs and a spread of
-// expressions, with and without empty paths, on every backend.
-func TestCFPQReductionAgainstBFS(t *testing.T) {
-	exprs := []string{
-		"a", "a b", "a | b", "a*", "a+", "a? b",
-		"(a | b)* c", "a (b a)* b", "(a a)+",
-		"subClassOf_r* subClassOf", "(a | b | c)+",
-	}
-	rng := rand.New(rand.NewSource(81))
-	labels := []string{"a", "b", "c", "subClassOf", "subClassOf_r"}
-	for trial := 0; trial < 6; trial++ {
-		n := 2 + rng.Intn(10)
-		g := graph.Random(rng, n, 3*n, labels)
-		for _, expr := range exprs {
-			r := MustParseRegex(expr)
-			for _, includeEmpty := range []bool{false, true} {
-				opts := Options{IncludeEmptyPaths: includeEmpty}
-				want := EvaluateBFS(g, r, opts)
-				for _, be := range matrix.Backends() {
-					opts.Backend = be
-					got, err := Evaluate(g, r, opts)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if !reflect.DeepEqual(got, want) {
-						t.Fatalf("trial %d expr %q empty=%v backend %s:\ncfpq %v\nbfs  %v",
-							trial, expr, includeEmpty, be.Name(), got, want)
-					}
-				}
-			}
 		}
 	}
 }

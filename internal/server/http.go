@@ -61,7 +61,7 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("no edges in request"))
 			return
 		}
-		res, err := s.AddEdges(r.PathValue("name"), req.Edges)
+		res, err := s.AddEdges(r.Context(), r.PathValue("name"), req.Edges)
 		if err != nil {
 			writeError(w, statusFor(err), err)
 			return
@@ -112,28 +112,28 @@ func Handler(s *Service) http.Handler {
 				writeError(w, http.StatusBadRequest, errors.New("op=has requires from and to"))
 				return
 			}
-			ok, err := s.Has(t, nt, from, to)
+			ok, err := s.Has(r.Context(), t, nt, from, to)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"has": ok, "from": from, "to": to, "nonterminal": nt})
 		case "relation":
-			pairs, err := s.Relation(t, nt)
+			pairs, err := s.Relation(r.Context(), t, nt)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": len(pairs), "pairs": pairs})
 		case "count":
-			n, err := s.Count(t, nt)
+			n, err := s.Count(r.Context(), t, nt)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": n})
 		case "counts":
-			counts, err := s.Counts(t)
+			counts, err := s.Counts(r.Context(), t)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return

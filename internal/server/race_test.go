@@ -45,7 +45,7 @@ func TestConcurrentQueriesDuringUpdates(t *testing.T) {
 	targets := make([]Target, len(backends))
 	for i, be := range backends {
 		targets[i] = Target{Graph: "word", Grammar: "anbn", Backend: be}
-		if _, err := s.Count(targets[i], "S"); err != nil { // warm the caches
+		if _, err := s.Count(ctx, targets[i], "S"); err != nil { // warm the caches
 			t.Fatal(err)
 		}
 	}
@@ -65,7 +65,7 @@ func TestConcurrentQueriesDuringUpdates(t *testing.T) {
 				// taking every writers-th slot.
 				at := 2*k - 1 + writers*b + w
 				spec := EdgeSpec{From: fmt.Sprint(at), Label: "b", To: fmt.Sprint(at + 1)}
-				if _, err := s.AddEdges("word", []EdgeSpec{spec}); err != nil {
+				if _, err := s.AddEdges(ctx, "word", []EdgeSpec{spec}); err != nil {
 					errs <- err
 					return
 				}
@@ -81,22 +81,22 @@ func TestConcurrentQueriesDuringUpdates(t *testing.T) {
 			for i := 0; i < 40; i++ {
 				switch i % 4 {
 				case 0:
-					if _, err := s.Has(tgt, "S", "0", fmt.Sprint(2*k)); err != nil {
+					if _, err := s.Has(ctx, tgt, "S", "0", fmt.Sprint(2*k)); err != nil {
 						errs <- err
 						return
 					}
 				case 1:
-					if _, err := s.Count(tgt, "S"); err != nil {
+					if _, err := s.Count(ctx, tgt, "S"); err != nil {
 						errs <- err
 						return
 					}
 				case 2:
-					if _, err := s.Relation(tgt, "S"); err != nil {
+					if _, err := s.Relation(ctx, tgt, "S"); err != nil {
 						errs <- err
 						return
 					}
 				case 3:
-					if _, err := s.Counts(tgt); err != nil {
+					if _, err := s.Counts(ctx, tgt); err != nil {
 						errs <- err
 						return
 					}
@@ -129,7 +129,7 @@ func TestConcurrentQueriesDuringUpdates(t *testing.T) {
 	}
 	totalUpdates := 0
 	for _, tgt := range targets {
-		if n, err := s.Count(tgt, "S"); err != nil || n != wantCount {
+		if n, err := s.Count(ctx, tgt, "S"); err != nil || n != wantCount {
 			t.Fatalf("backend %s: post-race Count = %d, %v; want %d", tgt.Backend, n, err, wantCount)
 		}
 		st, ok := s.IndexStatsFor(tgt)

@@ -1,43 +1,46 @@
-// Package server turns the batch CFPQ library into an in-process query
-// service: a registry of named graphs and grammars, closure indexes built
-// lazily and cached per (graph, grammar, backend), concurrent reads under
-// an RWMutex per index, and an edge-update path that patches every cached
-// index with the incremental (semi-naive delta) closure instead of
-// recomputing from scratch.
+// Package server turns the CFPQ library into an in-process query service:
+// a registry of named graphs and grammars, with closure indexes built
+// lazily and cached per (graph, grammar, backend). The caching, locking
+// and incremental-update machinery itself lives in the public API — each
+// cache slot holds a cfpq.Prepared handle, which answers concurrent
+// queries under its own read lock and absorbs edge updates with the
+// incremental delta closure — so this package keeps only registry and
+// naming concerns.
 //
 // Concurrency design. Three locks with a fixed nesting order:
 //
 //   - Service.mu (plain Mutex) guards only registry map membership. It is
 //     never held while acquiring an entry lock.
-//   - indexEntry.mu (RWMutex) guards one cached index and its statistics;
-//     queries hold the read lock, builds and incremental updates the write
-//     lock, so any number of readers proceed in parallel and block only
-//     while "their" index is being patched.
+//   - indexEntry.mu (Mutex) guards one cache slot's build-once and
+//     staleness state; the cfpq.Prepared inside carries its own RWMutex
+//     for queries versus patches.
 //   - graphEntry.mu (RWMutex) guards one graph's edge set and name table.
 //     It MAY be acquired while holding an indexEntry.mu (the build path
-//     and name rendering do), NEVER the other way around.
+//     does, to snapshot the graph), NEVER the other way around.
 //
-// A query registers its index entry in the cache *before* reading the
-// graph, and AddEdges snapshots the cache *after* mutating the graph; the
-// two orderings together guarantee every cached index either saw the new
-// edges when it was built or is patched by the update — no lost updates.
-// Updates whose edges grow the node set cannot be patched into fixed-size
-// matrices; those indexes are invalidated and rebuilt on next use.
+// Every Prepared owns a private snapshot of its graph, taken at build
+// time; AddEdges patches each cached handle with the same edges it applied
+// to the registry graph. A query registers its index entry in the cache
+// *before* snapshotting the graph, and AddEdges walks the cache *after*
+// mutating the graph; the two orderings together guarantee every cached
+// index either saw the new edges when it was built or is patched by the
+// update — no lost updates (re-applying edges a build already saw is a
+// no-op: graphs deduplicate and the delta seeds only missing bits).
+// Updates whose edges grow the node set invalidate the affected slots;
+// they rebuild at the larger dimension on next use.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
 	"sync"
-	"sync/atomic"
 
-	"cfpq/internal/core"
-	"cfpq/internal/grammar"
+	"cfpq"
 	"cfpq/internal/graph"
-	"cfpq/internal/matrix"
 )
 
 // ErrNotFound marks lookups of unregistered names — graphs, grammars,
@@ -77,8 +80,8 @@ type graphEntry struct {
 }
 
 type grammarEntry struct {
-	gram *grammar.Grammar
-	cnf  *grammar.CNF
+	gram *cfpq.Grammar
+	cnf  *cfpq.CNF
 	src  string
 }
 
@@ -89,28 +92,23 @@ type IndexKey struct {
 	Backend string
 }
 
+// indexEntry is one cache slot: build-once state around a public
+// cfpq.Prepared handle, which does the actual caching, locking and
+// incremental maintenance.
 type indexEntry struct {
-	mu      sync.RWMutex
-	key     IndexKey
-	ge      *graphEntry // the graph the index is (being) built from
-	engine  *core.Engine
-	built   bool
-	stale   bool // invalidated (node growth); left out of the cache map
-	ix      *core.Index
-	build   core.Stats   // the initial closure
-	update  core.Stats   // accumulated incremental updates
-	updates int          // number of successful incremental patches
-	queries atomic.Int64 // queries answered from this index
+	mu    sync.Mutex
+	key   IndexKey
+	ge    *graphEntry // the registry graph the handle is (being) built from
+	eng   *cfpq.Engine
+	built bool
+	stale bool // invalidated (node growth or replacement); off the cache map
+	p     *cfpq.Prepared
 }
 
-// BackendByName resolves one of the four paper backends by its Name().
-func BackendByName(name string) (matrix.Backend, error) {
-	for _, be := range matrix.Backends() {
-		if be.Name() == name {
-			return be, nil
-		}
-	}
-	return nil, fmt.Errorf("server: unknown backend %q (want dense, dense-parallel, sparse or sparse-parallel)", name)
+// BackendByName resolves one of the four paper backends by its Name(); the
+// library error already names the valid choices.
+func BackendByName(name string) (cfpq.Backend, error) {
+	return cfpq.BackendByName(name)
 }
 
 // DefaultBackend is used when a query names no backend.
@@ -184,11 +182,11 @@ func (s *Service) RegisterGrammar(name, text string) error {
 	if name == "" {
 		return fmt.Errorf("server: empty grammar name")
 	}
-	gram, err := grammar.ParseString(text)
+	gram, err := cfpq.ParseGrammar(text)
 	if err != nil {
 		return err
 	}
-	cnf, err := grammar.ToCNF(gram)
+	cnf, err := cfpq.ToCNF(gram)
 	if err != nil {
 		return err
 	}
@@ -305,15 +303,14 @@ func (t Target) key() IndexKey {
 	return IndexKey{Graph: t.Graph, Grammar: t.Grammar, Backend: be}
 }
 
-// index returns the cached (building if necessary) closure index for the
-// target, leaving entry.mu read-locked on success; the caller must
-// RUnlock. Answering under the read lock is what lets many queries share
-// an index while updates wait.
-func (s *Service) index(t Target) (*indexEntry, error) {
+// index returns the cache entry and its built Prepared handle for the
+// target, building on first use. The handle answers queries under its own
+// read lock, so many queries share an index while updates wait.
+func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepared, error) {
 	key := t.key()
 	be, err := BackendByName(key.Backend)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	s.mu.Lock()
 	ge := s.graphs[key.Graph]
@@ -321,50 +318,41 @@ func (s *Service) index(t Target) (*indexEntry, error) {
 	if ge == nil || re == nil {
 		s.mu.Unlock()
 		if ge == nil {
-			return nil, notFoundf("server: unknown graph %q", key.Graph)
+			return nil, nil, notFoundf("server: unknown graph %q", key.Graph)
 		}
-		return nil, notFoundf("server: unknown grammar %q", key.Grammar)
+		return nil, nil, notFoundf("server: unknown grammar %q", key.Grammar)
 	}
-	// Register the entry before reading the graph (see package comment:
-	// this ordering, with AddEdges snapshotting after mutation, excludes
-	// lost updates).
+	// Register the entry before snapshotting the graph (see package
+	// comment: this ordering, with AddEdges walking the cache after
+	// mutation, excludes lost updates).
 	e := s.indexes[key]
 	if e == nil {
-		e = &indexEntry{key: key, ge: ge, engine: core.NewEngine(core.WithBackend(be))}
+		e = &indexEntry{key: key, ge: ge, eng: cfpq.NewEngine(be)}
 		s.indexes[key] = e
 	}
 	s.mu.Unlock()
 
-	e.mu.RLock()
-	if e.built {
-		return e, nil
-	}
-	e.mu.RUnlock()
-
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if !e.built {
-		ge.mu.RLock()
-		ix := e.engine.Init(ge.g, re.cnf)
-		ge.mu.RUnlock()
-		// The fixpoint reads only the index, so the graph lock is not
-		// held across the (potentially long) closure. An AddEdges racing
-		// this build either sees built=false and skips — in which case
-		// its mutation finished before our Init and the edges are in the
-		// snapshot we closed over — or serialises behind us on e.mu and
-		// patches the finished index (re-applying edges the build saw is
-		// a no-op: Update seeds only bits that are not already present).
-		e.build = e.engine.Close(ix)
-		e.ix = ix
+		// The Prepared owns a private snapshot of the graph, so the graph
+		// lock is held only for the clone, not the (potentially long)
+		// closure. An AddEdges racing this build either sees built=false
+		// and skips — in which case its mutation finished before our clone
+		// and the edges are in the snapshot — or serialises behind us on
+		// e.mu and patches the finished handle (a no-op for edges the
+		// build saw).
+		e.ge.mu.RLock()
+		snapshot := e.ge.g.Clone()
+		e.ge.mu.RUnlock()
+		p, err := e.eng.PrepareCNF(ctx, snapshot, re.cnf)
+		if err != nil {
+			return nil, nil, err
+		}
+		e.p = p
 		e.built = true
 	}
-	e.mu.Unlock()
-
-	e.mu.RLock()
-	if !e.built || e.ix == nil {
-		e.mu.RUnlock()
-		return nil, fmt.Errorf("server: index %v disappeared during build", key)
-	}
-	return e, nil
+	return e, e.p, nil
 }
 
 // resolveNode maps a node name (or decimal id, for graphs without a name
@@ -411,18 +399,25 @@ func (s *Service) graphEntry(name string) (*graphEntry, error) {
 	return ge, nil
 }
 
+// checkNonterminal guards query errors: Prepared answers unknown
+// non-terminals with empty relations, but the service contract is 404.
+func checkNonterminal(p *cfpq.Prepared, nt string) error {
+	if _, ok := p.CNF().Index(nt); !ok {
+		return notFoundf("server: unknown non-terminal %q", nt)
+	}
+	return nil
+}
+
 // Has reports whether (from, to) is in R_nt on the target. from and to are
 // node names (or decimal ids).
-func (s *Service) Has(t Target, nt, from, to string) (bool, error) {
-	e, err := s.index(t)
+func (s *Service) Has(ctx context.Context, t Target, nt, from, to string) (bool, error) {
+	e, p, err := s.index(ctx, t)
 	if err != nil {
 		return false, err
 	}
-	defer e.mu.RUnlock()
-	e.queries.Add(1)
-	// Names resolve through e.ge — the graph the index was built from —
-	// not a fresh registry lookup: a racing graph replacement under the
-	// same name is a different node-id namespace.
+	// Names resolve through e.ge — the registry graph the index was built
+	// from — not a fresh registry lookup: a racing graph replacement under
+	// the same name is a different node-id namespace.
 	e.ge.mu.RLock()
 	i, errI := e.ge.resolveNode(from)
 	j, errJ := e.ge.resolveNode(to)
@@ -433,14 +428,12 @@ func (s *Service) Has(t Target, nt, from, to string) (bool, error) {
 	if errJ != nil {
 		return false, errJ
 	}
-	if _, ok := e.ix.CNF().Index(nt); !ok {
-		return false, notFoundf("server: unknown non-terminal %q", nt)
+	if err := checkNonterminal(p, nt); err != nil {
+		return false, err
 	}
-	if i >= e.ix.Nodes() || j >= e.ix.Nodes() {
-		// Nodes added after this index was built (stale in-flight read).
-		return false, nil
-	}
-	return e.ix.Has(nt, i, j), nil
+	// Nodes added after this handle was built answer false (stale
+	// in-flight read); Prepared.Has bounds-checks.
+	return p.Has(nt, i, j), nil
 }
 
 // NamedPair is one relation element with node names resolved.
@@ -450,53 +443,45 @@ type NamedPair struct {
 }
 
 // Relation returns R_nt on the target as (from, to) node-name pairs in
-// row-major node order. Names come from the graph the index was built
-// from (see Has).
-func (s *Service) Relation(t Target, nt string) ([]NamedPair, error) {
-	e, err := s.index(t)
+// row-major node order. Names come from the registry graph the index was
+// built from (see Has).
+func (s *Service) Relation(ctx context.Context, t Target, nt string) ([]NamedPair, error) {
+	e, p, err := s.index(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	e.queries.Add(1)
-	if _, ok := e.ix.CNF().Index(nt); !ok {
-		e.mu.RUnlock()
-		return nil, notFoundf("server: unknown non-terminal %q", nt)
+	if err := checkNonterminal(p, nt); err != nil {
+		return nil, err
 	}
-	pairs := e.ix.Relation(nt)
-	ge := e.ge
-	e.mu.RUnlock()
+	pairs := p.Relation(nt)
 	out := make([]NamedPair, len(pairs))
-	ge.mu.RLock()
-	for k, p := range pairs {
-		out[k] = NamedPair{From: ge.nodeName(p.I), To: ge.nodeName(p.J)}
+	e.ge.mu.RLock()
+	for k, pr := range pairs {
+		out[k] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
 	}
-	ge.mu.RUnlock()
+	e.ge.mu.RUnlock()
 	return out, nil
 }
 
 // Count returns |R_nt| on the target.
-func (s *Service) Count(t Target, nt string) (int, error) {
-	e, err := s.index(t)
+func (s *Service) Count(ctx context.Context, t Target, nt string) (int, error) {
+	_, p, err := s.index(ctx, t)
 	if err != nil {
 		return 0, err
 	}
-	defer e.mu.RUnlock()
-	e.queries.Add(1)
-	if _, ok := e.ix.CNF().Index(nt); !ok {
-		return 0, notFoundf("server: unknown non-terminal %q", nt)
+	if err := checkNonterminal(p, nt); err != nil {
+		return 0, err
 	}
-	return e.ix.Count(nt), nil
+	return p.Count(nt), nil
 }
 
 // Counts returns |R_A| for every non-terminal A of the target's grammar.
-func (s *Service) Counts(t Target) (map[string]int, error) {
-	e, err := s.index(t)
+func (s *Service) Counts(ctx context.Context, t Target) (map[string]int, error) {
+	_, p, err := s.index(ctx, t)
 	if err != nil {
 		return nil, err
 	}
-	defer e.mu.RUnlock()
-	e.queries.Add(1)
-	return e.ix.Counts(), nil
+	return p.Counts(), nil
 }
 
 // --- mutation ---------------------------------------------------------
@@ -522,14 +507,14 @@ type UpdateResult struct {
 	Invalidated int `json:"invalidated"`
 	// UpdateStats accumulates the incremental closure work across all
 	// patched indexes.
-	UpdateStats core.Stats `json:"update_stats"`
+	UpdateStats cfpq.Stats `json:"update_stats"`
 }
 
 // AddEdges inserts edges into the named graph and brings every cached
-// index on that graph up to date: indexes whose node range still covers
+// index on that graph up to date: handles whose node range still covers
 // the graph are patched with the incremental delta closure
-// (core.Engine.Update); indexes outgrown by new nodes are invalidated.
-func (s *Service) AddEdges(graphName string, specs []EdgeSpec) (UpdateResult, error) {
+// (Prepared.AddEdges); handles outgrown by new nodes are invalidated.
+func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSpec) (UpdateResult, error) {
 	var res UpdateResult
 	ge, err := s.graphEntry(graphName)
 	if err != nil {
@@ -588,12 +573,12 @@ func (s *Service) AddEdges(graphName string, specs []EdgeSpec) (UpdateResult, er
 	res.Added = len(edges)
 	res.NewNodes = nodes - before
 
-	// Phase 2: snapshot the cache after the mutation (the ordering that,
-	// paired with index() registering entries before reading the graph,
-	// excludes lost updates) and patch or invalidate each index. Updates
-	// racing on the same index serialise on e.mu in either order: Update
-	// only ever adds bits and re-applying present edges is a no-op, so the
-	// closure is confluent.
+	// Phase 2: walk the cache after the mutation (the ordering that,
+	// paired with index() registering entries before snapshotting the
+	// graph, excludes lost updates) and patch or invalidate each slot.
+	// Updates racing on the same handle serialise inside Prepared; the
+	// delta closure only ever adds bits and re-applying present edges is a
+	// no-op, so the closure is confluent.
 	s.mu.Lock()
 	var entries []*indexEntry
 	for k, e := range s.indexes {
@@ -611,17 +596,23 @@ func (s *Service) AddEdges(graphName string, specs []EdgeSpec) (UpdateResult, er
 		e.mu.Lock()
 		switch {
 		case e.stale || !e.built:
-			// Unbuilt entries will read the post-mutation graph when
+			// Unbuilt entries will snapshot the post-mutation graph when
 			// they build; stale ones are already off the cache.
-		case maxNode >= e.ix.Nodes():
+		case maxNode >= e.p.Nodes():
 			e.stale = true
 			res.Invalidated++
 		default:
-			st := e.engine.Update(e.ix, edges...)
-			e.update.Add(st)
-			e.updates++
-			res.UpdateStats.Add(st)
-			res.Patched++
+			info, err := e.p.AddEdges(ctx, edges...)
+			res.UpdateStats.Add(info.Stats)
+			if err != nil {
+				// A cancelled patch leaves the handle sound but
+				// incomplete; drop it so the next query rebuilds, and
+				// report it as invalidated, not patched.
+				e.stale = true
+				res.Invalidated++
+			} else {
+				res.Patched++
+			}
 		}
 		stale := e.stale
 		key := e.key
@@ -649,10 +640,10 @@ type IndexStats struct {
 	// relation matrices.
 	Entries int `json:"entries"`
 	// Build is the closure work of the initial full fixpoint.
-	Build core.Stats `json:"build"`
+	Build cfpq.Stats `json:"build"`
 	// Update accumulates the incremental closure work of every edge
 	// update patched into this index since it was built.
-	Update  core.Stats `json:"update"`
+	Update  cfpq.Stats `json:"update"`
 	Updates int        `json:"updates"`
 	Queries int64      `json:"queries"`
 }
@@ -667,25 +658,24 @@ func (s *Service) Stats() []IndexStats {
 	s.mu.Unlock()
 	out := make([]IndexStats, 0, len(entries))
 	for _, e := range entries {
-		e.mu.RLock()
-		if e.built {
-			entries := 0
-			for _, c := range e.ix.Counts() {
-				entries += c
-			}
-			out = append(out, IndexStats{
-				Graph:   e.key.Graph,
-				Grammar: e.key.Grammar,
-				Backend: e.key.Backend,
-				Nodes:   e.ix.Nodes(),
-				Entries: entries,
-				Build:   e.build,
-				Update:  e.update,
-				Updates: e.updates,
-				Queries: e.queries.Load(),
-			})
+		e.mu.Lock()
+		built, p, key := e.built, e.p, e.key
+		e.mu.Unlock()
+		if !built {
+			continue
 		}
-		e.mu.RUnlock()
+		ps := p.Stats()
+		out = append(out, IndexStats{
+			Graph:   key.Graph,
+			Grammar: key.Grammar,
+			Backend: key.Backend,
+			Nodes:   ps.Nodes,
+			Entries: ps.Entries,
+			Build:   ps.Build,
+			Update:  ps.Update,
+			Updates: ps.Updates,
+			Queries: ps.Queries,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -12,6 +13,10 @@ import (
 	"cfpq/internal/graph"
 	"cfpq/internal/matrix"
 )
+
+// ctx is the background context the service methods take; none of these
+// tests exercise cancellation (the root package's engine tests do).
+var ctx = context.Background()
 
 func mustCNF(t *testing.T, src string) *grammar.CNF {
 	t.Helper()
@@ -60,19 +65,19 @@ carol	likes	dora
 	}
 	tgt := Target{Graph: "social", Grammar: "reach"}
 
-	ok, err := s.Has(tgt, "S", "alice", "carol")
+	ok, err := s.Has(ctx, tgt, "S", "alice", "carol")
 	if err != nil || !ok {
 		t.Fatalf("Has(alice,carol) = %v, %v; want true", ok, err)
 	}
-	ok, err = s.Has(tgt, "S", "carol", "alice")
+	ok, err = s.Has(ctx, tgt, "S", "carol", "alice")
 	if err != nil || ok {
 		t.Fatalf("Has(carol,alice) = %v, %v; want false", ok, err)
 	}
-	n, err := s.Count(tgt, "S")
+	n, err := s.Count(ctx, tgt, "S")
 	if err != nil || n != 3 {
 		t.Fatalf("Count = %d, %v; want 3 (alice→bob, alice→carol, bob→carol)", n, err)
 	}
-	pairs, err := s.Relation(tgt, "S")
+	pairs, err := s.Relation(ctx, tgt, "S")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +85,7 @@ carol	likes	dora
 	if !reflect.DeepEqual(pairs, want) {
 		t.Fatalf("Relation = %v, want %v", pairs, want)
 	}
-	counts, err := s.Counts(tgt)
+	counts, err := s.Counts(ctx, tgt)
 	if err != nil || counts["S"] != 3 {
 		t.Fatalf("Counts = %v, %v; want S:3", counts, err)
 	}
@@ -90,7 +95,7 @@ func TestQueryAllBackendsAgree(t *testing.T) {
 	s := anbnWordService(t, 6)
 	var counts []int
 	for _, be := range matrix.Backends() {
-		n, err := s.Count(Target{Graph: "word", Grammar: "anbn", Backend: be.Name()}, "S")
+		n, err := s.Count(ctx, Target{Graph: "word", Grammar: "anbn", Backend: be.Name()}, "S")
 		if err != nil {
 			t.Fatalf("backend %s: %v", be.Name(), err)
 		}
@@ -110,34 +115,34 @@ func TestQueryAllBackendsAgree(t *testing.T) {
 func TestQueryErrors(t *testing.T) {
 	s := anbnWordService(t, 3)
 	tgt := Target{Graph: "word", Grammar: "anbn"}
-	if _, err := s.Count(Target{Graph: "nope", Grammar: "anbn"}, "S"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Count(ctx, Target{Graph: "nope", Grammar: "anbn"}, "S"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown graph: want ErrNotFound, got %v", err)
 	}
-	if _, err := s.Count(Target{Graph: "word", Grammar: "nope"}, "S"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Count(ctx, Target{Graph: "word", Grammar: "nope"}, "S"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown grammar: want ErrNotFound, got %v", err)
 	}
-	if _, err := s.Has(tgt, "S", "zzz", "0"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Has(ctx, tgt, "S", "zzz", "0"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown node: want ErrNotFound, got %v", err)
 	}
-	if _, err := s.Count(tgt, "Nope"); !errors.Is(err, ErrNotFound) {
+	if _, err := s.Count(ctx, tgt, "Nope"); !errors.Is(err, ErrNotFound) {
 		t.Errorf("unknown non-terminal: want ErrNotFound, got %v", err)
 	}
 	if err := s.RegisterGraph("bad", graph.New(3), map[string]int{"x": 5}); err == nil {
 		t.Error("out-of-range name table: expected error")
 	}
-	if _, err := s.Count(Target{Graph: "word", Grammar: "anbn", Backend: "gpu"}, "S"); err == nil {
+	if _, err := s.Count(ctx, Target{Graph: "word", Grammar: "anbn", Backend: "gpu"}, "S"); err == nil {
 		t.Error("unknown backend: expected error")
 	}
-	if _, err := s.AddEdges("word", []EdgeSpec{{From: "0", Label: "", To: "1"}}); err == nil {
+	if _, err := s.AddEdges(ctx, "word", []EdgeSpec{{From: "0", Label: "", To: "1"}}); err == nil {
 		t.Error("empty label: expected error")
 	}
-	if _, err := s.AddEdges("word", []EdgeSpec{{From: "999", Label: "a", To: "0"}}); err == nil {
+	if _, err := s.AddEdges(ctx, "word", []EdgeSpec{{From: "999", Label: "a", To: "0"}}); err == nil {
 		t.Error("out-of-range numeric node: expected error")
 	}
 	// A rejected batch must be atomic: the valid leading edge is NOT
 	// applied, so the graph and its cached indexes stay consistent.
-	before, _ := s.Count(tgt, "S")
-	if _, err := s.AddEdges("word", []EdgeSpec{
+	before, _ := s.Count(ctx, tgt, "S")
+	if _, err := s.AddEdges(ctx, "word", []EdgeSpec{
 		{From: "0", Label: "a", To: "1"},
 		{From: "999", Label: "a", To: "0"},
 	}); err == nil {
@@ -148,7 +153,7 @@ func TestQueryErrors(t *testing.T) {
 			t.Errorf("rejected batch mutated graph %q (version %d)", gi.Name, gi.Version)
 		}
 	}
-	if after, _ := s.Count(tgt, "S"); after != before {
+	if after, _ := s.Count(ctx, tgt, "S"); after != before {
 		t.Errorf("rejected batch changed query results: %d -> %d", before, after)
 	}
 	if err := s.RegisterGrammar("bad", "not a grammar"); err == nil {
@@ -170,15 +175,15 @@ func TestIncrementalUpdateCheaperThanColdClosure(t *testing.T) {
 	tgt := Target{Graph: "word", Grammar: "anbn", Backend: "sparse"}
 
 	last, spare := fmt.Sprint(2*k-1), fmt.Sprint(2*k)
-	n, err := s.Count(tgt, "S") // builds and caches the index
+	n, err := s.Count(ctx, tgt, "S") // builds and caches the index
 	if err != nil || n != k-1 {
 		t.Fatalf("pre-update Count = %d, %v; want %d", n, err, k-1)
 	}
-	if ok, _ := s.Has(tgt, "S", "0", spare); ok {
+	if ok, _ := s.Has(ctx, tgt, "S", "0", spare); ok {
 		t.Fatalf("pair (0,%s) must not exist before the update", spare)
 	}
 
-	res, err := s.AddEdges("word", []EdgeSpec{{From: last, Label: "b", To: spare}})
+	res, err := s.AddEdges(ctx, "word", []EdgeSpec{{From: last, Label: "b", To: spare}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +195,10 @@ func TestIncrementalUpdateCheaperThanColdClosure(t *testing.T) {
 	}
 
 	// The patched index answers the new query without any rebuild.
-	if ok, err := s.Has(tgt, "S", "0", spare); err != nil || !ok {
+	if ok, err := s.Has(ctx, tgt, "S", "0", spare); err != nil || !ok {
 		t.Fatalf("post-update Has(0,%s) = %v, %v; want true", spare, ok, err)
 	}
-	if n, _ := s.Count(tgt, "S"); n != k {
+	if n, _ := s.Count(ctx, tgt, "S"); n != k {
 		t.Fatalf("post-update Count = %d, want %d", n, k)
 	}
 
@@ -238,10 +243,10 @@ func TestUpdateWithNewNodesInvalidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	tgt := Target{Graph: "g", Grammar: "anbn"}
-	if n, err := s.Count(tgt, "S"); err != nil || n != 1 {
+	if n, err := s.Count(ctx, tgt, "S"); err != nil || n != 1 {
 		t.Fatalf("Count = %d, %v; want 1 (x→z)", n, err)
 	}
-	res, err := s.AddEdges("g", []EdgeSpec{
+	res, err := s.AddEdges(ctx, "g", []EdgeSpec{
 		{From: "w", Label: "a", To: "x"}, // w is new: grows the graph
 		{From: "z", Label: "b", To: "v"}, // v is new too
 	})
@@ -255,10 +260,10 @@ func TestUpdateWithNewNodesInvalidates(t *testing.T) {
 		t.Fatalf("invalidated index still cached: %v", s.Stats())
 	}
 	// Rebuild covers the new nodes: w a x a y b z b v adds (w,v) and (x,z).
-	if n, err := s.Count(tgt, "S"); err != nil || n != 2 {
+	if n, err := s.Count(ctx, tgt, "S"); err != nil || n != 2 {
 		t.Fatalf("post-growth Count = %d, %v; want 2", n, err)
 	}
-	if ok, err := s.Has(tgt, "S", "w", "v"); err != nil || !ok {
+	if ok, err := s.Has(ctx, tgt, "S", "w", "v"); err != nil || !ok {
 		t.Fatalf("Has(w,v) = %v, %v; want true", ok, err)
 	}
 	if st, ok := s.IndexStatsFor(tgt); !ok || st.Nodes != 5 {
@@ -269,7 +274,7 @@ func TestUpdateWithNewNodesInvalidates(t *testing.T) {
 func TestReplacingGrammarOrGraphDropsIndexes(t *testing.T) {
 	s := anbnWordService(t, 4)
 	tgt := Target{Graph: "word", Grammar: "anbn"}
-	if _, err := s.Count(tgt, "S"); err != nil {
+	if _, err := s.Count(ctx, tgt, "S"); err != nil {
 		t.Fatal(err)
 	}
 	if len(s.Stats()) != 1 {
@@ -281,7 +286,7 @@ func TestReplacingGrammarOrGraphDropsIndexes(t *testing.T) {
 	if len(s.Stats()) != 0 {
 		t.Fatal("replacing a grammar must drop its indexes")
 	}
-	if n, err := s.Count(tgt, "S"); err != nil || n != 4+3+2+1 {
+	if n, err := s.Count(ctx, tgt, "S"); err != nil || n != 4+3+2+1 {
 		t.Fatalf("Count under replaced grammar = %d, %v; want 10 (a-chain pairs)", n, err)
 	}
 	if err := s.RegisterGraph("word", graph.Word([]string{"a"}), nil); err != nil {
@@ -290,7 +295,7 @@ func TestReplacingGrammarOrGraphDropsIndexes(t *testing.T) {
 	if len(s.Stats()) != 0 {
 		t.Fatal("replacing a graph must drop its indexes")
 	}
-	if n, err := s.Count(tgt, "S"); err != nil || n != 1 {
+	if n, err := s.Count(ctx, tgt, "S"); err != nil || n != 1 {
 		t.Fatalf("Count on replaced graph = %d, %v; want 1", n, err)
 	}
 }
@@ -310,7 +315,7 @@ func TestNTriplesLoadAndNames(t *testing.T) {
 	if err := s.RegisterGrammar("up", "S -> subClassOf | subClassOf S"); err != nil {
 		t.Fatal(err)
 	}
-	pairs, err := s.Relation(Target{Graph: "onto", Grammar: "up"}, "S")
+	pairs, err := s.Relation(ctx, Target{Graph: "onto", Grammar: "up"}, "S")
 	if err != nil {
 		t.Fatal(err)
 	}

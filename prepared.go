@@ -1,0 +1,215 @@
+package cfpq
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"sync/atomic"
+)
+
+// Prepared is a compiled grammar bound to a graph with a cached,
+// incrementally-maintained closure index — the unit a serving layer caches
+// per (graph, grammar, backend). It is safe for concurrent use: queries
+// run under a read lock and proceed in parallel; AddEdges takes the write
+// lock, patches the index with the semi-naive delta closure, and
+// transparently grows the matrices when edges enlarge the node set. This
+// is the same caching/locking discipline cfpqd's query service uses —
+// the service now holds Prepared handles instead of private machinery.
+type Prepared struct {
+	eng *Engine
+	cnf *CNF
+
+	mu      sync.RWMutex
+	g       *Graph // owned by the Prepared; mutate only through AddEdges
+	ix      *Index
+	build   Stats // the initial closure
+	update  Stats // accumulated incremental patches
+	updates int   // number of AddEdges calls that patched
+	dirty   bool  // a cancelled patch left consequences unpropagated
+	queries atomic.Int64
+}
+
+// CNF returns the compiled grammar the handle was prepared with.
+func (p *Prepared) CNF() *CNF { return p.cnf }
+
+// Backend returns the backend the cached index evaluates with.
+func (p *Prepared) Backend() Backend { return p.eng.Backend() }
+
+// Nodes returns the current node count of the bound graph.
+func (p *Prepared) Nodes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.g.Nodes()
+}
+
+// Has reports whether (i, j) ∈ R_nt. Unknown non-terminals and
+// out-of-range nodes answer false.
+func (p *Prepared) Has(nt string, i, j int) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	if i < 0 || j < 0 || i >= p.ix.Nodes() || j >= p.ix.Nodes() {
+		return false
+	}
+	return p.ix.Has(nt, i, j)
+}
+
+// Count returns |R_nt|.
+func (p *Prepared) Count(nt string) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	return p.ix.Count(nt)
+}
+
+// Counts returns |R_A| for every non-terminal A, keyed by name.
+func (p *Prepared) Counts() map[string]int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	return p.ix.Counts()
+}
+
+// Relation returns R_nt as a sorted pair list, materialised under the read
+// lock. For large relations prefer Pairs, which streams.
+func (p *Prepared) Relation(nt string) []Pair {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	return p.ix.Relation(nt)
+}
+
+// Pairs streams R_nt in row-major order without materialising it. The read
+// lock is held for the whole iteration — break early to release it sooner,
+// and do not call ANY method of this Prepared from inside the loop: an
+// AddEdges would deadlock outright, and even a nested query (Has, Count)
+// deadlocks as soon as a writer is queued between the two lock
+// acquisitions (sync.RWMutex blocks nested readers behind waiting
+// writers). Collect first with Relation if per-pair queries are needed.
+func (p *Prepared) Pairs(nt string) iter.Seq[Pair] {
+	return func(yield func(Pair) bool) {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		p.queries.Add(1)
+		m := p.ix.Matrix(nt)
+		if m == nil {
+			return
+		}
+		m.Range(func(i, j int) bool { return yield(Pair{I: i, J: j}) })
+	}
+}
+
+// Paths yields distinct paths witnessing (nt, i, j) in nondecreasing
+// length order, bounded by opts. The bounded enumeration runs up front
+// (path extraction needs a consistent index), so breaking early saves only
+// the consumer's work; keep MaxPaths tight. Like Pairs, the read lock is
+// held for the whole iteration and calling any method of this Prepared
+// from inside the loop can deadlock.
+func (p *Prepared) Paths(nt string, i, j int, opts AllPathsOptions) iter.Seq[[]Edge] {
+	return func(yield func([]Edge) bool) {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		p.queries.Add(1)
+		for _, path := range p.ix.AllPaths(p.g, nt, i, j, opts) {
+			if !yield(path) {
+				return
+			}
+		}
+	}
+}
+
+// UpdateInfo reports what one AddEdges call did.
+type UpdateInfo struct {
+	// Added is the number of edges genuinely new to the graph (duplicates
+	// of existing edges are skipped).
+	Added int `json:"added"`
+	// Grown reports that the edges enlarged the node set and the index
+	// matrices were resized in place.
+	Grown bool `json:"grown,omitempty"`
+	// Stats is the incremental closure work of the patch (or of the full
+	// rebuild, when one was needed to repair a previously cancelled patch).
+	Stats Stats `json:"stats"`
+}
+
+// AddEdges inserts edges into the bound graph and brings the cached index
+// up to date with the incremental delta closure; edges referencing nodes
+// beyond the current range transparently grow the graph and the index. The
+// context is checked between closure passes. If a patch is cancelled
+// mid-way the index stays sound (every answered pair has a witness) but
+// may miss consequences of the new edges; the next successful AddEdges
+// repairs it with a full rebuild.
+func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	info := UpdateInfo{}
+	fresh := make([]Edge, 0, len(edges))
+	for _, ed := range edges {
+		if ed.From < p.g.Nodes() && ed.To < p.g.Nodes() && p.g.HasEdge(ed.From, ed.Label, ed.To) {
+			continue
+		}
+		p.g.AddEdge(ed.From, ed.Label, ed.To)
+		fresh = append(fresh, ed)
+	}
+	info.Added = len(fresh)
+	if p.g.Nodes() > p.ix.Nodes() {
+		info.Grown = true
+	}
+	if p.dirty {
+		// Repair: a cancelled patch left unpropagated consequences that a
+		// delta seeded only with the new edges would never recover.
+		ix, build, err := p.eng.newCore(&config{}).RunContext(ctx, p.g, p.cnf)
+		if err != nil {
+			return info, err
+		}
+		p.ix, p.dirty = ix, false
+		p.update.Add(build)
+		p.updates++
+		info.Stats = build
+		return info, nil
+	}
+	p.ix.Grow(p.g.Nodes())
+	st, err := p.eng.newCore(&config{}).UpdateContext(ctx, p.ix, fresh...)
+	p.update.Add(st)
+	p.updates++
+	info.Stats = st
+	if err != nil {
+		p.dirty = true
+		return info, err
+	}
+	return info, nil
+}
+
+// PreparedStats is a snapshot of the handle's cached-index statistics.
+type PreparedStats struct {
+	// Nodes is the index's matrix dimension.
+	Nodes int `json:"nodes"`
+	// Entries is the total number of set bits across the relation matrices.
+	Entries int `json:"entries"`
+	// Build is the closure work of the initial full fixpoint.
+	Build Stats `json:"build"`
+	// Update accumulates the incremental closure work of every AddEdges.
+	Update Stats `json:"update"`
+	// Updates is the number of AddEdges calls absorbed (including calls
+	// whose edges were all duplicates and needed no closure work).
+	Updates int `json:"updates"`
+	// Queries counts queries answered from the cached index.
+	Queries int64 `json:"queries"`
+}
+
+// Stats returns a snapshot of the handle's statistics.
+func (p *Prepared) Stats() PreparedStats {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	entries := 0
+	for _, c := range p.ix.Counts() {
+		entries += c
+	}
+	return PreparedStats{
+		Nodes:   p.ix.Nodes(),
+		Entries: entries,
+		Build:   p.build,
+		Update:  p.update,
+		Updates: p.updates,
+		Queries: p.queries.Load(),
+	}
+}

@@ -1,0 +1,230 @@
+package cfpq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func mustPrepare(t *testing.T, eng *Engine, g *Graph, text string) *Prepared {
+	t.Helper()
+	p, err := eng.Prepare(context.Background(), g, MustParseGrammar(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPreparedBasics(t *testing.T) {
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 4)
+	p := mustPrepare(t, NewEngine(Sparse), g, "S -> a S b | a b")
+
+	if !p.Has("S", 1, 3) || !p.Has("S", 0, 4) {
+		t.Error("expected pairs missing")
+	}
+	if p.Has("S", 0, 1) || p.Has("S", -1, 0) || p.Has("S", 0, 99) || p.Has("Nope", 0, 1) {
+		t.Error("unexpected pair answered true")
+	}
+	if n := p.Count("S"); n != 2 {
+		t.Errorf("Count = %d, want 2", n)
+	}
+	if c := p.Counts(); c["S"] != 2 {
+		t.Errorf("Counts = %v", c)
+	}
+	want := []Pair{{I: 0, J: 4}, {I: 1, J: 3}}
+	if rel := p.Relation("S"); !reflect.DeepEqual(rel, want) {
+		t.Errorf("Relation = %v, want %v", rel, want)
+	}
+
+	// Streaming agrees with the materialised relation, and early break
+	// releases the lock (the follow-up Count would deadlock otherwise).
+	var streamed []Pair
+	for pr := range p.Pairs("S") {
+		streamed = append(streamed, pr)
+	}
+	if !reflect.DeepEqual(streamed, want) {
+		t.Errorf("Pairs = %v, want %v", streamed, want)
+	}
+	for range p.Pairs("S") {
+		break
+	}
+	_ = p.Count("S")
+
+	var paths [][]Edge
+	for path := range p.Paths("S", 1, 3, AllPathsOptions{MaxPaths: 4}) {
+		paths = append(paths, path)
+	}
+	if len(paths) != 1 || len(paths[0]) != 2 {
+		t.Errorf("Paths = %v", paths)
+	}
+
+	st := p.Stats()
+	if st.Nodes != 5 || st.Entries == 0 || st.Build.Iterations == 0 || st.Queries == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}
+
+// TestPreparedPatchAgreesWithColdRebuild streams edge batches — including
+// node-growing ones — through AddEdges and checks after every batch that
+// the patched index matches a from-scratch closure of an identically
+// mutated graph.
+func TestPreparedPatchAgreesWithColdRebuild(t *testing.T) {
+	const text = "S -> a S b | a b"
+	eng := NewEngine(Sparse)
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	shadow := g.Clone()
+	p := mustPrepare(t, eng, g, text)
+	cnf, _ := ToCNF(MustParseGrammar(text))
+
+	batches := [][]Edge{
+		{{From: 0, Label: "a", To: 0}},                                // cycle on existing nodes
+		{{From: 2, Label: "b", To: 3}, {From: 3, Label: "b", To: 4}},  // grows the node set
+		{{From: 0, Label: "a", To: 1}},                                // duplicate: no-op
+		{{From: 4, Label: "a", To: 5}, {From: 5, Label: "b", To: 6}},  // grows again
+		{{From: 1, Label: "b", To: 2}, {From: 6, Label: "a", To: 10}}, // mixed dup + growth
+	}
+	for bi, batch := range batches {
+		info, err := p.AddEdges(context.Background(), batch...)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		for _, e := range batch {
+			if !shadow.HasEdge(e.From, e.Label, e.To) {
+				shadow.AddEdge(e.From, e.Label, e.To)
+			}
+		}
+		if shadow.Nodes() > p.Nodes() {
+			t.Fatalf("batch %d: handle has %d nodes, shadow %d (info %+v)", bi, p.Nodes(), shadow.Nodes(), info)
+		}
+		cold, _, err := eng.Evaluate(context.Background(), shadow, cnf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := p.Relation("S"), cold.Relation("S"); !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: patched relation %v != cold rebuild %v", bi, got, want)
+		}
+	}
+	if st := p.Stats(); st.Updates != len(batches) {
+		t.Errorf("Updates = %d, want %d", p.Stats().Updates, len(batches))
+	}
+}
+
+// TestPreparedConcurrentQueriesRaceUpdates races readers over every query
+// method against a writer streaming edges in; run under -race. Afterwards
+// the handle must agree with a cold closure of the final graph.
+func TestPreparedConcurrentQueriesRaceUpdates(t *testing.T) {
+	const k = 12
+	const extra = 8
+	text := "S -> a S b | a b"
+	g := NewGraph(0)
+	for i := 0; i < k; i++ {
+		g.AddEdge(i, "a", i+1)
+	}
+	for i := k; i < 2*k-1; i++ {
+		g.AddEdge(i, "b", i+1)
+	}
+	eng := NewEngine(SparseParallel(2))
+	p := mustPrepare(t, eng, g.Clone(), text)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	start := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < extra; i++ {
+			at := 2*k - 1 + i
+			if _, err := p.AddEdges(context.Background(), Edge{From: at, Label: "b", To: at + 1}); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				switch i % 4 {
+				case 0:
+					p.Has("S", 0, 2*k)
+				case 1:
+					p.Count("S")
+				case 2:
+					for range p.Pairs("S") {
+					}
+				case 3:
+					p.Counts()
+				}
+			}
+		}(r)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < extra; i++ {
+		at := 2*k - 1 + i
+		g.AddEdge(at, "b", at+1)
+	}
+	cnf, _ := ToCNF(MustParseGrammar(text))
+	cold, _, err := NewEngine(Sparse).Evaluate(context.Background(), g, cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Count("S"), cold.Count("S"); got != want {
+		t.Fatalf("post-race Count = %d, cold rebuild = %d", got, want)
+	}
+	if !reflect.DeepEqual(p.Relation("S"), cold.Relation("S")) {
+		t.Fatal("post-race relation disagrees with cold rebuild")
+	}
+}
+
+// TestPreparedCancelledPatchRepairs: a cancelled AddEdges leaves the handle
+// sound but flagged dirty; the next successful AddEdges repairs it with a
+// full rebuild, after which it agrees with a cold closure.
+func TestPreparedCancelledPatchRepairs(t *testing.T) {
+	text := "S -> a S b | a b"
+	g := NewGraph(0)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(i, "a", i+1)
+	}
+	for i := 6; i < 11; i++ {
+		g.AddEdge(i, "b", i+1)
+	}
+	eng := NewEngine(Sparse)
+	p := mustPrepare(t, eng, g.Clone(), text)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.AddEdges(cancelled, Edge{From: 11, Label: "b", To: 12}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Repair with a successful (empty) update.
+	if _, err := p.AddEdges(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(11, "b", 12)
+	cnf, _ := ToCNF(MustParseGrammar(text))
+	cold, _, err := eng.Evaluate(context.Background(), g, cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Relation("S"), cold.Relation("S")) {
+		t.Fatalf("repaired relation %v != cold rebuild %v", p.Relation("S"), cold.Relation("S"))
+	}
+}
