@@ -1,0 +1,187 @@
+package cfpq_test
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"testing"
+
+	"cfpq"
+)
+
+// testPrepared builds a small prepared handle over the chain
+// 0 -a-> 1 -a-> 2 -b-> 3 -b-> 4 with S -> a S b | a b; the tests below
+// compare batch answers against the handle's own single-query methods
+// rather than assuming the relation.
+func testPrepared(t *testing.T, be cfpq.Backend) *cfpq.Prepared {
+	t.Helper()
+	g := cfpq.NewGraph(5)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	g.AddEdge(3, "b", 4)
+	gram := cfpq.MustParseGrammar("S -> a S b | a b")
+	p, err := cfpq.NewEngine(be).Prepare(context.Background(), g, gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPreparedQueryBatchMatchesSingleQueries(t *testing.T) {
+	for _, be := range cfpq.Backends() {
+		p := testPrepared(t, be)
+		queries := []cfpq.BatchQuery{
+			{Op: cfpq.BatchHas, Nonterminal: "S", From: 1, To: 3},
+			{Op: cfpq.BatchHas, Nonterminal: "S", From: 0, To: 3},
+			{Op: cfpq.BatchHas, Nonterminal: "S", From: -1, To: 99},
+			{Op: cfpq.BatchCount, Nonterminal: "S"},
+			{Op: cfpq.BatchRelation, Nonterminal: "S"},
+			{Nonterminal: "S"}, // zero Op defaults to relation
+			{Op: cfpq.BatchCountFrom, Nonterminal: "S", Sources: []int{0}},
+			{Op: cfpq.BatchRelationFrom, Nonterminal: "S", Sources: []int{0, 1}},
+		}
+		res := p.QueryBatch(context.Background(), queries)
+		if len(res) != len(queries) {
+			t.Fatalf("%s: got %d results, want %d", be, len(res), len(queries))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("%s: query %d: unexpected error %v", be, i, r.Err)
+			}
+		}
+		if got, want := res[0].Has, p.Has("S", 1, 3); got != want {
+			t.Errorf("%s: has(1,3) = %v, want %v", be, got, want)
+		}
+		if got, want := res[1].Has, p.Has("S", 0, 3); got != want {
+			t.Errorf("%s: has(0,3) = %v, want %v", be, got, want)
+		}
+		if res[2].Has {
+			t.Errorf("%s: out-of-range has answered true", be)
+		}
+		if got, want := res[3].Count, p.Count("S"); got != want {
+			t.Errorf("%s: count = %d, want %d", be, got, want)
+		}
+		if !slices.Equal(res[4].Pairs, p.Relation("S")) {
+			t.Errorf("%s: relation = %v, want %v", be, res[4].Pairs, p.Relation("S"))
+		}
+		if !slices.Equal(res[5].Pairs, p.Relation("S")) {
+			t.Errorf("%s: default-op relation = %v, want %v", be, res[5].Pairs, p.Relation("S"))
+		}
+		if got, want := res[6].Count, p.CountFrom("S", []int{0}); got != want {
+			t.Errorf("%s: count-from = %d, want %d", be, got, want)
+		}
+		if !slices.Equal(res[7].Pairs, p.RelationFrom("S", []int{0, 1})) {
+			t.Errorf("%s: relation-from = %v, want %v", be, res[7].Pairs, p.RelationFrom("S", []int{0, 1}))
+		}
+	}
+}
+
+func TestQueryBatchPerQueryErrors(t *testing.T) {
+	p := testPrepared(t, cfpq.Sparse)
+	res := p.QueryBatch(context.Background(), []cfpq.BatchQuery{
+		{Op: cfpq.BatchCount, Nonterminal: "Nope"},
+		{Op: "frobnicate", Nonterminal: "S"},
+		{Op: cfpq.BatchCount, Nonterminal: "S"},
+	})
+	if res[0].Err == nil {
+		t.Error("unknown non-terminal: expected per-query error")
+	}
+	if res[1].Err == nil {
+		t.Error("unknown op: expected per-query error")
+	}
+	if res[2].Err != nil {
+		t.Errorf("valid query after bad ones failed: %v", res[2].Err)
+	}
+}
+
+func TestQueryBatchCancelledContext(t *testing.T) {
+	p := testPrepared(t, cfpq.Sparse)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := p.QueryBatch(ctx, []cfpq.BatchQuery{{Op: cfpq.BatchCount, Nonterminal: "S"}})
+	if !errors.Is(res[0].Err, context.Canceled) {
+		t.Fatalf("cancelled batch: got %v, want context.Canceled", res[0].Err)
+	}
+}
+
+func TestEngineQueryBatchOneShot(t *testing.T) {
+	g := cfpq.NewGraph(4)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	gram := cfpq.MustParseGrammar("S -> a S b | a b")
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	res, err := eng.QueryBatch(context.Background(), g, gram, []cfpq.BatchQuery{
+		{Op: cfpq.BatchCount, Nonterminal: "S"},
+		{Op: cfpq.BatchRelation, Nonterminal: "S"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := eng.Query(context.Background(), g, gram, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Count != len(pairs) {
+		t.Errorf("batch count %d, query returned %d pairs", res[0].Count, len(pairs))
+	}
+	if !slices.Equal(res[1].Pairs, pairs) {
+		t.Errorf("batch relation %v, query %v", res[1].Pairs, pairs)
+	}
+	if empty, err := eng.QueryBatch(context.Background(), g, gram, nil); err != nil || empty != nil {
+		t.Errorf("empty batch: got %v, %v", empty, err)
+	}
+}
+
+func TestPreparedSourceFilteredReads(t *testing.T) {
+	for _, be := range cfpq.Backends() {
+		p := testPrepared(t, be)
+		full := p.Relation("S")
+		if len(full) == 0 {
+			t.Fatalf("%s: empty relation, test graph broken", be)
+		}
+		sources := []int{0, 2, 97} // 97 out of range: ignored
+		inSrc := map[int]bool{0: true, 2: true}
+		var want []cfpq.Pair
+		for _, pr := range full {
+			if inSrc[pr.I] {
+				want = append(want, pr)
+			}
+		}
+		if got := p.RelationFrom("S", sources); !slices.Equal(got, want) {
+			t.Errorf("%s: RelationFrom = %v, want %v", be, got, want)
+		}
+		if got := p.CountFrom("S", sources); got != len(want) {
+			t.Errorf("%s: CountFrom = %d, want %d", be, got, len(want))
+		}
+		var streamed []cfpq.Pair
+		for pr := range p.PairsFrom("S", sources) {
+			streamed = append(streamed, pr)
+		}
+		if !slices.Equal(streamed, want) {
+			t.Errorf("%s: PairsFrom = %v, want %v", be, streamed, want)
+		}
+		if got := p.RelationFrom("Nope", sources); got != nil {
+			t.Errorf("%s: unknown non-terminal RelationFrom = %v, want nil", be, got)
+		}
+	}
+}
+
+// TestPreparedPairsFromEarlyBreak checks the iterator releases cleanly when
+// the consumer stops early.
+func TestPreparedPairsFromEarlyBreak(t *testing.T) {
+	p := testPrepared(t, cfpq.Sparse)
+	count := 0
+	for range p.PairsFrom("S", []int{0, 1, 2, 3, 4}) {
+		count++
+		break
+	}
+	if count != 1 {
+		t.Fatalf("early break: saw %d pairs", count)
+	}
+	// The lock must have been released: a write must not deadlock.
+	if _, err := p.AddEdges(context.Background(), cfpq.Edge{From: 0, Label: "a", To: 3}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,12 +7,15 @@
 //	cfpq-bench -table 2              # Table 2 (Query 2)
 //	cfpq-bench -table 1 -max 1000    # only graphs with ≤ 1000 triples
 //	cfpq-bench -ablation             # iteration/crossover/scaling ablations
+//	cfpq-bench -singlesource         # single-source vs all-pairs scenario
+//	cfpq-bench -singlesource -sources 4 -json BENCH_singlesource.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cfpq/internal/bench"
 )
@@ -22,12 +25,50 @@ func main() {
 	repeats := flag.Int("repeats", 3, "timed runs per cell; minimum is reported")
 	maxTriples := flag.Int("max", 0, "skip graphs with more paper-triples (0 = no limit)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the tables")
+	single := flag.Bool("singlesource", false, "run the single-source vs all-pairs serving scenario")
+	sourceCount := flag.Int("sources", 1, "source nodes per query in the single-source scenario")
+	jsonPath := flag.String("json", "", "also write single-source results as JSON to this file (BENCH_*.json artifact)")
+	backend := flag.String("backend", "sparse", "matrix backend for the single-source scenario")
+	grammars := flag.String("grammars", "", "comma-separated single-source grammars: query1, query2, ancestors (default \"query1,ancestors\")")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	flag.Parse()
 
 	if *ablation {
 		bench.RunAblations(os.Stdout)
+		return
+	}
+	if *single {
+		var gramNames []string
+		if *grammars != "" {
+			gramNames = strings.Split(*grammars, ",")
+		}
+		rows, err := bench.RunSingleSource(bench.SingleSourceConfig{
+			Grammars: gramNames,
+			Sources:  *sourceCount,
+			Repeats:  *repeats,
+			Backend:  *backend,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatSingleSource(os.Stdout, rows)
+		if *jsonPath != "" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteBenchJSON(f, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 

@@ -31,6 +31,17 @@
 //	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=relation'
 //	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=has&from=n1&to=n2'
 //
+// Single-source questions restrict the answer to pairs leaving given
+// nodes, and batches coalesce many queries against one (graph, grammar)
+// pair into one cached-index build with answers fanned out over a worker
+// pool:
+//
+//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=relation&sources=n1,n2'
+//	curl -X POST -d '{"graph":"wine","grammar":"samegen","queries":[
+//	      {"op":"count","nonterminal":"S"},
+//	      {"op":"relation-from","nonterminal":"S","sources":["n1"]}]}' \
+//	     localhost:8080/v1/query/batch
+//
 // Add edges — cached indexes are patched with the incremental delta
 // closure, visible in /v1/stats as update products ≪ build products:
 //

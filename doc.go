@@ -40,6 +40,34 @@
 // (RPQ), conjunctive grammars (QueryConjunctive), incremental maintenance
 // (Update) and index persistence (LoadIndex with SaveIndex).
 //
+// # Source-restricted queries
+//
+// The dominant serving question is single-source — "what can these nodes
+// reach via S?" — and QueryFrom answers it without paying for the
+// all-pairs closure: only the matrix rows of the reachable frontier (the
+// sources plus every node heading a derivation fragment they reach) are
+// maintained, with a transparent fallback to the full closure when the
+// frontier saturates. The result is exactly Query filtered to pairs
+// leaving the sources; QueryFromStats additionally reports the frontier
+// size and closure work:
+//
+//	pairs, _ := eng.QueryFrom(ctx, g, gram, "S", []int{v})
+//
+// # Batched queries
+//
+// QueryBatch coalesces many queries sharing one (graph, grammar) pair
+// into a single index build; answers fan out over a worker pool, and all
+// of them read the same index state, so a racing update is visible to the
+// whole batch or none of it. Engine.QueryBatch is the one-shot form;
+// Prepared.QueryBatch answers from the cached index:
+//
+//	results := p.QueryBatch(ctx, []cfpq.BatchQuery{
+//		{Op: cfpq.BatchCount, Nonterminal: "S"},
+//		{Op: cfpq.BatchRelationFrom, Nonterminal: "S", Sources: []int{v}},
+//	})
+//
+// Per-query failures land in BatchResult.Err without failing the batch.
+//
 // # Prepared: cached, incrementally-maintained queries
 //
 // For repeated queries against one (graph, grammar) pair, Prepare binds
@@ -54,6 +82,7 @@
 //	p, _ := eng.Prepare(ctx, g, gram)
 //	p.Has("S", 0, 2)
 //	for pair := range p.Pairs("S") { ... }
+//	for pair := range p.PairsFrom("S", []int{0, 1}) { ... } // source-filtered
 //	p.AddEdges(ctx, cfpq.Edge{From: 2, Label: "a", To: 7}) // patched, not rebuilt
 //
 // The free functions (Query, Evaluate, SinglePath, RPQ, Update, …) predate
@@ -72,6 +101,9 @@
 //	curl -X PUT --data-binary 'S -> subClassOf_r S subClassOf | subClassOf_r subClassOf' \
 //	     localhost:8080/v1/grammars/samegen
 //	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=count'
+//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=relation&sources=n1'
+//	curl -X POST -d '{"graph":"wine","grammar":"samegen","queries":[{"op":"count","nonterminal":"S"}]}' \
+//	     localhost:8080/v1/query/batch
 //	curl -X POST -d '{"edges":[{"from":"a","label":"subClassOf","to":"b"}]}' \
 //	     localhost:8080/v1/graphs/wine/edges
 //	curl localhost:8080/v1/stats   # build vs incremental-update products

@@ -58,6 +58,35 @@ func (e *Engine) Query(ctx context.Context, g *Graph, gram *Grammar, start strin
 	return e.newCore(cfg).QueryContext(ctx, g, gram, start, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
 }
 
+// QueryFrom evaluates R_start restricted to the given source nodes: the
+// result is exactly Query's pair list filtered to pairs (i, j) with i ∈
+// sources. Instead of paying for the full n×n closure, the evaluation
+// maintains only the matrix rows of the reachable frontier — the sources
+// plus every node heading a derivation fragment they reach — and falls back
+// to the full closure only when that frontier saturates (more than half of
+// all nodes). This is the right call shape for the dominant serving
+// workload, "what can these nodes reach via S?".
+//
+// An empty source set yields an empty result. Sources outside the graph's
+// node range are an error; duplicates are deduplicated.
+func (e *Engine) QueryFrom(ctx context.Context, g *Graph, gram *Grammar, start string, sources []int, opts ...Option) ([]Pair, error) {
+	cfg := buildConfig(opts)
+	return e.newCore(cfg).QueryFromContext(ctx, g, gram, start, sources, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+}
+
+// FromStats reports what a source-restricted evaluation did: closure work,
+// the final frontier size, and whether the frontier saturated (forcing a
+// full-closure fallback).
+type FromStats = core.FromStats
+
+// QueryFromStats is QueryFrom, additionally reporting the restricted
+// closure's work — the numbers the bench harness tracks when comparing
+// single-source against all-pairs evaluation.
+func (e *Engine) QueryFromStats(ctx context.Context, g *Graph, gram *Grammar, start string, sources []int, opts ...Option) ([]Pair, FromStats, error) {
+	cfg := buildConfig(opts)
+	return e.newCore(cfg).QueryFromStatsContext(ctx, g, gram, start, sources, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+}
+
 // Evaluate runs the matrix closure and returns the full Index, from which
 // the relation of every non-terminal can be read (Relation, Has, Count).
 // Use this instead of Query when several non-terminals are of interest.

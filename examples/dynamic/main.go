@@ -17,11 +17,22 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"os"
 
 	"cfpq"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer) error {
 	ctx := context.Background()
 	eng := cfpq.NewEngine(cfpq.Sparse)
 
@@ -45,11 +56,11 @@ func main() {
 	// 1. RPQ: transitive dependencies are `imports+`.
 	pairs, err := eng.RPQ(ctx, g, "imports+")
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("Transitive dependencies (RPQ `imports+`):")
+	fmt.Fprintln(w, "Transitive dependencies (RPQ `imports+`):")
 	for _, p := range pairs {
-		fmt.Printf("  %s -> %s\n", mods[p.I], mods[p.J])
+		fmt.Fprintf(w, "  %s -> %s\n", mods[p.I], mods[p.J])
 	}
 
 	// 2. The same relation as a CFPQ, prepared once: the closure is
@@ -59,25 +70,25 @@ func main() {
 	gram := cfpq.MustParseGrammar("Dep -> imports Dep | imports")
 	prep, err := eng.Prepare(ctx, g.Clone(), gram)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("\nPrepared closure: %d pairs in %d passes\n",
+	fmt.Fprintf(w, "\nPrepared closure: %d pairs in %d passes\n",
 		prep.Count("Dep"), prep.Stats().Build.Iterations)
 
 	// 3. Dynamic update: db starts importing vuln; only the consequences
 	// of the new edge are propagated — no full re-evaluation. The edge
 	// goes through the handle, which keeps graph and index in sync.
-	fmt.Println("\nAdding edge db -imports-> vuln ...")
+	fmt.Fprintln(w, "\nAdding edge db -imports-> vuln ...")
 	info, err := prep.AddEdges(ctx, cfpq.Edge{From: id["db"], Label: "imports", To: id["vuln"]})
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("Incremental update: %d passes, %d matrix products\n",
+	fmt.Fprintf(w, "Incremental update: %d passes, %d matrix products\n",
 		info.Stats.Iterations, info.Stats.Products)
-	fmt.Println("Modules now depending on vuln (streamed):")
+	fmt.Fprintln(w, "Modules now depending on vuln (streamed):")
 	for p := range prep.Pairs("Dep") {
 		if mods[p.J] == "vuln" {
-			fmt.Printf("  %s\n", mods[p.I])
+			fmt.Fprintf(w, "  %s\n", mods[p.I])
 		}
 	}
 
@@ -86,21 +97,22 @@ func main() {
 	g.AddEdge(id["db"], "imports", id["vuln"])
 	cnf, err := cfpq.ToCNF(gram)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	ix, _, err := eng.Evaluate(ctx, g, cnf)
 	if err != nil {
-		panic(err)
+		return err
 	}
 	var buf bytes.Buffer
 	if err := cfpq.SaveIndex(&buf, ix); err != nil {
-		panic(err)
+		return err
 	}
 	size := buf.Len()
 	reloaded, err := eng.LoadIndex(&buf, cnf)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("\nSaved %d bytes; reloaded index answers Has(app→vuln) = %v\n",
+	fmt.Fprintf(w, "\nSaved %d bytes; reloaded index answers Has(app→vuln) = %v\n",
 		size, reloaded.Has("Dep", id["app"], id["vuln"]))
+	return nil
 }

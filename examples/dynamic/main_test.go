@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: RPQ, Prepared, incremental
+// update, streaming and index persistence must all hold together.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Transitive dependencies (RPQ `imports+`):",
+		"Prepared closure:",
+		"Incremental update:",
+		"Modules now depending on vuln (streamed):",
+		"reloaded index answers Has(app→vuln) = true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

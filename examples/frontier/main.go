@@ -1,0 +1,111 @@
+// Frontier demonstrates the serving-workload APIs: source-restricted
+// queries (Engine.QueryFrom), which answer "what can these nodes reach?"
+// by maintaining only the reachable frontier's matrix rows instead of the
+// full n×n closure, and batched evaluation (Prepared.QueryBatch), which
+// coalesces many queries against one (graph, grammar) pair into a single
+// cached index build with answers fanned out over a worker pool.
+//
+// The scenario is a security review over a service-dependency graph:
+// `calls` edges between services, and the review asks per-service
+// questions — exactly the single-source shape a query service handles.
+//
+// Run with:
+//
+//	go run ./examples/frontier
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"cfpq"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer) error {
+	ctx := context.Background()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+
+	// Two service clusters; only "edge" bridges them. Transitive calls
+	// from most services touch a small frontier — the case where the
+	// source-restricted closure wins.
+	services := []string{"edge", "auth", "tokens", "db1", "billing", "ledger", "db2", "mail"}
+	id := map[string]int{}
+	for i, s := range services {
+		id[s] = i
+	}
+	g := cfpq.NewGraph(len(services))
+	calls := func(from, to string) { g.AddEdge(id[from], "calls", id[to]) }
+	calls("edge", "auth")
+	calls("edge", "billing")
+	calls("auth", "tokens")
+	calls("tokens", "db1")
+	calls("billing", "ledger")
+	calls("ledger", "db2")
+	calls("billing", "mail")
+
+	// Reach → calls Reach | calls: transitive dependencies.
+	gram := cfpq.MustParseGrammar("Reach -> calls Reach | calls")
+
+	// 1. A single-source question answered with the restricted closure:
+	// only the frontier reachable from billing is ever materialised.
+	pairs, stats, err := eng.QueryFromStats(ctx, g, gram, "Reach", []int{id["billing"]})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "billing transitively calls (frontier %d of %d nodes):\n",
+		stats.Frontier, g.Nodes())
+	for _, p := range pairs {
+		fmt.Fprintf(w, "  %s\n", services[p.J])
+	}
+
+	// 2. A review batch: one Prepared handle, one closure build, every
+	// per-service question answered from the same index state by the
+	// shared worker pool. (Prepare takes ownership of the graph.)
+	prep, err := eng.Prepare(ctx, g, gram)
+	if err != nil {
+		return err
+	}
+	queries := []cfpq.BatchQuery{
+		{Op: cfpq.BatchCount, Nonterminal: "Reach"},
+		{Op: cfpq.BatchHas, Nonterminal: "Reach", From: id["edge"], To: id["db2"]},
+		{Op: cfpq.BatchHas, Nonterminal: "Reach", From: id["auth"], To: id["ledger"]},
+		{Op: cfpq.BatchRelationFrom, Nonterminal: "Reach", Sources: []int{id["auth"]}},
+	}
+	results := prep.QueryBatch(ctx, queries)
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	fmt.Fprintf(w, "\nreview batch (%d queries, one index build):\n", len(queries))
+	fmt.Fprintf(w, "  total reachable pairs:     %d\n", results[0].Count)
+	fmt.Fprintf(w, "  edge can reach db2:        %v\n", results[1].Has)
+	fmt.Fprintf(w, "  auth can reach ledger:     %v\n", results[2].Has)
+	fmt.Fprintf(w, "  auth's reachable set:     ")
+	for _, p := range results[3].Pairs {
+		fmt.Fprintf(w, " %s", services[p.J])
+	}
+	fmt.Fprintln(w)
+
+	// 3. The handle keeps answering restricted questions from its cached
+	// index — and stays current under edge updates.
+	if _, err := prep.AddEdges(ctx, cfpq.Edge{From: id["mail"], Label: "calls", To: id["auth"]}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nafter mail -> auth is added, billing reaches:\n")
+	for p := range prep.PairsFrom("Reach", []int{id["billing"]}) {
+		fmt.Fprintf(w, "  %s\n", services[p.J])
+	}
+	return nil
+}

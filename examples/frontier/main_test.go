@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: the source-restricted query
+// must stay below saturation, the batch must answer consistently, and the
+// incremental update must extend billing's reach through the new edge.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"billing transitively calls (frontier 4 of 8 nodes):",
+		"review batch (4 queries, one index build):",
+		"edge can reach db2:        true",
+		"auth can reach ledger:     false",
+		"after mail -> auth is added, billing reaches:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The update must have propagated: billing reaches auth's cluster via
+	// the new mail -> auth edge.
+	tail := out.String()[strings.Index(out.String(), "after mail"):]
+	for _, svc := range []string{"auth", "tokens", "db1"} {
+		if !strings.Contains(tail, svc) {
+			t.Errorf("post-update reach missing %q", svc)
+		}
+	}
+}

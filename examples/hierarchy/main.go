@@ -11,11 +11,22 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 
 	"cfpq"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer) error {
 	ctx := context.Background()
 	eng := cfpq.NewEngine(cfpq.Sparse)
 
@@ -42,52 +53,53 @@ func main() {
 	`)
 	cnf, err := cfpq.ToCNF(gram)
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	ix, _, err := eng.Evaluate(ctx, g, cnf)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("Same-level pairs (relational semantics):")
+	fmt.Fprintln(w, "Same-level pairs (relational semantics):")
 	for _, p := range ix.Relation("Same") {
 		if p.I < p.J {
-			fmt.Printf("  %s ~ %s\n", people[p.I], people[p.J])
+			fmt.Fprintf(w, "  %s ~ %s\n", people[p.I], people[p.J])
 		}
 	}
 
 	// Single-path semantics: one witness per pair, with its length.
 	px, err := eng.SinglePath(ctx, g, cnf)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("\nWitness paths (single-path semantics):")
+	fmt.Fprintln(w, "\nWitness paths (single-path semantics):")
 	for _, lp := range px.Relation("Same") {
 		if lp.I >= lp.J {
 			continue
 		}
 		path, _ := px.Path("Same", lp.I, lp.J)
-		fmt.Printf("  %s ~ %s via", people[lp.I], people[lp.J])
+		fmt.Fprintf(w, "  %s ~ %s via", people[lp.I], people[lp.J])
 		at := lp.I
 		for _, edge := range path {
-			fmt.Printf(" %s -%s->", people[at], edge.Label)
+			fmt.Fprintf(w, " %s -%s->", people[at], edge.Label)
 			at = edge.To
 		}
-		fmt.Printf(" %s\n", people[at])
+		fmt.Fprintf(w, " %s\n", people[at])
 	}
 
 	// All-path semantics: enumerate every distinct witness for one pair.
-	fmt.Println("\nAll paths eng1 ~ sales1 (all-path semantics):")
+	fmt.Fprintln(w, "\nAll paths eng1 ~ sales1 (all-path semantics):")
 	paths, err := eng.AllPaths(ctx, g, ix, "Same", id["eng1"], id["sales1"],
 		cfpq.AllPathsOptions{MaxPaths: 10})
 	if err != nil {
-		panic(err)
+		return err
 	}
 	for _, p := range paths {
 		labels := make([]string, len(p))
 		for i, e := range p {
 			labels[i] = e.Label
 		}
-		fmt.Printf("  length %d: %v\n", len(p), labels)
+		fmt.Fprintf(w, "  length %d: %v\n", len(p), labels)
 	}
+	return nil
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: relational, single-path and
+// all-path semantics on the reporting hierarchy.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Same-level pairs (relational semantics):",
+		"vp1 ~ vp2",
+		"eng1 ~ sales1",
+		"Witness paths (single-path semantics):",
+		"All paths eng1 ~ sales1 (all-path semantics):",
+		"length 4:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -25,20 +26,28 @@ import (
 func main() {
 	name := flag.String("name", "foaf", "dataset name (see cmd/graphgen -list)")
 	flag.Parse()
-	ctx := context.Background()
-
-	d, ok := dataset.ByName(*name)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *name)
+	if err := run(os.Stdout, *name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer, name string) error {
+	ctx := context.Background()
+
+	d, ok := dataset.ByName(name)
+	if !ok {
+		return fmt.Errorf("unknown dataset %q", name)
+	}
 	g := d.Build()
-	fmt.Printf("Dataset %s: %d triples → %v\n\n", d.Name, d.Triples, g.Stats())
+	fmt.Fprintf(w, "Dataset %s: %d triples → %v\n\n", d.Name, d.Triples, g.Stats())
 
 	for q := 1; q <= 2; q++ {
 		gram := dataset.Query(q)
 		cnf := dataset.QueryCNF(q)
-		fmt.Printf("Query %d grammar:\n%s\n", q, gram)
+		fmt.Fprintf(w, "Query %d grammar:\n%s\n", q, gram)
 
 		for _, be := range []cfpq.Backend{
 			cfpq.DenseParallel(0), cfpq.Sparse, cfpq.SparseParallel(0),
@@ -46,24 +55,24 @@ func main() {
 			start := time.Now()
 			ix, stats, err := cfpq.NewEngine(be).Evaluate(ctx, g, cnf)
 			if err != nil {
-				panic(err)
+				return err
 			}
-			fmt.Printf("  %-16s |R_S| = %-6d (%d passes, %d products, %v)\n",
+			fmt.Fprintf(w, "  %-16s |R_S| = %-6d (%d passes, %d products, %v)\n",
 				be.Name(), ix.Count("S"), stats.Iterations, stats.Products, time.Since(start).Round(time.Microsecond))
 		}
 		start := time.Now()
 		rel := baseline.NewGLL(gram).Relation(g, "S")
-		fmt.Printf("  %-16s |R_S| = %-6d (%v)\n\n", "GLL baseline", len(rel), time.Since(start).Round(time.Microsecond))
+		fmt.Fprintf(w, "  %-16s |R_S| = %-6d (%v)\n\n", "GLL baseline", len(rel), time.Since(start).Round(time.Microsecond))
 	}
 
 	// Single-path semantics on Query 2: print a few witness paths.
 	eng := cfpq.NewEngine(cfpq.Sparse)
 	px, err := eng.SinglePath(ctx, g, dataset.QueryCNF(2))
 	if err != nil {
-		panic(err)
+		return err
 	}
 	rel := px.Relation("S")
-	fmt.Printf("Query 2 single-path witnesses (%d pairs, first 5):\n", len(rel))
+	fmt.Fprintf(w, "Query 2 single-path witnesses (%d pairs, first 5):\n", len(rel))
 	for i, lp := range rel {
 		if i == 5 {
 			break
@@ -73,6 +82,7 @@ func main() {
 		for k, e := range path {
 			labels[k] = e.Label
 		}
-		fmt.Printf("  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, labels)
+		fmt.Fprintf(w, "  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, labels)
 	}
+	return nil
 }

@@ -11,11 +11,22 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 
 	"cfpq"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer) error {
 	ctx := context.Background()
 
 	// The grammar G' of Figure 4 — the same-generation query in Chomsky
@@ -33,7 +44,7 @@ func main() {
 	`)
 	cnf, err := cfpq.ToCNF(gram)
 	if err != nil {
-		panic(err)
+		return err
 	}
 
 	// The input graph of Figure 5.
@@ -44,11 +55,11 @@ func main() {
 	g.AddEdge(2, "subClassOf", 0)
 	g.AddEdge(2, "type", 2)
 
-	fmt.Println("Input graph (Figure 5):")
+	fmt.Fprintln(w, "Input graph (Figure 5):")
 	for _, e := range g.Edges() {
-		fmt.Printf("  %d --%s--> %d\n", e.From, e.Label, e.To)
+		fmt.Fprintf(w, "  %d --%s--> %d\n", e.From, e.Label, e.To)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	// One engine, one backend choice. Naive iteration reproduces the
 	// paper's T ← T ∪ (T × T) states exactly; the trace callback prints
@@ -57,33 +68,34 @@ func main() {
 	ix, stats, err := eng.Evaluate(ctx, g, cnf,
 		cfpq.WithNaiveIteration(),
 		cfpq.WithTrace(func(iteration int, ix *cfpq.Index) {
-			fmt.Printf("T%d =\n%s\n", iteration, ix.FormatMatrix())
+			fmt.Fprintf(w, "T%d =\n%s\n", iteration, ix.FormatMatrix())
 		}),
 	)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Printf("Fixpoint after %d iterations (paper: T6 = T5).\n\n", stats.Iterations)
+	fmt.Fprintf(w, "Fixpoint after %d iterations (paper: T6 = T5).\n\n", stats.Iterations)
 
 	// The context-free relations of Figure 9.
-	fmt.Println("Context-free relations:")
+	fmt.Fprintln(w, "Context-free relations:")
 	for _, nt := range []string{"S", "S1", "S2", "S3", "S4", "S5", "S6"} {
-		fmt.Printf("  R_%-3s = %v\n", nt, ix.Relation(nt))
+		fmt.Fprintf(w, "  R_%-3s = %v\n", nt, ix.Relation(nt))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	// Section 5: single-path semantics — a concrete witness per pair.
 	px, err := eng.SinglePath(ctx, g, cnf)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("Single-path witnesses for R_S:")
+	fmt.Fprintln(w, "Single-path witnesses for R_S:")
 	for _, lp := range px.Relation("S") {
 		path, _ := px.Path("S", lp.I, lp.J)
 		labels := make([]string, len(path))
 		for i, e := range path {
 			labels[i] = e.Label
 		}
-		fmt.Printf("  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, labels)
+		fmt.Fprintf(w, "  (%d,%d) length %d: %v\n", lp.I, lp.J, lp.Length, labels)
 	}
+	return nil
 }

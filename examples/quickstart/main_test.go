@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must succeed and
+// reproduce the paper's worked-example landmarks.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Input graph (Figure 5):",
+		"T0 =",
+		"Fixpoint after",
+		"R_S   = [{0 0} {0 2} {1 2}]",
+		"Single-path witnesses for R_S:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}

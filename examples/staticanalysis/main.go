@@ -25,11 +25,22 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
+	"os"
 
 	"cfpq"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run holds the whole example; main is a thin shell so the package's smoke
+// test can drive the same logic against a buffer.
+func run(w io.Writer) error {
 	ctx := context.Background()
 	eng := cfpq.NewEngine(cfpq.Sparse)
 
@@ -74,24 +85,25 @@ func main() {
 
 	pt, err := eng.Query(ctx, g, gram, "PointsTo")
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("PointsTo relation (variable → allocation site):")
+	fmt.Fprintln(w, "PointsTo relation (variable → allocation site):")
 	for _, p := range pt {
-		fmt.Printf("  %s → %s\n", vars[p.I], vars[p.J])
+		fmt.Fprintf(w, "  %s → %s\n", vars[p.I], vars[p.J])
 	}
 
 	al, err := eng.Query(ctx, g, gram, "Alias")
 	if err != nil {
-		panic(err)
+		return err
 	}
-	fmt.Println("\nMay-alias pairs:")
+	fmt.Fprintln(w, "\nMay-alias pairs:")
 	for _, p := range al {
 		if p.I < p.J { // symmetric; print each unordered pair once
-			fmt.Printf("  %s ~ %s\n", vars[p.I], vars[p.J])
+			fmt.Fprintf(w, "  %s ~ %s\n", vars[p.I], vars[p.J])
 		}
 	}
 
 	// Sanity: a, c, d share o1; b, e share o2; the groups must not mix.
-	fmt.Println("\nExpected: {a,c,d} alias via o1; {b,e} alias via o2; no cross pairs.")
+	fmt.Fprintln(w, "\nExpected: {a,c,d} alias via o1; {b,e} alias via o2; no cross pairs.")
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: the CFL-reachability
+// points-to analysis must keep the two allocation groups separate.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"PointsTo relation (variable → allocation site):",
+		"a → o1",
+		"May-alias pairs:",
+		"a ~ c",
+		"b ~ e",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The groups must not mix: d points to o1 only, e to o2 only.
+	if strings.Contains(out.String(), "d ~ e") {
+		t.Error("alias groups mixed: d ~ e reported")
+	}
+}

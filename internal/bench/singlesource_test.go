@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleSource(t *testing.T) {
+	rows, err := RunSingleSource(SingleSourceConfig{
+		Datasets: []string{"skos", "generations"},
+		Sources:  2,
+		Repeats:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two datasets × two default grammars (query1, ancestors).
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Scenario != "single-source" || r.Backend != "sparse" {
+			t.Errorf("row metadata wrong: %+v", r)
+		}
+		if r.Grammar != "query1" && r.Grammar != "ancestors" {
+			t.Errorf("%s: unexpected grammar %q", r.Dataset, r.Grammar)
+		}
+		if r.Sources != 2 {
+			t.Errorf("%s: sources = %d, want 2", r.Dataset, r.Sources)
+		}
+		if r.SingleSourceMS <= 0 || r.AllPairsMS <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s: non-positive timings: %+v", r.Dataset, r)
+		}
+		if !r.Saturated && (r.Frontier < r.Sources || r.Frontier > r.Nodes) {
+			t.Errorf("%s: frontier %d outside [%d,%d]", r.Dataset, r.Frontier, r.Sources, r.Nodes)
+		}
+		// The directed class-hierarchy walk must not saturate: its frontier
+		// is the subClassOf path to the root, a sliver of the graph.
+		if r.Grammar == "ancestors" && r.Saturated {
+			t.Errorf("%s: ancestors grammar saturated the frontier", r.Dataset)
+		}
+	}
+}
+
+func TestRunSingleSourceErrors(t *testing.T) {
+	if _, err := RunSingleSource(SingleSourceConfig{Datasets: []string{"nope"}}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if _, err := RunSingleSource(SingleSourceConfig{Grammars: []string{"nope"}}); err == nil {
+		t.Error("bad grammar should fail")
+	}
+	if _, err := RunSingleSource(SingleSourceConfig{Backend: "quantum"}); err == nil {
+		t.Error("bad backend should fail")
+	}
+}
+
+func TestWriteBenchJSONAndFormat(t *testing.T) {
+	rows, err := RunSingleSource(SingleSourceConfig{
+		Datasets: []string{"skos"},
+		Repeats:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Rows []SingleSourceRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(decoded.Rows) != 2 || decoded.Rows[0].Dataset != "skos" {
+		t.Errorf("decoded rows = %+v", decoded.Rows)
+	}
+	var table bytes.Buffer
+	FormatSingleSource(&table, rows)
+	if !strings.Contains(table.String(), "skos") || !strings.Contains(table.String(), "speedup") {
+		t.Errorf("table output = %q", table.String())
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"cfpq"
 	"cfpq/internal/graph"
@@ -22,6 +24,7 @@ type Config struct {
 	Start      string
 	Backend    string
 	Semantics  string
+	Sources    string
 	CountOnly  bool
 	EmptyPaths bool
 	Names      bool
@@ -39,6 +42,10 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 		"matrix backend: dense, dense-parallel, sparse, sparse-parallel")
 	fs.StringVar(&cfg.Semantics, "semantics", "relational",
 		"query semantics: relational or single-path")
+	fs.StringVar(&cfg.Sources, "sources", "",
+		"comma-separated source nodes (IRIs or ids): restrict the query to pairs\n"+
+			"leaving these nodes, evaluated with the source-restricted closure\n"+
+			"(relational semantics only)")
 	fs.BoolVar(&cfg.CountOnly, "count", false, "print only the result count")
 	fs.BoolVar(&cfg.EmptyPaths, "empty-paths", false,
 		"include (v,v) pairs when the start non-terminal derives ε")
@@ -51,6 +58,34 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 		return nil, fmt.Errorf("cfpq: -graph and -query are required")
 	}
 	return cfg, nil
+}
+
+// resolveSources parses the comma-separated -sources value: each token is
+// an IRI from the graph's name table or a decimal node id.
+func resolveSources(spec string, ids map[string]int, nodes int) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if id, ok := ids[tok]; ok {
+			out = append(out, id)
+			continue
+		}
+		id, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("cfpq: unknown source node %q", tok)
+		}
+		if id < 0 || id >= nodes {
+			return nil, fmt.Errorf("cfpq: source node id %d out of range [0,%d)", id, nodes)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cfpq: -sources %q names no nodes", spec)
+	}
+	return out, nil
 }
 
 // BackendByName resolves a backend name; the library error already names
@@ -100,13 +135,26 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 		nodeName = func(v int) string { return table[v] }
 	}
 	eng := cfpq.NewEngine(backend)
+	if cfg.Sources != "" && cfg.Semantics != "relational" {
+		return fmt.Errorf("cfpq: -sources supports only -semantics=relational")
+	}
 	switch cfg.Semantics {
 	case "relational":
 		var opts []cfpq.Option
 		if cfg.EmptyPaths {
 			opts = append(opts, cfpq.WithEmptyPaths())
 		}
-		pairs, err := eng.Query(ctx, g, gram, cfg.Start, opts...)
+		var pairs []cfpq.Pair
+		var err error
+		if cfg.Sources != "" {
+			sources, serr := resolveSources(cfg.Sources, ids, g.Nodes())
+			if serr != nil {
+				return serr
+			}
+			pairs, err = eng.QueryFrom(ctx, g, gram, cfg.Start, sources, opts...)
+		} else {
+			pairs, err = eng.Query(ctx, g, gram, cfg.Start, opts...)
+		}
 		if err != nil {
 			return err
 		}

@@ -216,3 +216,50 @@ func TestExecuteDirect(t *testing.T) {
 		t.Errorf("output = %q", out.String())
 	}
 }
+
+func TestRunSources(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+	}
+
+	// Restricted to source b (node 1): only (1,2) of the full relation.
+	cfg := base
+	cfg.Sources = "b"
+	var out bytes.Buffer
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "1\t2\n" {
+		t.Errorf("sources=b output = %q, want %q", out.String(), "1\t2\n")
+	}
+
+	// Decimal ids and multiple sources work too.
+	cfg = base
+	cfg.Sources = "0, 1"
+	cfg.CountOnly = true
+	out.Reset()
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "3" {
+		t.Errorf("sources=0,1 count = %q, want 3", out.String())
+	}
+
+	// Unknown source nodes and non-relational semantics are rejected.
+	cfg = base
+	cfg.Sources = "nope"
+	if err := Run(ctx, &cfg, &out); err == nil {
+		t.Error("unknown source should fail")
+	}
+	cfg = base
+	cfg.Sources = "b"
+	cfg.Semantics = "single-path"
+	if err := Run(ctx, &cfg, &out); err == nil {
+		t.Error("-sources with single-path should fail")
+	}
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// saturationNum/saturationDen is the frontier-saturation threshold of the
+// source-restricted closure: once more than half of all rows are active,
+// masked products no longer save work over the plain closure (they scan the
+// same operand rows and add mask bookkeeping), so the evaluation falls back
+// to the full fixpoint.
+const (
+	saturationNum = 1
+	saturationDen = 2
+)
+
+// FromStats extends Stats with what the source-restricted closure did.
+type FromStats struct {
+	Stats
+	// Frontier is the final number of active rows — the sources plus every
+	// node that became reachable through a derivation fragment.
+	Frontier int `json:"frontier"`
+	// Saturated reports that the frontier outgrew the saturation threshold
+	// and the evaluation fell back to the full all-pairs closure.
+	Saturated bool `json:"saturated"`
+}
+
+// RunFromContext computes the source-restricted closure: only the matrix
+// rows of an *active set* — the given sources plus every node that shows up
+// as the target of a computed relation entry — are maintained. At the
+// fixpoint, every active row of every relation matrix is identical to the
+// corresponding row of the full all-pairs closure (in particular the source
+// rows), while rows outside the active set are left empty and unpaid-for.
+//
+// The schedule is the semi-naive delta iteration restricted to active
+// rows, with the bookkeeping proportional to the frontier, not the graph:
+// rows are seeded from a per-node out-edge index exactly once, when they
+// activate; each pass multiplies only the previous pass's new bits
+// (Δ_B × T_C and T_B × Δ_C, row-masked); and column activation scans only
+// those new bits, cascading through a worklist (a seeded bit can activate
+// the row its column names, whose seeds activate further rows, …).
+// Completeness is the standard semi-naive argument plus: a missing pair
+// (i, A, j) with i active would need a smaller missing pair in an active
+// row, or a column never activated — both impossible at the fixpoint,
+// since every added bit's column is activated when the bit is added.
+//
+// When the active set outgrows the saturation threshold (half of all
+// rows), the remaining rows are seeded and the plain closure finishes the
+// job; the result is then the full all-pairs index and FromStats.Saturated
+// is set.
+//
+// Sources outside [0, g.Nodes()) are rejected; duplicate sources are fine.
+// The engine's naive/delta schedule options do not apply to the restricted
+// closure (they concern the all-pairs fixpoint only) except after
+// saturation, where the closure finishes under the engine's schedule.
+func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF, sources []int) (*Index, FromStats, error) {
+	n := g.Nodes()
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, FromStats{}, fmt.Errorf("core: source node %d out of range [0,%d)", s, n)
+		}
+	}
+	nn := cnf.NonterminalCount()
+	ix := &Index{cnf: cnf, n: n, backend: e.backend, mats: make([]matrix.Bool, nn)}
+	for a := range ix.mats {
+		ix.mats[a] = e.backend.NewMatrix(n)
+	}
+	fs := FromStats{}
+	if len(sources) == 0 || n == 0 {
+		return ix, fs, nil
+	}
+
+	// Per-row seeds: for every node, the terminal-rule bits its out-edges
+	// contribute (Algorithm 1's initialisation, indexed by row). Built
+	// once, O(E).
+	type seed struct {
+		to int
+		as []int // non-terminal indices with A → label
+	}
+	seedsByRow := make([][]seed, n)
+	for t, as := range cnf.TermRules {
+		for _, edge := range g.EdgesWithLabel(t) {
+			seedsByRow[edge.From] = append(seedsByRow[edge.From], seed{to: edge.To, as: as})
+		}
+	}
+
+	active := make([]bool, n)
+	count := 0
+	var queue []int // activated rows waiting to be seeded
+	activate := func(j int) {
+		if !active[j] {
+			active[j] = true
+			count++
+			queue = append(queue, j)
+		}
+	}
+	// drain seeds every queued row into the index and into delta (the
+	// seeded bits are new, so they must multiply next pass), activating
+	// the columns they name — which can queue further rows.
+	drain := func(delta []matrix.Bool) {
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, sd := range seedsByRow[i] {
+				for _, a := range sd.as {
+					if !ix.mats[a].Get(i, sd.to) {
+						ix.mats[a].Set(i, sd.to)
+						delta[a].Set(i, sd.to)
+					}
+				}
+				activate(sd.to)
+			}
+		}
+	}
+	// fallback activates and seeds every remaining row and finishes with
+	// the plain all-pairs closure from the current (sound) state.
+	fallback := func(delta []matrix.Bool) (*Index, FromStats, error) {
+		for i := 0; i < n; i++ {
+			activate(i)
+		}
+		drain(delta)
+		fs.Frontier = n
+		fs.Saturated = true
+		st, err := e.CloseContext(ctx, ix)
+		fs.Stats.Add(st)
+		if err != nil {
+			return nil, fs, err
+		}
+		return ix, fs, nil
+	}
+	saturated := func() bool { return count*saturationDen > n*saturationNum }
+
+	delta := make([]matrix.Bool, nn)
+	for a := range delta {
+		delta[a] = e.backend.NewMatrix(n)
+	}
+	for _, s := range sources {
+		activate(s)
+	}
+	drain(delta)
+	if saturated() {
+		return fallback(delta)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fs, err
+		}
+		empty := true
+		for a := range delta {
+			if delta[a].Nnz() > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			fs.Frontier = count
+			return ix, fs, nil
+		}
+		fs.Iterations++
+		next := make([]matrix.Bool, nn)
+		for a := range next {
+			next[a] = e.backend.NewMatrix(n)
+		}
+		for _, r := range ix.cnf.Binary {
+			fs.Products += 2
+			next[r.A].AddMulRows(delta[r.B], ix.mats[r.C], active)
+			next[r.A].AddMulRows(ix.mats[r.B], delta[r.C], active)
+		}
+		for a := range next {
+			next[a].AndNot(ix.mats[a]) // keep only genuinely new bits
+			ix.mats[a].Or(next[a])
+			// Activate the columns of the new bits: those nodes head
+			// derivation fragments later products read rows of.
+			next[a].Range(func(i, j int) bool {
+				activate(j)
+				return true
+			})
+		}
+		// Seed the rows those columns activated; seeded bits join next so
+		// they multiply in the coming pass.
+		drain(next)
+		if saturated() {
+			return fallback(next)
+		}
+		delta = next
+	}
+}
+
+// QueryFromContext evaluates R_start restricted to the given source nodes:
+// the result is exactly Query's pair list filtered to pairs whose first
+// component is a source, computed without paying for the full n×n closure
+// when the reachable frontier is small.
+func (e *Engine) QueryFromContext(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, sources []int, opts QueryOptions) ([]matrix.Pair, error) {
+	pairs, _, err := e.queryFrom(ctx, g, gram, start, sources, opts)
+	return pairs, err
+}
+
+// QueryFromStatsContext is QueryFromContext, additionally reporting what
+// the restricted closure did (frontier size, saturation, closure work) —
+// the numbers the bench harness tracks.
+func (e *Engine) QueryFromStatsContext(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, sources []int, opts QueryOptions) ([]matrix.Pair, FromStats, error) {
+	return e.queryFrom(ctx, g, gram, start, sources, opts)
+}
+
+func (e *Engine) queryFrom(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, sources []int, opts QueryOptions) ([]matrix.Pair, FromStats, error) {
+	if !gram.HasNonterminal(start) {
+		return nil, FromStats{}, fmt.Errorf("core: unknown non-terminal %q", start)
+	}
+	cnf, err := grammar.ToCNF(gram)
+	if err != nil {
+		return nil, FromStats{}, err
+	}
+	ix, fs, err := e.RunFromContext(ctx, g, cnf, sources)
+	if err != nil {
+		return nil, fs, err
+	}
+	inSources := make([]bool, g.Nodes())
+	for _, s := range sources {
+		inSources[s] = true
+	}
+	var pairs []matrix.Pair
+	if m := ix.Matrix(start); m != nil {
+		m.Range(func(i, j int) bool {
+			if inSources[i] {
+				pairs = append(pairs, matrix.Pair{I: i, J: j})
+			}
+			return true
+		})
+	}
+	if opts.IncludeEmptyPaths && cnf.Nullable[start] {
+		seen := make(map[matrix.Pair]bool, len(pairs))
+		for _, p := range pairs {
+			seen[p] = true
+		}
+		for v, in := range inSources {
+			if p := (matrix.Pair{I: v, J: v}); in && !seen[p] {
+				pairs = append(pairs, p)
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			if pairs[a].I != pairs[b].I {
+				return pairs[a].I < pairs[b].I
+			}
+			return pairs[a].J < pairs[b].J
+		})
+	}
+	return pairs, fs, nil
+}

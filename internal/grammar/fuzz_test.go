@@ -1,0 +1,50 @@
+package grammar
+
+import (
+	"testing"
+)
+
+// FuzzParseGrammar feeds arbitrary text to the grammar parser: it must
+// never panic, and accepted input must survive a parse-print-parse round
+// trip exactly — the printed form re-parses to the same productions and
+// re-prints byte-identically. That is the invariant serialising grammars
+// (registry dumps, golden files) relies on; it holds because Symbol.String
+// escapes exactly what the parser's quoted-terminal reader unescapes.
+func FuzzParseGrammar(f *testing.F) {
+	f.Add("S -> a S b | a b")
+	f.Add("S -> subClassOf_r S subClassOf | subClassOf_r subClassOf\nS -> type_r S type | type_r type")
+	f.Add("B -> \"Quoted Terminal\" B x | eps")
+	f.Add("A ::= a | ε\n# comment\n// also a comment")
+	f.Add("S -> \"a\\\"b\" S | \"\\\\\"")
+	f.Add("X -> | |")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseString(input) // must not panic
+		if err != nil {
+			return
+		}
+		printed := g.String()
+		g2, err := ParseString(printed)
+		if err != nil {
+			t.Fatalf("reparse of printed grammar failed: %v\nprinted:\n%s", err, printed)
+		}
+		if len(g2.Productions) != len(g.Productions) {
+			t.Fatalf("reparse changed production count: %d -> %d\ninput: %q\nprinted:\n%s",
+				len(g.Productions), len(g2.Productions), input, printed)
+		}
+		for i := range g.Productions {
+			a, b := g.Productions[i], g2.Productions[i]
+			if a.Lhs != b.Lhs || len(a.Rhs) != len(b.Rhs) {
+				t.Fatalf("production %d changed: %v -> %v\nprinted:\n%s", i, a, b, printed)
+			}
+			for j := range a.Rhs {
+				if a.Rhs[j] != b.Rhs[j] {
+					t.Fatalf("production %d symbol %d changed: %+v -> %+v\nprinted:\n%s",
+						i, j, a.Rhs[j], b.Rhs[j], printed)
+				}
+			}
+		}
+		if got := g2.String(); got != printed {
+			t.Fatalf("print not a fixpoint:\nfirst:\n%s\nsecond:\n%s", printed, got)
+		}
+	})
+}

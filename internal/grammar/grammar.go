@@ -34,10 +34,21 @@ func T(name string) Symbol { return Symbol{Name: name, Terminal: true} }
 func NT(name string) Symbol { return Symbol{Name: name, Terminal: false} }
 
 // String renders the symbol; terminals that could be mistaken for
-// non-terminals are quoted.
+// non-terminals are quoted. Quoting escapes exactly what the parser's
+// quoted-terminal reader unescapes — backslash and double quote — so a
+// parsed grammar's rendering re-parses to the same symbols.
 func (s Symbol) String() string {
 	if s.Terminal && needsQuoting(s.Name) {
-		return fmt.Sprintf("%q", s.Name)
+		var b strings.Builder
+		b.WriteByte('"')
+		for i := 0; i < len(s.Name); i++ {
+			if c := s.Name[i]; c == '"' || c == '\\' {
+				b.WriteByte('\\')
+			}
+			b.WriteByte(s.Name[i])
+		}
+		b.WriteByte('"')
+		return b.String()
 	}
 	return s.Name
 }

@@ -86,7 +86,10 @@ func parseLine(g *Grammar, line string) error {
 	return nil
 }
 
-// splitAlternatives splits on '|' outside of quotes.
+// splitAlternatives splits on '|' outside of quotes. Inside quotes a
+// backslash escapes the next character (the same discipline
+// tokenizeSymbols unescapes with), so quoted terminals containing
+// backslashes or '|' split correctly.
 func splitAlternatives(body string) []string {
 	var out []string
 	var cur strings.Builder
@@ -94,7 +97,11 @@ func splitAlternatives(body string) []string {
 	for i := 0; i < len(body); i++ {
 		c := body[i]
 		switch {
-		case c == '"' && (i == 0 || body[i-1] != '\\'):
+		case inQuote && c == '\\' && i+1 < len(body):
+			cur.WriteByte(c)
+			i++
+			cur.WriteByte(body[i])
+		case c == '"':
 			inQuote = !inQuote
 			cur.WriteByte(c)
 		case c == '|' && !inQuote:

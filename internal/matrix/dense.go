@@ -181,13 +181,64 @@ func (m *DenseMatrix) Range(fn func(i, j int) bool) {
 // AddMul computes m |= a × b. The product is accumulated into a scratch
 // buffer first, so m may alias a or b.
 func (m *DenseMatrix) AddMul(a, b Bool) bool {
+	return m.addMul(a, b)
+}
+
+// AddMulRows is AddMul restricted to the masked rows: only rows i with
+// rows[i] set are multiplied and merged. Scratch space and the merge scan
+// are sized to the masked rows, not the whole matrix, so a small frontier
+// pays for its own rows only.
+func (m *DenseMatrix) AddMulRows(a, b Bool, rows []bool) bool {
+	if len(rows) != m.n {
+		panic(fmt.Sprintf("matrix: row mask length %d for %d×%d", len(rows), m.n, m.n))
+	}
+	da := mustDense(a, m.n)
+	db := mustDense(b, m.n)
+	idx := make([]int, 0, len(rows))
+	for i, on := range rows {
+		if on {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return false
+	}
+	stride := m.stride
+	prod := make([]uint64, len(idx)*stride)
+	compute := func(lo, hi int) {
+		for ri := lo; ri < hi; ri++ {
+			mulRowInto(da, db, idx[ri], prod[ri*stride:(ri+1)*stride])
+		}
+	}
+	if m.parallel {
+		m.parallelRows(len(idx), compute)
+	} else {
+		compute(0, len(idx))
+	}
+	changed := false
+	for ri, i := range idx {
+		orow := prod[ri*stride : (ri+1)*stride]
+		mrow := m.words[i*stride : (i+1)*stride]
+		for x, w := range orow {
+			if nw := mrow[x] | w; nw != mrow[x] {
+				mrow[x] = nw
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// addMul is the full (unmasked) AddMul kernel.
+func (m *DenseMatrix) addMul(a, b Bool) bool {
 	da := mustDense(a, m.n)
 	db := mustDense(b, m.n)
 	prod := make([]uint64, len(m.words))
+	compute := func(lo, hi int) { mulRows(da, db, prod, lo, hi) }
 	if m.parallel {
-		m.mulParallel(da, db, prod)
+		m.parallelRows(m.n, compute)
 	} else {
-		mulRows(da, db, prod, 0, m.n)
+		compute(0, m.n)
 	}
 	changed := false
 	for i, w := range prod {
@@ -199,44 +250,51 @@ func (m *DenseMatrix) AddMul(a, b Bool) bool {
 	return changed
 }
 
-// mulRows computes rows [lo, hi) of a×b into prod.
-func mulRows(a, b *DenseMatrix, prod []uint64, lo, hi int) {
+// mulRowInto computes row i of a×b into the given stride-sized word slice.
+func mulRowInto(a, b *DenseMatrix, i int, orow []uint64) {
 	stride := a.stride
-	for i := lo; i < hi; i++ {
-		arow := a.words[i*stride : (i+1)*stride]
-		orow := prod[i*stride : (i+1)*stride]
-		for wi, w := range arow {
-			for w != 0 {
-				k := wi*64 + bits.TrailingZeros64(w)
-				w &= w - 1
-				brow := b.words[k*stride : (k+1)*stride]
-				for x, bw := range brow {
-					orow[x] |= bw
-				}
+	arow := a.words[i*stride : (i+1)*stride]
+	for wi, w := range arow {
+		for w != 0 {
+			k := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			brow := b.words[k*stride : (k+1)*stride]
+			for x, bw := range brow {
+				orow[x] |= bw
 			}
 		}
 	}
 }
 
-func (m *DenseMatrix) mulParallel(a, b *DenseMatrix, prod []uint64) {
+// mulRows computes rows [lo, hi) of a×b into prod.
+func mulRows(a, b *DenseMatrix, prod []uint64, lo, hi int) {
+	stride := a.stride
+	for i := lo; i < hi; i++ {
+		mulRowInto(a, b, i, prod[i*stride:(i+1)*stride])
+	}
+}
+
+// parallelRows splits [0, n) across the backend's workers and runs compute
+// on each chunk.
+func (m *DenseMatrix) parallelRows(n int, compute func(lo, hi int)) {
 	workers := m.workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > m.n {
-		workers = m.n
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		mulRows(a, b, prod, 0, m.n)
+		compute(0, n)
 		return
 	}
 	var wg sync.WaitGroup
-	chunk := (m.n + workers - 1) / workers
+	chunk := (n + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * chunk
 		hi := lo + chunk
-		if hi > m.n {
-			hi = m.n
+		if hi > n {
+			hi = n
 		}
 		if lo >= hi {
 			break
@@ -244,7 +302,7 @@ func (m *DenseMatrix) mulParallel(a, b *DenseMatrix, prod []uint64) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			mulRows(a, b, prod, lo, hi)
+			compute(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

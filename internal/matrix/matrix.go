@@ -33,6 +33,12 @@ type Bool interface {
 	// whether m changed. a and b must come from the same backend as m;
 	// m may alias a and/or b (the product is computed before merging).
 	AddMul(a, b Bool) bool
+	// AddMulRows is AddMul restricted to the rows i with rows[i] set: only
+	// those rows of the product are computed and merged, the rest of m is
+	// untouched. len(rows) must equal Dim. This is the kernel of the
+	// source-restricted closure, where only the rows of an active frontier
+	// need to be maintained.
+	AddMulRows(a, b Bool, rows []bool) bool
 	// Or computes m |= other and reports whether m changed.
 	Or(other Bool) bool
 	// And computes m &= other (intersection) and reports whether m

@@ -297,6 +297,92 @@ func (m *SparseMatrix) AddMul(a, b Bool) bool {
 	return changed
 }
 
+// AddMulRows is AddMul restricted to the masked rows: only rows i with
+// rows[i] set are multiplied and merged. The row list, scratch space and
+// merge scan are sized to the masked rows, so a small frontier pays for
+// its own rows only (plus one O(n) sweep to collect them).
+func (m *SparseMatrix) AddMulRows(a, b Bool, rows []bool) bool {
+	if len(rows) != m.n {
+		panic(fmt.Sprintf("matrix: row mask length %d for %d×%d", len(rows), m.n, m.n))
+	}
+	sa := mustSparse(a, m.n)
+	sb := mustSparse(b, m.n)
+	idx := make([]int, 0, len(rows))
+	for i, on := range rows {
+		if on {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return false
+	}
+	prod := make([][]int32, len(idx))
+	if m.parallel && len(idx) > 1 {
+		m.spgemmParallelRows(sa, sb, prod, idx)
+	} else {
+		scratch := newAccumulator(m.n)
+		for ri, i := range idx {
+			prod[ri] = spgemmRow(sa, sb, i, scratch)
+		}
+	}
+	changed := false
+	for ri, i := range idx {
+		if len(prod[ri]) == 0 {
+			continue
+		}
+		merged, grew := unionSorted(m.rows[i], prod[ri])
+		if grew {
+			m.nnz += len(merged) - len(m.rows[i])
+			m.rows[i] = merged
+			changed = true
+		}
+	}
+	return changed
+}
+
+// spgemmParallelRows distributes the listed rows across workers; prod is
+// indexed like idx.
+func (m *SparseMatrix) spgemmParallelRows(a, b *SparseMatrix, prod [][]int32, idx []int) {
+	workers := m.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(idx) {
+		workers = len(idx)
+	}
+	if workers <= 1 {
+		scratch := newAccumulator(m.n)
+		for ri, i := range idx {
+			prod[ri] = spgemmRow(a, b, i, scratch)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	const grain = 16 // masked row lists are short; keep chunks small
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := newAccumulator(m.n)
+			for {
+				lo := int(next.Add(grain)) - grain
+				if lo >= len(idx) {
+					return
+				}
+				hi := lo + grain
+				if hi > len(idx) {
+					hi = len(idx)
+				}
+				for ri := lo; ri < hi; ri++ {
+					prod[ri] = spgemmRow(a, b, idx[ri], scratch)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // accumulator is the dense scratch used by Gustavson's algorithm: a bitmap
 // plus the list of touched columns, reusable across rows.
 type accumulator struct {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 )
 
 // Handler exposes a Service over HTTP/JSON. Routes (all responses JSON):
@@ -17,8 +18,12 @@ import (
 //	POST /v1/graphs/{name}/edges         add edges: {"edges":[{"from":..,"label":..,"to":..}]}
 //	GET  /v1/grammars                    list grammars
 //	PUT  /v1/grammars/{name}             register a grammar; body is grammar text
-//	GET  /v1/query                       evaluate: ?graph=&grammar=&nonterminal=&op=&backend=&from=&to=
-//	                                     op is has | relation | count | counts (default relation)
+//	GET  /v1/query                       evaluate: ?graph=&grammar=&nonterminal=&op=&backend=&from=&to=&sources=
+//	                                     op is has | relation | count | counts (default relation);
+//	                                     sources=a,b,c restricts relation/count to pairs leaving those nodes
+//	POST /v1/query/batch                 evaluate many queries against one target from one cached
+//	                                     index build: {"graph":..,"grammar":..,"backend":..,
+//	                                     "queries":[{"op":..,"nonterminal":..,"from":..,"to":..,"sources":[..]}]}
 //	GET  /v1/stats                       per-index closure statistics
 //
 // Errors are {"error": "..."} with a 4xx/5xx status.
@@ -105,6 +110,21 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("nonterminal is required"))
 			return
 		}
+		var sources []string
+		if sv, restricted := q.Get("sources"), q.Has("sources"); restricted {
+			for _, tok := range strings.Split(sv, ",") {
+				if tok = strings.TrimSpace(tok); tok != "" {
+					sources = append(sources, tok)
+				}
+			}
+			// A present-but-empty restriction must not silently mean
+			// "everything" — that is the full n² answer the parameter
+			// exists to avoid.
+			if len(sources) == 0 {
+				writeError(w, http.StatusBadRequest, errors.New("sources names no nodes"))
+				return
+			}
+		}
 		switch op {
 		case "has":
 			from, to := q.Get("from"), q.Get("to")
@@ -119,14 +139,26 @@ func Handler(s *Service) http.Handler {
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"has": ok, "from": from, "to": to, "nonterminal": nt})
 		case "relation":
-			pairs, err := s.Relation(r.Context(), t, nt)
+			var pairs []NamedPair
+			var err error
+			if sources != nil {
+				pairs, err = s.RelationFrom(r.Context(), t, nt, sources)
+			} else {
+				pairs, err = s.Relation(r.Context(), t, nt)
+			}
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
 			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": len(pairs), "pairs": pairs})
 		case "count":
-			n, err := s.Count(r.Context(), t, nt)
+			var n int
+			var err error
+			if sources != nil {
+				n, err = s.CountFrom(r.Context(), t, nt, sources)
+			} else {
+				n, err = s.Count(r.Context(), t, nt)
+			}
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
@@ -143,6 +175,33 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("unknown op %q (want has, relation, count or counts)", op))
 		}
+	})
+	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Graph   string           `json:"graph"`
+			Grammar string           `json:"grammar"`
+			Backend string           `json:"backend,omitempty"`
+			Queries []BatchQuerySpec `json:"queries"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDocumentBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding batch: %w", err))
+			return
+		}
+		if req.Graph == "" || req.Grammar == "" {
+			writeError(w, http.StatusBadRequest, errors.New("graph and grammar are required"))
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("no queries in batch"))
+			return
+		}
+		t := Target{Graph: req.Graph, Grammar: req.Grammar, Backend: req.Backend}
+		answers, err := s.QueryBatch(r.Context(), t, req.Queries)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": answers})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"indexes": s.Stats()})

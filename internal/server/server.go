@@ -484,6 +484,172 @@ func (s *Service) Counts(ctx context.Context, t Target) (map[string]int, error) 
 	return p.Counts(), nil
 }
 
+// resolveSources maps source-node names to ids under the graph entry's
+// read lock.
+func (ge *graphEntry) resolveSources(tokens []string) ([]int, error) {
+	ge.mu.RLock()
+	defer ge.mu.RUnlock()
+	return ge.resolveSourcesLocked(tokens)
+}
+
+// resolveSourcesLocked is resolveSources for callers already holding the
+// graph entry's lock.
+func (ge *graphEntry) resolveSourcesLocked(tokens []string) ([]int, error) {
+	out := make([]int, 0, len(tokens))
+	for _, tok := range tokens {
+		id, err := ge.resolveNode(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// RelationFrom returns the pairs of R_nt whose source node is in sources
+// (node names or decimal ids), answered from the cached index.
+func (s *Service) RelationFrom(ctx context.Context, t Target, nt string, sources []string) ([]NamedPair, error) {
+	e, p, err := s.index(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNonterminal(p, nt); err != nil {
+		return nil, err
+	}
+	ids, err := e.ge.resolveSources(sources)
+	if err != nil {
+		return nil, err
+	}
+	pairs := p.RelationFrom(nt, ids)
+	out := make([]NamedPair, len(pairs))
+	e.ge.mu.RLock()
+	for k, pr := range pairs {
+		out[k] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
+	}
+	e.ge.mu.RUnlock()
+	return out, nil
+}
+
+// CountFrom returns the number of R_nt pairs whose source node is in
+// sources (node names or decimal ids).
+func (s *Service) CountFrom(ctx context.Context, t Target, nt string, sources []string) (int, error) {
+	e, p, err := s.index(ctx, t)
+	if err != nil {
+		return 0, err
+	}
+	if err := checkNonterminal(p, nt); err != nil {
+		return 0, err
+	}
+	ids, err := e.ge.resolveSources(sources)
+	if err != nil {
+		return 0, err
+	}
+	return p.CountFrom(nt, ids), nil
+}
+
+// --- batched queries --------------------------------------------------
+
+// BatchQuerySpec is one query of a batch, addressed by node names (or
+// decimal ids). Op is one of has, count, relation, count-from,
+// relation-from; empty means relation.
+type BatchQuerySpec struct {
+	Op          string   `json:"op,omitempty"`
+	Nonterminal string   `json:"nonterminal"`
+	From        string   `json:"from,omitempty"`
+	To          string   `json:"to,omitempty"`
+	Sources     []string `json:"sources,omitempty"`
+}
+
+// BatchAnswer is the answer to one BatchQuerySpec. Errors are per-query:
+// one malformed query does not fail its batch (registry-level errors —
+// unknown graph, grammar or backend — fail the whole call instead).
+type BatchAnswer struct {
+	Op          string      `json:"op"`
+	Nonterminal string      `json:"nonterminal"`
+	Has         *bool       `json:"has,omitempty"`
+	Count       *int        `json:"count,omitempty"`
+	Pairs       []NamedPair `json:"pairs,omitempty"`
+	Error       string      `json:"error,omitempty"`
+}
+
+// QueryBatch answers a batch of queries against one target from a single
+// cached index build: the Prepared handle is resolved (built on first use)
+// once, every query is answered from the same index state under one read
+// lock, and the answers fan back out through the library's shared worker
+// pool (Prepared.QueryBatch). This is the endpoint for callers that would
+// otherwise issue many GET /v1/query calls against the same (graph,
+// grammar) pair.
+func (s *Service) QueryBatch(ctx context.Context, t Target, specs []BatchQuerySpec) ([]BatchAnswer, error) {
+	e, p, err := s.index(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	answers := make([]BatchAnswer, len(specs))
+	queries := make([]cfpq.BatchQuery, 0, len(specs))
+	slot := make([]int, 0, len(specs)) // batch index → specs index
+	e.ge.mu.RLock()
+	for i, spec := range specs {
+		answers[i] = BatchAnswer{Op: spec.Op, Nonterminal: spec.Nonterminal}
+		if answers[i].Op == "" {
+			answers[i].Op = string(cfpq.BatchRelation)
+		}
+		q := cfpq.BatchQuery{Op: cfpq.BatchOp(answers[i].Op), Nonterminal: spec.Nonterminal}
+		bad := func(err error) { answers[i].Error = err.Error() }
+		switch q.Op {
+		case cfpq.BatchHas:
+			from, errF := e.ge.resolveNode(spec.From)
+			to, errT := e.ge.resolveNode(spec.To)
+			if errF != nil {
+				bad(errF)
+				continue
+			}
+			if errT != nil {
+				bad(errT)
+				continue
+			}
+			q.From, q.To = from, to
+		case cfpq.BatchCountFrom, cfpq.BatchRelationFrom:
+			ids, err := e.ge.resolveSourcesLocked(spec.Sources)
+			if err != nil {
+				bad(err)
+				continue
+			}
+			q.Sources = ids
+		}
+		queries = append(queries, q)
+		slot = append(slot, i)
+	}
+	e.ge.mu.RUnlock()
+
+	results := p.QueryBatch(ctx, queries)
+	e.ge.mu.RLock()
+	defer e.ge.mu.RUnlock()
+	for k, r := range results {
+		i := slot[k]
+		if r.Err != nil {
+			answers[i].Error = r.Err.Error()
+			continue
+		}
+		switch cfpq.BatchOp(answers[i].Op) {
+		case cfpq.BatchHas:
+			has := r.Has
+			answers[i].Has = &has
+		case cfpq.BatchCount, cfpq.BatchCountFrom:
+			count := r.Count
+			answers[i].Count = &count
+		default: // relation, relation-from
+			count := r.Count
+			answers[i].Count = &count
+			pairs := make([]NamedPair, len(r.Pairs))
+			for x, pr := range r.Pairs {
+				pairs[x] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
+			}
+			answers[i].Pairs = pairs
+		}
+	}
+	return answers, nil
+}
+
 // --- mutation ---------------------------------------------------------
 
 // EdgeSpec is one edge addressed by node names (or decimal ids). Unknown

@@ -99,6 +99,94 @@ func (p *Prepared) Pairs(nt string) iter.Seq[Pair] {
 	}
 }
 
+// sourceSet turns a source list into a membership mask over the index's
+// node range; sources out of range are ignored (they can have no pairs).
+func sourceSet(n int, sources []int) []bool {
+	mask := make([]bool, n)
+	for _, s := range sources {
+		if s >= 0 && s < n {
+			mask[s] = true
+		}
+	}
+	return mask
+}
+
+// RelationFrom returns the pairs of R_nt whose first component is one of
+// the given source nodes, in row-major order — the cached-index answer to
+// the single-/few-source question Engine.QueryFrom evaluates from scratch.
+// Out-of-range sources contribute nothing.
+func (p *Prepared) RelationFrom(nt string, sources []int) []Pair {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	return p.relationFromLocked(nt, sources)
+}
+
+func (p *Prepared) relationFromLocked(nt string, sources []int) []Pair {
+	m := p.ix.Matrix(nt)
+	if m == nil {
+		return nil
+	}
+	mask := sourceSet(p.ix.Nodes(), sources)
+	var out []Pair
+	m.Range(func(i, j int) bool {
+		if mask[i] {
+			out = append(out, Pair{I: i, J: j})
+		}
+		return true
+	})
+	return out
+}
+
+// CountFrom returns the number of pairs of R_nt whose first component is
+// one of the given source nodes.
+func (p *Prepared) CountFrom(nt string, sources []int) int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.queries.Add(1)
+	return p.countFromLocked(nt, sources)
+}
+
+func (p *Prepared) countFromLocked(nt string, sources []int) int {
+	m := p.ix.Matrix(nt)
+	if m == nil {
+		return 0
+	}
+	mask := sourceSet(p.ix.Nodes(), sources)
+	count := 0
+	m.Range(func(i, j int) bool {
+		if mask[i] {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// PairsFrom streams the pairs of R_nt whose first component is one of the
+// given source nodes, in row-major order, without materialising the
+// relation. The same locking caveats as Pairs apply: the read lock is held
+// for the whole iteration and no method of this Prepared may be called
+// from inside the loop.
+func (p *Prepared) PairsFrom(nt string, sources []int) iter.Seq[Pair] {
+	return func(yield func(Pair) bool) {
+		p.mu.RLock()
+		defer p.mu.RUnlock()
+		p.queries.Add(1)
+		m := p.ix.Matrix(nt)
+		if m == nil {
+			return
+		}
+		mask := sourceSet(p.ix.Nodes(), sources)
+		m.Range(func(i, j int) bool {
+			if !mask[i] {
+				return true
+			}
+			return yield(Pair{I: i, J: j})
+		})
+	}
+}
+
 // Paths yields distinct paths witnessing (nt, i, j) in nondecreasing
 // length order, bounded by opts. The bounded enumeration runs up front
 // (path extraction needs a consistent index), so breaking early saves only
