@@ -9,6 +9,8 @@
 //	cfpq-bench -ablation             # iteration/crossover/scaling ablations
 //	cfpq-bench -singlesource         # single-source vs all-pairs scenario
 //	cfpq-bench -singlesource -sources 4 -json BENCH_singlesource.json
+//	cfpq-bench -warmstart            # cold closure vs store warm start
+//	cfpq-bench -warmstart -json BENCH_warmstart.json
 package main
 
 import (
@@ -26,9 +28,10 @@ func main() {
 	maxTriples := flag.Int("max", 0, "skip graphs with more paper-triples (0 = no limit)")
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the tables")
 	single := flag.Bool("singlesource", false, "run the single-source vs all-pairs serving scenario")
+	warm := flag.Bool("warmstart", false, "run the cold-start vs warm-start (persisted index) scenario")
 	sourceCount := flag.Int("sources", 1, "source nodes per query in the single-source scenario")
-	jsonPath := flag.String("json", "", "also write single-source results as JSON to this file (BENCH_*.json artifact)")
-	backend := flag.String("backend", "sparse", "matrix backend for the single-source scenario")
+	jsonPath := flag.String("json", "", "also write scenario results as JSON to this file (BENCH_*.json artifact)")
+	backend := flag.String("backend", "sparse", "matrix backend for the single-source/warm-start scenarios")
 	grammars := flag.String("grammars", "", "comma-separated single-source grammars: query1, query2, ancestors (default \"query1,ancestors\")")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the formatted table")
 	verbose := flag.Bool("v", false, "print per-cell progress")
@@ -36,6 +39,21 @@ func main() {
 
 	if *ablation {
 		bench.RunAblations(os.Stdout)
+		return
+	}
+	if *warm {
+		rows, err := bench.RunWarmStart(bench.WarmStartConfig{
+			Repeats: *repeats,
+			Backend: *backend,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatWarmStart(os.Stdout, rows)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rows)
+		}
 		return
 	}
 	if *single {
@@ -55,19 +73,7 @@ func main() {
 		}
 		bench.FormatSingleSource(os.Stdout, rows)
 		if *jsonPath != "" {
-			f, err := os.Create(*jsonPath)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := bench.WriteBenchJSON(f, rows); err != nil {
-				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
-				os.Exit(1)
-			}
+			writeJSON(*jsonPath, rows)
 		}
 		return
 	}
@@ -98,5 +104,23 @@ func main() {
 		}
 		bench.FormatTable(os.Stdout, q, rows)
 		fmt.Println()
+	}
+}
+
+// writeJSON writes a scenario's rows as a BENCH_*.json artifact, exiting
+// on failure like the rest of the tool.
+func writeJSON(path string, rows any) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.WriteBenchJSON(f, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+		os.Exit(1)
 	}
 }

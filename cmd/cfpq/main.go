@@ -13,6 +13,8 @@
 //	cfpq -graph wine.nt -query samegen.g -start S -semantics single-path
 //	cfpq -graph wine.nt -query samegen.g -start S -backend dense-parallel
 //	cfpq -graph wine.nt -query samegen.g -start S -count         # count only
+//	cfpq -graph wine.nt -query samegen.g -save-index samegen.idx # persist the closure
+//	cfpq -graph wine.nt -query samegen.g -load-index samegen.idx # answer without re-running it
 package main
 
 import (

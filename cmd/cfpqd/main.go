@@ -7,19 +7,34 @@
 //
 // # Usage
 //
-//	cfpqd                        # listen on :8080
+//	cfpqd                        # listen on :8080, in-memory only
 //	cfpqd -addr 127.0.0.1:9000
 //	cfpqd -graph ontology=wine.nt -grammar q1=samegen.g
+//	cfpqd -data-dir /var/lib/cfpqd   # durable: WAL + snapshots + warm start
 //
 // The -graph flag preloads name=path pairs (format inferred from the
 // extension: .nt → N-Triples, anything else → edge list); -grammar
 // preloads grammar files. Both flags repeat.
 //
+// # Persistent mode
+//
+// With -data-dir, cfpqd opens (or creates) a durable store there and
+// warm-starts from it: graphs, grammars and every previously evaluated
+// closure index are restored from disk — indexes come back as live
+// cache entries without re-running any closure. From then on every
+// mutation is journaled write-ahead (AddEdges batches are fsynced to a
+// per-graph WAL before they are applied), so a crash — kill -9 included —
+// loses at most the batch being written. POST /v1/snapshot folds WALs and
+// built indexes into fresh snapshots on demand; a background compactor
+// does the same for any graph whose WAL outgrows its threshold; a clean
+// shutdown (SIGINT/SIGTERM) snapshots everything so the next start
+// replays nothing.
+//
 // # Walkthrough
 //
 // Start the server and load a graph and a grammar:
 //
-//	cfpqd -addr :8080 &
+//	cfpqd -addr :8080 -data-dir ./data &
 //	curl -X PUT --data-binary @wine.nt 'localhost:8080/v1/graphs/wine?format=ntriples'
 //	curl -X PUT --data-binary 'S -> subClassOf_r S subClassOf | subClassOf_r subClassOf' \
 //	     localhost:8080/v1/grammars/samegen
@@ -43,23 +58,32 @@
 //	     localhost:8080/v1/query/batch
 //
 // Add edges — cached indexes are patched with the incremental delta
-// closure, visible in /v1/stats as update products ≪ build products:
+// closure, visible in /v1/stats as update products ≪ build products —
+// and inspect durability and liveness:
 //
 //	curl -X POST -d '{"edges":[{"from":"a","label":"subClassOf","to":"b"}]}' \
 //	     localhost:8080/v1/graphs/wine/edges
 //	curl localhost:8080/v1/stats
+//	curl -X POST localhost:8080/v1/snapshot
+//	curl localhost:8080/v1/store/stats
+//	curl localhost:8080/healthz
+//	curl localhost:8080/debug/vars
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"cfpq/internal/server"
+	"cfpq/internal/store"
 )
 
 // namedFiles collects repeated name=path flags.
@@ -77,12 +101,31 @@ func (f *namedFiles) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	dataDir := flag.String("data-dir", "", "durable store directory; empty serves purely in memory")
+	compactBytes := flag.Int64("compact-bytes", 0, "WAL size that triggers background compaction (0 = 4 MiB default)")
 	var graphs, grammars namedFiles
 	flag.Var(&graphs, "graph", "preload a graph as name=path (repeatable)")
 	flag.Var(&grammars, "grammar", "preload a grammar as name=path (repeatable)")
 	flag.Parse()
 
 	svc := server.New()
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir, store.Options{CompactBytes: *compactBytes})
+		if err != nil {
+			log.Fatalf("cfpqd: opening store %s: %v", *dataDir, err)
+		}
+		warmCtx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		err = svc.AttachStore(warmCtx, st)
+		cancel()
+		if err != nil {
+			log.Fatalf("cfpqd: warm-starting from %s: %v", *dataDir, err)
+		}
+		ss := st.Stats()
+		log.Printf("cfpqd: warm-started from %s: %d graphs, %d grammars, %d indexes restored (replayed %d WAL records, truncated %d torn bytes)",
+			*dataDir, len(ss.Graphs), ss.Grammars, svc.Metrics().WarmStarts, ss.ReplayedRecords, ss.RecoveredBytes)
+	}
 	for _, spec := range graphs {
 		name, path, _ := strings.Cut(spec, "=")
 		format := "edgelist"
@@ -114,9 +157,35 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then —
+	// in persistent mode — fold every WAL and built index into fresh
+	// snapshots so the next start replays nothing, and close the store.
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("cfpqd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cfpqd: shutdown: %v", err)
+		}
+		if st != nil {
+			if err := svc.Snapshot(""); err != nil {
+				log.Printf("cfpqd: final snapshot: %v", err)
+			}
+			if err := st.Close(); err != nil {
+				log.Printf("cfpqd: closing store: %v", err)
+			}
+		}
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	<-idle
 }
 
 func loadGraph(svc *server.Service, name, format, path string) error {

@@ -111,11 +111,35 @@
 // The service itself lives in internal/server and can be embedded
 // in-process; cmd/cfpqd is a thin HTTP shell around it.
 //
+// # Durability and warm start
+//
+// `cfpqd -data-dir` persists everything the cost model says is worth
+// keeping — above all the evaluated closure indexes, the expensive
+// artifact of this paper's algorithm. The on-disk store (internal/store)
+// holds per-graph snapshots, grammar texts, index files stamped with the
+// edge-stream position they cover, and an append-only WAL of edge
+// additions with CRC-framed, fsynced records. Mutations are write-ahead:
+// the WAL record is durable before the in-memory graph or any cached
+// index changes. On restart the service loads snapshots, replays WALs
+// (truncating a torn tail to the last good record) and restores every
+// saved index as a live Prepared handle — indexes behind the recovered
+// stream are patched forward with the incremental delta closure, so no
+// closure re-runs from scratch (see BENCH_warmstart.json for the cold
+// versus warm gap).
+//
+// Library users compose the same pieces directly:
+//
+//	p.WriteIndex(w)                         // persist a handle's index (CFPQIDX2)
+//	ix, _ := eng.LoadIndex(r, cnf)          // reload it (backend recorded in the header)
+//	p, _ := eng.PrepareFromIndex(g, cnf, ix) // serve it — Build stats stay zero
+//	p.AttachWAL(log)                        // tee AddEdges into a durable log, write-ahead
+//
 // Subpackages under internal/ implement the machinery: grammars and CNF
 // (internal/grammar), graphs, N-Triples and edge lists (internal/graph),
 // Boolean matrix kernels (internal/matrix), the closure engine and path
 // semantics (internal/core), the concurrent query service
-// (internal/server), the Hellings and GLL baselines (internal/baseline),
+// (internal/server), the durable store — WAL, snapshots, compaction
+// (internal/store), the Hellings and GLL baselines (internal/baseline),
 // the paper's evaluation datasets (internal/dataset) and the table harness
 // (internal/bench) — all of which evaluate through the public Engine.
 package cfpq

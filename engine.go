@@ -191,3 +191,32 @@ func (e *Engine) PrepareCNF(ctx context.Context, g *Graph, cnf *CNF) (*Prepared,
 	}
 	return &Prepared{eng: e, cnf: cnf, g: g, ix: ix, build: build}, nil
 }
+
+// PrepareFromIndex binds an already-evaluated index to its graph without
+// re-running the closure — the warm-start path: load a persisted index
+// (LoadIndex), patch it up to date with Update if edges were journaled
+// after it was saved, and serve. The index must be the closure of g under
+// cnf (or of a sub-multiset of g's edges whose missing consequences have
+// been patched in with Update); binding an index computed for a different
+// graph silently serves wrong answers, exactly like pairing LoadIndex
+// with the wrong grammar would.
+//
+// The handle takes ownership of g. An index smaller than g's node range
+// is grown in place; a cnf mismatch is an error. The returned handle's
+// Build stats are zero — no closure ran — which is how serving layers
+// distinguish warm starts from cold ones.
+func (e *Engine) PrepareFromIndex(g *Graph, cnf *CNF, ix *Index) (*Prepared, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("cfpq: PrepareFromIndex with nil index")
+	}
+	if ix.CNF() != cnf {
+		// The index's relations are keyed by the CNF it was read/built
+		// with; a different CNF value, even if textually equal, would
+		// desynchronise non-terminal indexes.
+		return nil, fmt.Errorf("cfpq: index was built for a different CNF value")
+	}
+	if g.Nodes() > ix.Nodes() {
+		ix.Grow(g.Nodes())
+	}
+	return &Prepared{eng: e, cnf: cnf, g: g, ix: ix}, nil
+}

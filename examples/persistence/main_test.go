@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: snapshot, index save, WAL
+// tee, crash recovery and warm start must all hold together.
+func TestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Session 1: closure over 6 modules",
+		"Persisted index:",
+		"db now depends on vuln",
+		"1 WAL record(s) replayed",
+		"warm handle ran 0 closure passes",
+		"Has(app -> vuln) = true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q\n---\n%s", want, out.String())
+		}
+	}
+}

@@ -244,9 +244,10 @@ func rowsBackend(rows []SingleSourceRow) string {
 	return rows[0].Backend
 }
 
-// WriteBenchJSON writes the rows as the BENCH_*.json artifact format:
-// an indented JSON object with a single "rows" key, stable for diffing.
-func WriteBenchJSON(w io.Writer, rows []SingleSourceRow) error {
+// WriteBenchJSON writes the rows of any scenario (SingleSourceRow,
+// WarmStartRow, …) as the BENCH_*.json artifact format: an indented JSON
+// object with a single "rows" key, stable for diffing.
+func WriteBenchJSON(w io.Writer, rows any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(map[string]any{"rows": rows})

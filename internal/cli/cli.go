@@ -28,6 +28,12 @@ type Config struct {
 	CountOnly  bool
 	EmptyPaths bool
 	Names      bool
+	// SaveIndex persists the evaluated closure index (CFPQIDX2) to this
+	// path after answering; LoadIndex answers from a previously saved
+	// index instead of running the closure (the warm-start path). Both
+	// are relational-semantics only.
+	SaveIndex string
+	LoadIndex string
 }
 
 // ParseArgs parses command-line arguments into a Config.
@@ -50,6 +56,12 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 	fs.BoolVar(&cfg.EmptyPaths, "empty-paths", false,
 		"include (v,v) pairs when the start non-terminal derives ε")
 	fs.BoolVar(&cfg.Names, "names", false, "print IRIs instead of node ids")
+	fs.StringVar(&cfg.SaveIndex, "save-index", "",
+		"after answering, save the evaluated closure index to this file\n"+
+			"(CFPQIDX2; reload with -load-index to skip the closure)")
+	fs.StringVar(&cfg.LoadIndex, "load-index", "",
+		"answer from an index previously saved with -save-index instead of\n"+
+			"running the closure (grammar and graph must match the saved run)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -138,6 +150,17 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 	if cfg.Sources != "" && cfg.Semantics != "relational" {
 		return fmt.Errorf("cfpq: -sources supports only -semantics=relational")
 	}
+	if cfg.SaveIndex != "" || cfg.LoadIndex != "" {
+		if cfg.Semantics != "relational" {
+			return fmt.Errorf("cfpq: -save-index/-load-index support only -semantics=relational")
+		}
+		if cfg.EmptyPaths {
+			// The index holds the closure relation only; ε-pairs are a
+			// query-time decoration the saved form does not carry.
+			return fmt.Errorf("cfpq: -empty-paths cannot be combined with -save-index/-load-index")
+		}
+		return executeWithIndex(ctx, cfg, g, ids, gram, eng, out, nodeName)
+	}
 	switch cfg.Semantics {
 	case "relational":
 		var opts []cfpq.Option
@@ -198,4 +221,68 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 	default:
 		return fmt.Errorf("cfpq: unknown semantics %q", cfg.Semantics)
 	}
+}
+
+// executeWithIndex answers through an evaluated index: loaded from
+// -load-index (skipping the closure — the warm-start path) or computed
+// fresh and optionally persisted to -save-index.
+func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int, gram *cfpq.Grammar, eng *cfpq.Engine, out io.Writer, nodeName func(int) string) error {
+	cnf, err := cfpq.ToCNF(gram)
+	if err != nil {
+		return err
+	}
+	var ix *cfpq.Index
+	if cfg.LoadIndex != "" {
+		f, err := os.Open(cfg.LoadIndex)
+		if err != nil {
+			return err
+		}
+		ix, err = eng.LoadIndex(f, cnf)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if ix.Nodes() < g.Nodes() {
+			return fmt.Errorf("cfpq: index covers %d nodes, graph has %d — rebuild with -save-index", ix.Nodes(), g.Nodes())
+		}
+	} else {
+		if ix, _, err = eng.Evaluate(ctx, g, cnf); err != nil {
+			return err
+		}
+	}
+	if cfg.SaveIndex != "" {
+		f, err := os.Create(cfg.SaveIndex)
+		if err != nil {
+			return err
+		}
+		if err := cfpq.SaveIndex(f, ix); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	p, err := eng.PrepareFromIndex(g, cnf, ix)
+	if err != nil {
+		return err
+	}
+	var pairs []cfpq.Pair
+	if cfg.Sources != "" {
+		sources, err := resolveSources(cfg.Sources, ids, g.Nodes())
+		if err != nil {
+			return err
+		}
+		pairs = p.RelationFrom(cfg.Start, sources)
+	} else {
+		pairs = p.Relation(cfg.Start)
+	}
+	if cfg.CountOnly {
+		fmt.Fprintln(out, len(pairs))
+		return nil
+	}
+	for _, pr := range pairs {
+		fmt.Fprintf(out, "%s\t%s\n", nodeName(pr.I), nodeName(pr.J))
+	}
+	return nil
 }

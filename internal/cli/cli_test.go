@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"cfpq"
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
 )
@@ -262,4 +263,64 @@ func TestRunSources(t *testing.T) {
 	if err := Run(ctx, &cfg, &out); err == nil {
 		t.Error("-sources with single-path should fail")
 	}
+}
+
+func TestSaveLoadIndexRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	gpath := writeFile(t, dir, "g.nt", sampleNT)
+	qpath := writeFile(t, dir, "q.g", sampleGrammar)
+	ixPath := filepath.Join(dir, "q.idx")
+
+	// Evaluate, answer, save.
+	var save bytes.Buffer
+	cfg := &Config{GraphPath: gpath, QueryPath: qpath, Start: "S", Backend: "sparse", Semantics: "relational", SaveIndex: ixPath}
+	if err := Run(ctx, cfg, &save); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ixPath); err != nil {
+		t.Fatalf("index file not written: %v", err)
+	}
+
+	// Load: same answer, no closure run; sources filter through the index.
+	var load bytes.Buffer
+	cfg2 := &Config{GraphPath: gpath, QueryPath: qpath, Start: "S", Backend: "sparse", Semantics: "relational", LoadIndex: ixPath}
+	if err := Run(ctx, cfg2, &load); err != nil {
+		t.Fatal(err)
+	}
+	if save.String() != load.String() || load.Len() == 0 {
+		t.Errorf("saved run:\n%s\nloaded run:\n%s", save.String(), load.String())
+	}
+	var fromA bytes.Buffer
+	cfg3 := &Config{GraphPath: gpath, QueryPath: qpath, Start: "S", Backend: "sparse", Semantics: "relational", LoadIndex: ixPath, Sources: "a", Names: true, CountOnly: true}
+	if err := Run(ctx, cfg3, &fromA); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(fromA.String()) != "2" {
+		t.Errorf("count from <a> = %q, want 2", fromA.String())
+	}
+}
+
+func TestIndexFlagsRejectBadCombos(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, "p", 1)
+	gram := grammar.MustParse(sampleGrammar)
+	var out bytes.Buffer
+	for _, cfg := range []*Config{
+		{Start: "S", Semantics: "single-path", LoadIndex: "x"},
+		{Start: "S", Semantics: "relational", EmptyPaths: true, SaveIndex: "x"},
+	} {
+		if err := Execute(ctx, cfg, g, nil, gram, BackendMust(t, "sparse"), &out); err == nil {
+			t.Errorf("accepted %+v", cfg)
+		}
+	}
+}
+
+// BackendMust resolves a backend or fails the test.
+func BackendMust(t *testing.T, name string) cfpq.Backend {
+	t.Helper()
+	be, err := BackendByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return be
 }

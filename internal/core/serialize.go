@@ -12,14 +12,16 @@ import (
 
 // Index serialization: a computed closure can be persisted and reloaded so
 // repeated queries over a static graph skip the fixpoint entirely. The
-// format is a compact row-sparse binary encoding, independent of the
-// backend the index was computed with; WriteTo always writes the sparse
-// form and ReadIndex materialises into whichever backend the reading
-// engine uses.
+// format is a compact row-sparse binary encoding; the payload is
+// independent of the backend the index was computed with, but the header
+// records the backend's identity so a reload can materialise the exact
+// same representation and kernel (serial/parallel included) without the
+// caller having to remember it out of band.
 //
-// Layout (all integers little-endian):
+// Layout of the current format (all integers little-endian):
 //
-//	magic "CFPQIDX1"
+//	magic "CFPQIDX2"
+//	uint16 backendNameLen, backend name bytes ("" = unrecorded)
 //	uint32 nodeCount
 //	uint32 nonterminalCount
 //	per non-terminal:
@@ -27,14 +29,33 @@ import (
 //	    uint32 nnz
 //	    nnz × (uint32 row, uint32 col)   in row-major order
 //
+// The previous format, magic "CFPQIDX1", is identical minus the backend
+// name and is still read transparently (it predates backend recording, so
+// indexes loaded from it fall back to the reader's backend choice).
+//
 // The grammar itself is NOT serialised (names only): the reader supplies
 // the CNF, and names must match exactly. This keeps the index format
 // stable under grammar-text round-trips and forces the caller to pair the
 // index with the grammar it was built from.
 
-const indexMagic = "CFPQIDX1"
+const (
+	indexMagicV1 = "CFPQIDX1"
+	indexMagic   = "CFPQIDX2"
+)
 
-// WriteTo serialises the index.
+// MaxIndexNodes bounds the node count ReadIndex accepts. Matrix
+// allocation is driven by the declared node count before any entry is
+// validated, so without a bound a corrupt or hostile header declaring
+// 2³²-1 nodes would allocate gigabytes up front. The default matches the
+// store's snapshot node bound — every graph the store can persist has a
+// reloadable index — and sits four orders of magnitude beyond the
+// paper's largest evaluation graph; callers with genuinely bigger
+// indexes may raise it (fuzzing lowers it for throughput).
+var MaxIndexNodes = 1 << 26
+
+// WriteTo serialises the index in the CFPQIDX2 format, recording the
+// backend the matrices were allocated from (an empty backend name when the
+// index predates backend recording).
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var written int64
@@ -45,10 +66,30 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		written += int64(binary.Size(data))
 		return nil
 	}
+	emitString := func(s string) error {
+		if len(s) > 1<<16-1 {
+			return fmt.Errorf("core: string too long for index header: %d bytes", len(s))
+		}
+		if err := emit(uint16(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+		written += int64(len(s))
+		return nil
+	}
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return written, err
 	}
 	written += int64(len(indexMagic))
+	backendName := ""
+	if ix.backend != nil {
+		backendName = ix.backend.Name()
+	}
+	if err := emitString(backendName); err != nil {
+		return written, err
+	}
 	if err := emit(uint32(ix.n)); err != nil {
 		return written, err
 	}
@@ -56,17 +97,9 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return written, err
 	}
 	for a, m := range ix.mats {
-		name := ix.cnf.Names[a]
-		if len(name) > 1<<16-1 {
-			return written, fmt.Errorf("core: non-terminal name too long: %d bytes", len(name))
-		}
-		if err := emit(uint16(len(name))); err != nil {
+		if err := emitString(ix.cnf.Names[a]); err != nil {
 			return written, err
 		}
-		if _, err := bw.WriteString(name); err != nil {
-			return written, err
-		}
-		written += int64(len(name))
 		if err := emit(uint32(m.Nnz())); err != nil {
 			return written, err
 		}
@@ -89,21 +122,50 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return written, bw.Flush()
 }
 
-// ReadIndex deserialises an index previously written with WriteTo. The
+// readString reads a uint16-length-prefixed string.
+func readString(br *bufio.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadIndex deserialises an index previously written with WriteTo,
+// accepting both the current CFPQIDX2 format and the legacy CFPQIDX1. The
 // supplied CNF must be the grammar the index was computed for:
 // non-terminal names and count are validated. Matrices are materialised
-// with the given backend (nil means serial sparse).
+// with the given backend; nil means the backend recorded in the file
+// (falling back to serial sparse for legacy indexes or unknown names).
 func ReadIndex(r io.Reader, cnf *grammar.CNF, be matrix.Backend) (*Index, error) {
-	if be == nil {
-		be = matrix.Sparse()
-	}
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(indexMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("core: reading index magic: %w", err)
 	}
-	if string(magic) != indexMagic {
+	recorded := ""
+	switch string(magic) {
+	case indexMagic:
+		name, err := readString(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading index backend: %w", err)
+		}
+		recorded = name
+	case indexMagicV1:
+		// Legacy format: no backend recorded.
+	default:
 		return nil, fmt.Errorf("core: bad index magic %q", magic)
+	}
+	if be == nil {
+		if rb, ok := matrix.BackendByName(recorded); ok {
+			be = rb
+		} else {
+			be = matrix.Sparse()
+		}
 	}
 	var n32, nn32 uint32
 	if err := binary.Read(br, binary.LittleEndian, &n32); err != nil {
@@ -112,6 +174,9 @@ func ReadIndex(r io.Reader, cnf *grammar.CNF, be matrix.Backend) (*Index, error)
 	if err := binary.Read(br, binary.LittleEndian, &nn32); err != nil {
 		return nil, err
 	}
+	if int64(n32) > int64(MaxIndexNodes) {
+		return nil, fmt.Errorf("core: index declares %d nodes, above the %d limit (core.MaxIndexNodes)", n32, MaxIndexNodes)
+	}
 	n := int(n32)
 	if int(nn32) != cnf.NonterminalCount() {
 		return nil, fmt.Errorf("core: index has %d non-terminals, grammar has %d",
@@ -119,20 +184,16 @@ func ReadIndex(r io.Reader, cnf *grammar.CNF, be matrix.Backend) (*Index, error)
 	}
 	ix := &Index{cnf: cnf, n: n, backend: be, mats: make([]matrix.Bool, cnf.NonterminalCount())}
 	for k := 0; k < int(nn32); k++ {
-		var nameLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		name, err := readString(br)
+		if err != nil {
 			return nil, err
 		}
-		nameBytes := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, nameBytes); err != nil {
-			return nil, err
-		}
-		a, ok := cnf.Index(string(nameBytes))
+		a, ok := cnf.Index(name)
 		if !ok {
-			return nil, fmt.Errorf("core: index non-terminal %q not in grammar", nameBytes)
+			return nil, fmt.Errorf("core: index non-terminal %q not in grammar", name)
 		}
 		if ix.mats[a] != nil {
-			return nil, fmt.Errorf("core: duplicate non-terminal %q in index", nameBytes)
+			return nil, fmt.Errorf("core: duplicate non-terminal %q in index", name)
 		}
 		m := be.NewMatrix(n)
 		var nnz uint32

@@ -92,6 +92,72 @@ func TestReadIndexErrors(t *testing.T) {
 	}
 }
 
+func TestIndexRecordsBackend(t *testing.T) {
+	// CFPQIDX2 records the computing backend: reading with a nil backend
+	// must materialise the exact representation the index was built with.
+	cnf := grammar.MustParseCNF("S -> a S b | a b")
+	g := graph.Cycle(6, "a")
+	g.AddEdge(0, "b", 1)
+	for _, be := range matrix.Backends() {
+		ix, _ := NewEngine(WithBackend(be)).Run(g, cnf)
+		var buf bytes.Buffer
+		if _, err := ix.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadIndex(&buf, cnf, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", be.Name(), err)
+		}
+		if got.Backend() == nil || got.Backend().Name() != be.Name() {
+			t.Errorf("backend %s round-tripped as %v", be.Name(), got.Backend())
+		}
+	}
+}
+
+func TestReadIndexLegacyV1(t *testing.T) {
+	// A CFPQIDX1 file (no backend header) must still read; the reader's
+	// backend choice applies, with nil falling back to serial sparse.
+	cnf := grammar.MustParseCNF("S -> a b")
+	ix, _ := NewEngine().Run(graph.Word([]string{"a", "b"}), cnf)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buf.Bytes()
+	// Rewrite the header: magic "CFPQIDX1", dropping the uint16-prefixed
+	// backend name that follows the magic in v2.
+	legacy := append([]byte(indexMagicV1), v2[len(indexMagic)+2+len(ix.Backend().Name()):]...)
+	got, err := ReadIndex(bytes.NewReader(legacy), cnf, nil)
+	if err != nil {
+		t.Fatalf("legacy read: %v", err)
+	}
+	if !got.Equal(ix) {
+		t.Error("legacy index relations differ")
+	}
+	if got.Backend() == nil || got.Backend().Name() != "sparse" {
+		t.Errorf("legacy read backend = %v, want sparse fallback", got.Backend())
+	}
+}
+
+func TestReadIndexNodeLimit(t *testing.T) {
+	cnf := grammar.MustParseCNF("S -> a b")
+	ix, _ := NewEngine().Run(graph.Word([]string{"a", "b"}), cnf)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the node count (follows magic + backend string) to 2³²-1;
+	// the guard must reject it instead of allocating.
+	raw := buf.Bytes()
+	off := len(indexMagic) + 2 + len(ix.Backend().Name())
+	for k := 0; k < 4; k++ {
+		raw[off+k] = 0xff
+	}
+	if _, err := ReadIndex(bytes.NewReader(raw), cnf, nil); err == nil {
+		t.Error("oversized node count accepted")
+	}
+}
+
 func TestWriteToReportsBytes(t *testing.T) {
 	cnf := grammar.MustParseCNF("S -> a b")
 	ix, _ := NewEngine().Run(graph.Word([]string{"a", "b"}), cnf)

@@ -100,3 +100,15 @@ func Backends() []Backend {
 		SparseParallel(0),
 	}
 }
+
+// BackendByName resolves a backend by its Name() — the form backend
+// identity is recorded in on serialised indexes (CFPQIDX2) and store
+// files. Parallel backends resolve with GOMAXPROCS workers.
+func BackendByName(name string) (Backend, bool) {
+	for _, be := range Backends() {
+		if be.Name() == name {
+			return be, true
+		}
+	}
+	return nil, false
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,6 +26,11 @@ import (
 //	                                     index build: {"graph":..,"grammar":..,"backend":..,
 //	                                     "queries":[{"op":..,"nonterminal":..,"from":..,"to":..,"sources":[..]}]}
 //	GET  /v1/stats                       per-index closure statistics
+//	POST /v1/snapshot                    persistent mode: fold WAL + built indexes into
+//	                                     fresh snapshots; ?graph= restricts to one graph
+//	GET  /v1/store/stats                 persistent mode: durable-store statistics
+//	GET  /healthz                        liveness probe, {"status":"ok"}
+//	GET  /debug/vars                     expvar dump + cfpqd service/store metrics
 //
 // Errors are {"error": "..."} with a 4xx/5xx status.
 func Handler(s *Service) http.Handler {
@@ -206,7 +212,66 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"indexes": s.Stats()})
 	})
+	mux.HandleFunc("POST /v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Persistent() {
+			writeError(w, http.StatusConflict, errors.New("no store attached (start cfpqd with -data-dir)"))
+			return
+		}
+		graph := r.URL.Query().Get("graph")
+		if err := s.Snapshot(graph); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		st, _ := s.StoreStats()
+		writeJSON(w, http.StatusOK, map[string]any{"snapshotted": true, "store": st})
+	})
+	mux.HandleFunc("GET /v1/store/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.StoreStats()
+		if !ok {
+			writeError(w, http.StatusConflict, errors.New("no store attached (start cfpqd with -data-dir)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		serveDebugVars(w, s)
+	})
 	return mux
+}
+
+// serveDebugVars renders the expvar universe — every published global
+// (cmdline, memstats, anything the embedding process added) — plus the
+// service counters under "cfpqd" and, in persistent mode, the store
+// statistics under "cfpqd_store". The service vars are injected per
+// handler rather than expvar.Publish'd because publishing is global and
+// panics on re-registration, which would forbid two Services (or two
+// tests) in one process.
+func serveDebugVars(w http.ResponseWriter, s *Service) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{")
+	first := true
+	emit := func(name, value string) {
+		if !first {
+			fmt.Fprintf(w, ",")
+		}
+		first = false
+		fmt.Fprintf(w, "\n%q: %s", name, value)
+	}
+	expvar.Do(func(kv expvar.KeyValue) {
+		emit(kv.Key, kv.Value.String())
+	})
+	if raw, err := json.Marshal(s.Metrics()); err == nil {
+		emit("cfpqd", string(raw))
+	}
+	if st, ok := s.StoreStats(); ok {
+		if raw, err := json.Marshal(st); err == nil {
+			emit("cfpqd_store", string(raw))
+		}
+	}
+	fmt.Fprintf(w, "\n}\n")
 }
 
 // maxDocumentBytes bounds uploaded graph/grammar documents and edge

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"cfpq"
+	"cfpq/internal/matrix"
+	"cfpq/internal/store"
+)
+
+// Persistent mode: a Service with an attached store.Store survives
+// restarts. Every mutation is teed into the store write-ahead — graph
+// registrations become snapshots, grammar registrations become grammar
+// files, AddEdges batches become fsynced WAL records — and every closure
+// the service builds is saved as an index file with the edge-stream
+// position (seq) it covers. AttachStore runs the other direction: it
+// warm-starts an empty service from the recovered store, restoring the
+// registry and rebuilding every saved index as a live Prepared handle
+// without running a single closure — indexes whose watermark is behind
+// the recovered edge stream are patched forward with the incremental
+// delta closure instead.
+
+// AttachStore wires a recovered store into an empty service and
+// warm-starts from it: grammars and graphs are restored into the
+// registry, and every loadable saved index becomes a built cache entry
+// whose Prepared handle was constructed from the file (Build stats zero —
+// no closure ran). After AttachStore returns, all subsequent mutations
+// persist through the store.
+//
+// Index files that fail to load or to patch (corrupt payload, grammar
+// gone or re-registered with other non-terminals, unknown backend) are
+// skipped, not fatal: a lost index only costs a rebuild on first query.
+// Damaged graph state, by contrast, is an error — serving silently
+// without a registered graph would turn restarts into data loss.
+func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
+	s.mu.Lock()
+	if s.store != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("server: store already attached")
+	}
+	if len(s.graphs) != 0 || len(s.grammars) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("server: AttachStore requires an empty service")
+	}
+	s.mu.Unlock()
+
+	grammars, err := st.Grammars()
+	if err != nil {
+		return fmt.Errorf("server: reading stored grammars: %w", err)
+	}
+	names := make([]string, 0, len(grammars))
+	for name := range grammars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gram, err := cfpq.ParseGrammar(grammars[name])
+		if err != nil {
+			return fmt.Errorf("server: stored grammar %q: %w", name, err)
+		}
+		cnf, err := cfpq.ToCNF(gram)
+		if err != nil {
+			return fmt.Errorf("server: stored grammar %q: %w", name, err)
+		}
+		s.mu.Lock()
+		s.grammars[name] = &grammarEntry{gram: gram, cnf: cnf, src: grammars[name]}
+		s.mu.Unlock()
+	}
+
+	for _, name := range st.GraphNames() {
+		g, byID, seq, err := st.GraphState(name)
+		if err != nil {
+			return fmt.Errorf("server: restoring graph %q: %w", name, err)
+		}
+		nameMap := make(map[string]int)
+		for id, n := range byID {
+			if n != "" {
+				nameMap[n] = id
+			}
+		}
+		ge := &graphEntry{g: g, names: nameMap, byID: byID, seq: seq}
+		s.mu.Lock()
+		s.graphs[name] = ge
+		s.mu.Unlock()
+
+		for _, info := range st.Indexes(name) {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			s.warmStartIndex(ctx, st, ge, info)
+		}
+	}
+
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+	return nil
+}
+
+// warmStartIndex restores one saved index as a built cache entry,
+// patching it forward to the graph's recovered seq when the file's
+// watermark is behind. Failures are silent skips (see AttachStore).
+func (s *Service) warmStartIndex(ctx context.Context, st *store.Store, ge *graphEntry, info store.IndexInfo) {
+	s.mu.Lock()
+	re := s.grammars[info.Grammar]
+	s.mu.Unlock()
+	if re == nil {
+		return
+	}
+	be, err := cfpq.BackendByName(info.Backend)
+	if err != nil {
+		return
+	}
+	mbe, ok := matrix.BackendByName(info.Backend)
+	if !ok {
+		return
+	}
+	ix, seq, err := st.LoadIndex(info, re.cnf, mbe)
+	if err != nil {
+		return
+	}
+	eng := cfpq.NewEngine(be)
+	if seq < ge.seq {
+		// The index is behind the recovered edge stream. If the WAL still
+		// holds the tail, patch exactly the missing edges; if compaction
+		// folded them into the snapshot, repair by re-seeding the delta
+		// closure with the full edge set — idempotent for everything the
+		// index already covers, and still no from-scratch closure.
+		tail, ok := st.EdgesSince(info.Graph, seq)
+		if !ok {
+			tail = ge.g.Edges()
+		}
+		if _, err := eng.Update(ctx, ix, tail...); err != nil {
+			return
+		}
+	} else if seq > ge.seq {
+		// The index claims edges the recovered stream does not have — a
+		// snapshot/WAL mismatch (e.g. hand-edited files). Unsound to
+		// serve; let the first query rebuild.
+		return
+	}
+	if ge.g.Nodes() > ix.Nodes() {
+		ix.Grow(ge.g.Nodes())
+	}
+	p, err := eng.PrepareFromIndex(ge.g.Clone(), re.cnf, ix)
+	if err != nil {
+		return
+	}
+	key := IndexKey{Graph: info.Graph, Grammar: info.Grammar, Backend: info.Backend}
+	e := &indexEntry{key: key, ge: ge, eng: eng, built: true, p: p}
+	s.mu.Lock()
+	s.indexes[key] = e
+	s.mu.Unlock()
+	s.metrics.warmStarts.Add(1)
+}
+
+// persistIndex saves a freshly built index to the attached store, best
+// effort: persistence is an optimization (the next snapshot retries), so
+// failures only tick a counter. seq is the graph's edge-stream position
+// captured when the build snapshotted the graph; the saved file may
+// contain consequences of later patches, which is sound — recovery
+// re-applies the tail and re-applying present bits is a no-op.
+func (s *Service) persistIndex(key IndexKey, seq uint64, p *cfpq.Prepared) {
+	if s.store == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := p.WriteIndex(&buf); err != nil {
+		s.metrics.persistErrors.Add(1)
+		return
+	}
+	if err := s.store.SaveIndex(key.Graph, key.Grammar, key.Backend, seq, buf.Bytes()); err != nil {
+		s.metrics.persistErrors.Add(1)
+	}
+}
+
+// Snapshot folds the named graph's WAL into a fresh snapshot together
+// with every built index on it, so the next restart warm-starts with no
+// replay and no patching. An empty name snapshots every graph.
+func (s *Service) Snapshot(graphName string) error {
+	if s.store == nil {
+		return fmt.Errorf("server: no store attached")
+	}
+	s.mu.Lock()
+	var names []string
+	if graphName == "" {
+		for n := range s.graphs {
+			names = append(names, n)
+		}
+	} else if s.graphs[graphName] != nil {
+		names = []string{graphName}
+	}
+	s.mu.Unlock()
+	if graphName != "" && len(names) == 0 {
+		return notFoundf("server: unknown graph %q", graphName)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := s.snapshotGraph(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Service) snapshotGraph(name string) error {
+	s.mu.Lock()
+	ge := s.graphs[name]
+	var entries []*indexEntry
+	for k, e := range s.indexes {
+		if k.Graph == name && e.ge == ge {
+			entries = append(entries, e)
+		}
+	}
+	s.mu.Unlock()
+	if ge == nil {
+		return notFoundf("server: unknown graph %q", name)
+	}
+
+	var indexes []store.IndexData
+	for _, e := range entries {
+		e.mu.Lock()
+		built, stale, p, key := e.built, e.stale, e.p, e.key
+		e.mu.Unlock()
+		if !built || stale {
+			continue
+		}
+		// Capture seq before serialising: a patch landing in between
+		// leaves the file with extra consequences under an understated
+		// watermark, which recovery re-applies idempotently. The reverse
+		// order could claim coverage of edges the bytes never saw.
+		ge.mu.RLock()
+		seq := ge.seq
+		ge.mu.RUnlock()
+		var buf bytes.Buffer
+		if err := p.WriteIndex(&buf); err != nil {
+			s.metrics.persistErrors.Add(1)
+			continue
+		}
+		indexes = append(indexes, store.IndexData{
+			Grammar: key.Grammar,
+			Backend: key.Backend,
+			Seq:     seq,
+			Data:    buf.Bytes(),
+		})
+	}
+	// A graph replaced since we captured ge would receive index files
+	// from the old graph's node namespace; skip — the replacement was
+	// snapshotted by its own registration.
+	s.mu.Lock()
+	current := s.graphs[name] == ge
+	s.mu.Unlock()
+	if !current {
+		return nil
+	}
+	return s.store.Snapshot(name, indexes)
+}
+
+// StoreStats reports the attached store's statistics; ok is false when
+// the service runs purely in memory.
+func (s *Service) StoreStats() (store.Stats, bool) {
+	if s.store == nil {
+		return store.Stats{}, false
+	}
+	return s.store.Stats(), true
+}
+
+// Persistent reports whether a store is attached.
+func (s *Service) Persistent() bool { return s.store != nil }
+
+// MetricsSnapshot is a point-in-time copy of the service counters, the
+// payload behind /debug/vars.
+type MetricsSnapshot struct {
+	Queries       int64 `json:"queries"`
+	IndexBuilds   int64 `json:"index_builds"`
+	WarmStarts    int64 `json:"warm_starts"`
+	Updates       int64 `json:"updates"`
+	EdgesAdded    int64 `json:"edges_added"`
+	PersistErrors int64 `json:"persist_errors"`
+}
+
+// Metrics snapshots the service counters.
+func (s *Service) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		Queries:       s.metrics.queries.Load(),
+		IndexBuilds:   s.metrics.indexBuilds.Load(),
+		WarmStarts:    s.metrics.warmStarts.Load(),
+		Updates:       s.metrics.updates.Load(),
+		EdgesAdded:    s.metrics.edgesAdded.Load(),
+		PersistErrors: s.metrics.persistErrors.Load(),
+	}
+}

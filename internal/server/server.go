@@ -38,9 +38,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"cfpq"
 	"cfpq/internal/graph"
+	"cfpq/internal/store"
 )
 
 // ErrNotFound marks lookups of unregistered names — graphs, grammars,
@@ -60,6 +62,23 @@ type Service struct {
 	graphs   map[string]*graphEntry
 	grammars map[string]*grammarEntry
 	indexes  map[IndexKey]*indexEntry
+
+	// store, when non-nil, is the durable store every mutation tees into
+	// (see AttachStore in persist.go). Written once at attach time, before
+	// serving; read without s.mu on the hot paths.
+	store *store.Store
+
+	metrics serviceMetrics
+}
+
+// serviceMetrics are the monotonic counters /debug/vars exposes.
+type serviceMetrics struct {
+	queries       atomic.Int64 // query operations answered (batch = one per spec)
+	indexBuilds   atomic.Int64 // full closure builds
+	warmStarts    atomic.Int64 // Prepared handles restored from the store without a closure
+	updates       atomic.Int64 // AddEdges calls
+	edgesAdded    atomic.Int64 // edges inserted across updates
+	persistErrors atomic.Int64 // best-effort index persistence failures
 }
 
 // New returns an empty service.
@@ -77,6 +96,7 @@ type graphEntry struct {
 	names   map[string]int // node name → id; may be empty for id-only graphs
 	byID    []string       // node id → name, grown lazily with names
 	version int            // bumped on every successful mutation
+	seq     uint64         // durable edge-stream position (store attached)
 }
 
 type grammarEntry struct {
@@ -138,10 +158,39 @@ func (s *Service) RegisterGraph(name string, g *graph.Graph, names map[string]in
 		}
 	}
 	ge := &graphEntry{g: g, names: names, byID: invertNames(g.Nodes(), names)}
+	// Hold the replaced entry's write lock across the store replacement
+	// AND the registry swap: an AddEdges on the old entry either finishes
+	// entirely before this (its WAL record lands in the old log, removed
+	// with it) or re-checks registry identity after we are done and
+	// rejects — no batch can be journaled into the replacement's WAL
+	// while its in-memory mutation lands on the orphaned entry.
+	s.mu.Lock()
+	old := s.graphs[name]
+	s.mu.Unlock()
+	if old != nil {
+		old.mu.Lock()
+	}
+	if s.store != nil {
+		// Persist before installing (write-ahead): a failed snapshot write
+		// leaves neither side registered. Replacing a stored graph drops
+		// its WAL and saved indexes along with the old snapshot.
+		if err := s.store.CreateGraph(name, g, ge.byID); err != nil {
+			if old != nil {
+				old.mu.Unlock()
+			}
+			return err
+		}
+	}
 	s.mu.Lock()
 	s.graphs[name] = ge
 	dropped := s.removeIndexesLocked(func(k IndexKey) bool { return k.Graph == name })
 	s.mu.Unlock()
+	if old != nil {
+		// Released before markStale: flagging entries takes each
+		// indexEntry.mu, and the documented order is indexEntry.mu →
+		// graphEntry.mu, never the reverse.
+		old.mu.Unlock()
+	}
 	markStale(dropped)
 	return nil
 }
@@ -189,6 +238,20 @@ func (s *Service) RegisterGrammar(name, text string) error {
 	cnf, err := cfpq.ToCNF(gram)
 	if err != nil {
 		return err
+	}
+	if s.store != nil {
+		// Drop the replaced grammar's saved indexes BEFORE saving the new
+		// text: their relations belong to the old text and must not
+		// warm-start under the new one. In this order a crash between the
+		// two steps costs a rebuild; the reverse order would leave old
+		// indexes that type-check against the new grammar (non-terminal
+		// names often coincide) and silently serve stale relations.
+		if err := s.store.DropGrammarIndexes(name); err != nil {
+			return err
+		}
+		if err := s.store.SaveGrammar(name, text); err != nil {
+			return err
+		}
 	}
 	s.mu.Lock()
 	s.grammars[name] = &grammarEntry{gram: gram, cnf: cnf, src: text}
@@ -344,6 +407,7 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 		// build saw).
 		e.ge.mu.RLock()
 		snapshot := e.ge.g.Clone()
+		seq := e.ge.seq
 		e.ge.mu.RUnlock()
 		p, err := e.eng.PrepareCNF(ctx, snapshot, re.cnf)
 		if err != nil {
@@ -351,7 +415,13 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 		}
 		e.p = p
 		e.built = true
+		s.metrics.indexBuilds.Add(1)
+		s.persistIndex(key, seq, p)
 	}
+	// Every query operation resolves its index exactly once, so this is
+	// the one place the query counter ticks (batches add their fan-out in
+	// QueryBatch).
+	s.metrics.queries.Add(1)
 	return e, e.p, nil
 }
 
@@ -584,6 +654,7 @@ func (s *Service) QueryBatch(ctx context.Context, t Target, specs []BatchQuerySp
 	if err != nil {
 		return nil, err
 	}
+	s.metrics.queries.Add(int64(len(specs) - 1))
 	answers := make([]BatchAnswer, len(specs))
 	queries := make([]cfpq.BatchQuery, 0, len(specs))
 	slot := make([]int, 0, len(specs)) // batch index → specs index
@@ -691,10 +762,30 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 	// first mutation so a bad spec cannot leave the graph half-updated
 	// (and cached indexes permanently out of sync with it).
 	ge.mu.Lock()
+	// Re-check registry identity under the entry lock: RegisterGraph
+	// replaces entries while holding the old entry's write lock, so once
+	// we own ge.mu either ge is still current or it never will be again —
+	// journaling into the replacement's WAL while mutating the orphaned
+	// entry would permanently diverge durable from live state. (Taking
+	// s.mu under a graphEntry lock is safe: no path acquires graph entry
+	// locks while holding s.mu.)
+	s.mu.Lock()
+	current := s.graphs[graphName] == ge
+	s.mu.Unlock()
+	if !current {
+		ge.mu.Unlock()
+		return UpdateResult{}, fmt.Errorf("server: graph %q was replaced during the update; retry", graphName)
+	}
 	for _, spec := range specs {
 		if spec.Label == "" {
 			ge.mu.Unlock()
 			return UpdateResult{}, fmt.Errorf("server: edge %v has empty label", spec)
+		}
+		if spec.From == "" || spec.To == "" {
+			// An empty token would intern as a node whose "name" cannot
+			// round-trip through the durable store's name table.
+			ge.mu.Unlock()
+			return UpdateResult{}, fmt.Errorf("server: edge %v has an empty endpoint", spec)
 		}
 		for _, tok := range []string{spec.From, spec.To} {
 			if _, err := ge.resolveNode(tok); err == nil {
@@ -708,6 +799,23 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 			}
 			// A non-numeric unknown token interns as a new node below.
 		}
+	}
+	if s.store != nil {
+		// Write-ahead: journal the batch (fsynced) before the first
+		// in-memory mutation, still under the graph lock so the WAL's
+		// record order matches the order mutations were applied in — the
+		// store's replay re-runs the same interning this call performs
+		// below and must see the same starting state.
+		recs := make([]store.EdgeRecord, len(specs))
+		for i, spec := range specs {
+			recs[i] = store.EdgeRecord{From: spec.From, Label: spec.Label, To: spec.To}
+		}
+		seq, err := s.store.Append(graphName, recs)
+		if err != nil {
+			ge.mu.Unlock()
+			return UpdateResult{}, fmt.Errorf("server: journaling edges: %w", err)
+		}
+		ge.seq = seq
 	}
 	before := ge.g.Nodes()
 	edges := make([]graph.Edge, 0, len(specs))
@@ -738,6 +846,8 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 	ge.mu.Unlock()
 	res.Added = len(edges)
 	res.NewNodes = nodes - before
+	s.metrics.updates.Add(1)
+	s.metrics.edgesAdded.Add(int64(res.Added))
 
 	// Phase 2: walk the cache after the mutation (the ordering that,
 	// paired with index() registering entries before snapshotting the

@@ -1,0 +1,70 @@
+// Native fuzz target for WAL crash recovery. Like the rest of the fuzz
+// suite it is gated on go1.18 (native fuzzing) and runs only its seed
+// corpus under plain `go test`.
+//
+// Run with:
+//
+//	go test -fuzz=FuzzWALReplay -fuzztime=30s ./internal/store
+
+//go:build go1.18
+
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the WAL reader and checks the
+// recovery contract: no panic, the recovered prefix is a valid frame
+// boundary, replaying the truncated prefix is a fixpoint (recovery is
+// idempotent), and re-encoding the recovered batches reproduces the
+// prefix byte for byte (no silent record mangling).
+func FuzzWALReplay(f *testing.F) {
+	seed := func(batches ...walBatch) []byte {
+		var buf bytes.Buffer
+		for _, b := range batches {
+			if _, err := appendFrame(&buf, b.kind, b.recs); err != nil {
+				f.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	f.Add([]byte{})
+	f.Add(seed(walBatch{kind: recTokens, recs: []EdgeRecord{{From: "a", Label: "x", To: "b"}}}))
+	f.Add(seed(
+		walBatch{kind: recTokens, recs: []EdgeRecord{{From: "0", Label: "loves", To: "1"}, {From: "n\n", Label: "x", To: "%"}}},
+		walBatch{kind: recIDs, recs: []EdgeRecord{{From: "4", Label: "y", To: "17"}}},
+	))
+	f.Add(append(seed(walBatch{kind: recTokens, recs: []EdgeRecord{{From: "a", Label: "x", To: "b"}}}), 0xde, 0xad, 0xbe)) // torn tail
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, good, err := replayWAL(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("in-memory replay reported I/O error: %v", err)
+		}
+		if good < 0 || good > int64(len(data)) {
+			t.Fatalf("goodBytes %d outside [0,%d]", good, len(data))
+		}
+		// Idempotence: replaying the recovered prefix yields the same
+		// batches and consumes the whole prefix.
+		again, good2, err := replayWAL(bytes.NewReader(data[:good]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if good2 != good || !reflect.DeepEqual(again, batches) {
+			t.Fatalf("recovery not idempotent: %d/%d bytes, %v vs %v", good2, good, again, batches)
+		}
+		// Round trip: re-encoding the recovered batches reproduces the
+		// recovered prefix exactly.
+		var re bytes.Buffer
+		for _, b := range batches {
+			if _, err := appendFrame(&re, b.kind, b.recs); err != nil {
+				t.Fatalf("re-encoding recovered batch: %v", err)
+			}
+		}
+		if !bytes.Equal(re.Bytes(), data[:good]) {
+			t.Fatalf("re-encoded prefix differs from recovered prefix")
+		}
+	})
+}

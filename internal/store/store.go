@@ -1,0 +1,911 @@
+// Package store is the durable storage subsystem behind cfpqd's
+// persistent mode: a versioned on-disk layout holding graph snapshots,
+// registered grammars and evaluated closure indexes, plus an append-only
+// write-ahead log (WAL) of edge additions — so a restarted service
+// warm-starts from saved state instead of re-loading graphs and re-running
+// every closure.
+//
+// # Layout
+//
+//	<dir>/
+//	    MANIFEST                              store magic + format version
+//	    grammars/<name>.grammar               registered grammar texts
+//	    graphs/<name>/
+//	        snapshot                          graph + node names at baseSeq (CRC-trailed)
+//	        wal                               CRC-framed AddEdges batches after baseSeq
+//	        indexes/<grammar>@<backend>.idx   evaluated index at a seq watermark
+//
+// Registry names are escaped for the filesystem (see encodeName); every
+// snapshot artifact carries a CRC trailer and is written atomically
+// (temp + fsync + rename + dir fsync), and WAL appends fsync per batch
+// unless Options.NoSync relaxes that for tests.
+//
+// # Sequencing and recovery
+//
+// Each graph has a monotonically increasing seq: the number of edges ever
+// journaled for it. The snapshot records baseSeq (edges folded in), each
+// index file records the seq its relations cover, and WAL frames carry the
+// edges of (baseSeq, seq]. Open replays the WAL over the snapshot,
+// truncating at the first torn or corrupt frame — a crash mid-append loses
+// at most the batch being written, never earlier records. An index whose
+// watermark is behind the final seq is patched forward by the caller with
+// the incremental delta closure (EdgesSince supplies the exact tail while
+// it is still in the WAL; older indexes are repaired by re-seeding with
+// the full edge set), so recovery never re-runs a closure from scratch.
+//
+// # Compaction
+//
+// A long WAL makes recovery slow; Compact folds a graph's WAL into a
+// fresh snapshot of the store's in-memory mirror and truncates the log.
+// Index files survive compaction untouched: their seq watermark stays
+// meaningful because the repair path above covers watermarks older than
+// the snapshot base. A background goroutine compacts any graph whose WAL
+// exceeds Options.CompactBytes.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cfpq/internal/core"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+	"cfpq/internal/matrix"
+)
+
+// ErrNotFound marks lookups of graphs, grammars or indexes the store does
+// not hold.
+var ErrNotFound = errors.New("not found in store")
+
+const (
+	manifestName    = "MANIFEST"
+	manifestContent = "CFPQSTORE v1\n"
+	grammarsDir     = "grammars"
+	graphsDir       = "graphs"
+	indexesDir      = "indexes"
+	grammarExt      = ".grammar"
+	indexExt        = ".idx"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// NoSync disables fsync after WAL appends and snapshot writes. Only
+	// tests and benchmarks should set it: a crash can then lose
+	// acknowledged records.
+	NoSync bool
+	// CompactBytes is the WAL size above which the background compactor
+	// folds a graph's log into a fresh snapshot. 0 means the 4 MiB
+	// default; negative disables background compaction (Compact can still
+	// be called explicitly).
+	CompactBytes int64
+}
+
+const defaultCompactBytes = 4 << 20
+
+// Store is an open on-disk store. It is safe for concurrent use; every
+// graph carries its own lock, so appends to different graphs proceed in
+// parallel.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	graphs map[string]*graphLog
+
+	compactCh chan string
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	appends     atomic.Int64
+	snapshots   atomic.Int64
+	compactions atomic.Int64
+	walWritten  atomic.Int64 // WAL bytes written this session
+	replayed    atomic.Int64 // WAL records replayed at Open
+	recovered   atomic.Int64 // bytes truncated from torn WAL tails at Open
+}
+
+// graphLog is one graph's durable state: the open WAL plus an in-memory
+// mirror (graph, name table, seq) maintained from snapshot + replay +
+// appends, from which snapshots and compactions are written without
+// consulting the serving layer.
+type graphLog struct {
+	mu   sync.Mutex
+	name string
+	dir  string
+	wal  *os.File
+
+	g       *graph.Graph
+	names   []string // node id → name ("" = unnamed)
+	nameIDs map[string]int
+
+	baseSeq  uint64       // seq covered by the on-disk snapshot
+	seq      uint64       // seq after the last record
+	pending  []graph.Edge // id-resolved edges of (baseSeq, seq]
+	walSize  int64
+	snapTime time.Time
+}
+
+// Open opens (creating if needed) a store rooted at dir and recovers its
+// state: every graph's snapshot is loaded and its WAL replayed, with torn
+// tails truncated to the last good record.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactBytes == 0 {
+		opts.CompactBytes = defaultCompactBytes
+	}
+	for _, d := range []string{dir, filepath.Join(dir, grammarsDir), filepath.Join(dir, graphsDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	manifest := filepath.Join(dir, manifestName)
+	if raw, err := os.ReadFile(manifest); err == nil {
+		if string(raw) != manifestContent {
+			return nil, fmt.Errorf("store: %s is not a version-1 cfpq store (manifest %q)", dir, raw)
+		}
+	} else if os.IsNotExist(err) {
+		if werr := writeFileAtomic(manifest, !opts.NoSync, func(w io.Writer) error {
+			_, err := io.WriteString(w, manifestContent)
+			return err
+		}); werr != nil {
+			return nil, werr
+		}
+	} else {
+		return nil, err
+	}
+
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		graphs:    map[string]*graphLog{},
+		compactCh: make(chan string, 64),
+		closed:    make(chan struct{}),
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, graphsDir))
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name, err := decodeName(ent.Name())
+		if err != nil {
+			return nil, fmt.Errorf("store: undecodable graph directory %q: %v", ent.Name(), err)
+		}
+		gl, err := s.openGraphLog(name)
+		if err != nil {
+			return nil, fmt.Errorf("store: recovering graph %q: %w", name, err)
+		}
+		s.graphs[name] = gl
+	}
+	s.wg.Add(1)
+	go s.compactor()
+	return s, nil
+}
+
+// openGraphLog loads one graph's snapshot, replays and truncates its WAL,
+// and leaves the WAL open for appending.
+func (s *Store) openGraphLog(name string) (*graphLog, error) {
+	gdir := filepath.Join(s.dir, graphsDir, encodeName(name))
+	raw, err := os.ReadFile(filepath.Join(gdir, "snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	g, names, baseSeq, err := readSnapshot(raw)
+	if err != nil {
+		return nil, err
+	}
+	st, err := os.Stat(filepath.Join(gdir, "snapshot"))
+	if err != nil {
+		return nil, err
+	}
+	gl := &graphLog{
+		name:     name,
+		dir:      gdir,
+		g:        g,
+		names:    names,
+		nameIDs:  invertNames(names),
+		baseSeq:  baseSeq,
+		seq:      baseSeq,
+		snapTime: st.ModTime(),
+	}
+	wal, err := os.OpenFile(filepath.Join(gdir, "wal"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	batches, goodBytes, err := replayWAL(wal)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if size, err := wal.Seek(0, io.SeekEnd); err != nil {
+		wal.Close()
+		return nil, err
+	} else if size > goodBytes {
+		// Torn tail: truncate to the last good frame so future appends
+		// start on a clean boundary.
+		s.recovered.Add(size - goodBytes)
+		if err := wal.Truncate(goodBytes); err != nil {
+			wal.Close()
+			return nil, err
+		}
+		if !s.opts.NoSync {
+			if err := wal.Sync(); err != nil {
+				wal.Close()
+				return nil, err
+			}
+		}
+	}
+	if _, err := wal.Seek(goodBytes, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	gl.wal = wal
+	gl.walSize = goodBytes
+	for _, b := range batches {
+		gl.apply(b)
+		s.replayed.Add(int64(len(b.recs)))
+	}
+	return gl, nil
+}
+
+// invertNames builds the token→id table from the id→name slice.
+func invertNames(names []string) map[string]int {
+	out := make(map[string]int)
+	for id, name := range names {
+		if name != "" {
+			out[name] = id
+		}
+	}
+	return out
+}
+
+// resolveToken maps a node token to an id against the mirror, interning
+// new names and growing the node range for out-of-range numeric ids — the
+// rules the serving layer's own interning follows, so replay reproduces
+// the exact id assignment of the original mutations.
+func (gl *graphLog) resolveToken(tok string) int {
+	if id, ok := gl.nameIDs[tok]; ok {
+		return id
+	}
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 {
+		if id >= gl.g.Nodes() {
+			gl.g.EnsureNode(id)
+			gl.syncNames()
+		}
+		return id
+	}
+	id := gl.g.Nodes()
+	gl.g.EnsureNode(id)
+	gl.syncNames()
+	gl.names[id] = tok
+	gl.nameIDs[tok] = id
+	return id
+}
+
+// resolveID maps a canonical decimal id token (validated at decode/append
+// time) straight to its id, never consulting the name table: an
+// id-addressed writer means id 7 even when some node is *named* "7".
+func (gl *graphLog) resolveID(tok string) int {
+	id, _ := strconv.Atoi(tok)
+	if id >= gl.g.Nodes() {
+		gl.g.EnsureNode(id)
+		gl.syncNames()
+	}
+	return id
+}
+
+// syncNames keeps the name slice as long as the node range.
+func (gl *graphLog) syncNames() {
+	for len(gl.names) < gl.g.Nodes() {
+		gl.names = append(gl.names, "")
+	}
+}
+
+// apply folds one decoded frame into the mirror, advancing seq.
+func (gl *graphLog) apply(b walBatch) {
+	resolve := gl.resolveToken
+	if b.kind == recIDs {
+		resolve = gl.resolveID
+	}
+	for _, r := range b.recs {
+		from, to := resolve(r.From), resolve(r.To)
+		gl.g.AddEdge(from, r.Label, to)
+		gl.syncNames()
+		gl.pending = append(gl.pending, graph.Edge{From: from, Label: r.Label, To: to})
+	}
+	gl.seq += uint64(len(b.recs))
+}
+
+// lookup returns the graphLog for a registered graph.
+func (s *Store) lookup(name string) (*graphLog, error) {
+	s.mu.Lock()
+	gl := s.graphs[name]
+	s.mu.Unlock()
+	if gl == nil {
+		return nil, fmt.Errorf("store: graph %q: %w", name, ErrNotFound)
+	}
+	return gl, nil
+}
+
+// CreateGraph installs (or replaces) a graph: a fresh directory with a
+// full snapshot at seq 0 and an empty WAL. Replacing drops the previous
+// snapshot, WAL and every saved index (their node-id namespace died with
+// the old graph). names maps node id → name and may be nil.
+func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty graph name")
+	}
+	gdir := filepath.Join(s.dir, graphsDir, encodeName(name))
+	s.mu.Lock()
+	old := s.graphs[name]
+	s.mu.Unlock()
+	if old != nil {
+		old.mu.Lock()
+		defer old.mu.Unlock()
+		if old.wal != nil {
+			old.wal.Close()
+			old.wal = nil
+		}
+	}
+	if err := os.RemoveAll(gdir); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		return err
+	}
+	mirror := g.Clone()
+	mnames := make([]string, mirror.Nodes())
+	copy(mnames, names)
+	gl := &graphLog{
+		name:     name,
+		dir:      gdir,
+		g:        mirror,
+		names:    mnames,
+		nameIDs:  invertNames(mnames),
+		snapTime: time.Now(),
+	}
+	if err := writeFileAtomic(filepath.Join(gdir, "snapshot"), !s.opts.NoSync, func(w io.Writer) error {
+		return writeSnapshot(w, gl.g, gl.names, 0)
+	}); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(filepath.Join(gdir, "wal"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	gl.wal = wal
+	if !s.opts.NoSync {
+		if err := syncDir(gdir); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.graphs[name] = gl
+	s.mu.Unlock()
+	s.snapshots.Add(1)
+	return nil
+}
+
+// Append journals one batch of edges for a graph: the frame is written
+// and fsynced (the write-ahead contract — callers apply the mutation
+// in memory only after Append returns), the in-memory mirror advances,
+// and the new seq is returned. Batches from concurrent callers serialise
+// per graph.
+func (s *Store) Append(name string, recs []EdgeRecord) (uint64, error) {
+	return s.append(name, recTokens, recs)
+}
+
+func (s *Store) append(name string, kind byte, recs []EdgeRecord) (uint64, error) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if len(recs) == 0 {
+		gl.mu.Lock()
+		defer gl.mu.Unlock()
+		return gl.seq, nil
+	}
+	for _, r := range recs {
+		if r.Label == "" || r.From == "" || r.To == "" {
+			// Empty node tokens are rejected for the same reason the
+			// frame decoder treats them as corruption: an empty name
+			// cannot round-trip through the snapshot's name table.
+			return 0, fmt.Errorf("store: record %+v has an empty token", r)
+		}
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	if gl.wal == nil {
+		return 0, fmt.Errorf("store: graph %q: WAL unavailable (store closed or failed)", name)
+	}
+	n, err := appendFrame(gl.wal, kind, recs)
+	if err != nil {
+		gl.rewindOrFail()
+		return 0, err
+	}
+	if !s.opts.NoSync {
+		if err := gl.wal.Sync(); err != nil {
+			// The frame's bytes may or may not have reached disk; either
+			// way the caller is told the batch failed, so the frame must
+			// not survive to be replayed. Discard it (or fail the log).
+			gl.rewindOrFail()
+			return 0, err
+		}
+	}
+	gl.walSize += n
+	gl.apply(walBatch{kind: kind, recs: recs})
+	s.appends.Add(1)
+	s.walWritten.Add(n)
+	if s.opts.CompactBytes > 0 && gl.walSize > s.opts.CompactBytes {
+		select {
+		case s.compactCh <- name:
+		default:
+		}
+	}
+	return gl.seq, nil
+}
+
+// rewindOrFail discards a partially persisted frame by truncating the WAL
+// back to the last acknowledged byte. If even that fails the log is
+// closed (fail-stop): stacking new frames after an unacknowledged one
+// would make recovery silently discard acknowledged records that follow
+// the tear, which is worse than rejecting writes. Callers hold gl.mu.
+func (gl *graphLog) rewindOrFail() {
+	if pos, err := gl.wal.Seek(gl.walSize, io.SeekStart); err == nil && pos == gl.walSize {
+		if gl.wal.Truncate(gl.walSize) == nil {
+			return
+		}
+	}
+	gl.wal.Close()
+	gl.wal = nil
+}
+
+// Log is an append handle bound to one graph, satisfying the cfpq
+// package's Prepared WAL interface: id-addressed edges are journaled as
+// decimal tokens.
+type Log struct {
+	s    *Store
+	name string
+}
+
+// Log returns the append handle for a graph. Attach at most one mutating
+// writer per graph: the WAL is a single edge stream and replay assumes one
+// interning history.
+func (s *Store) Log(name string) *Log { return &Log{s: s, name: name} }
+
+// AppendEdges journals id-addressed edges. The frames are marked as such,
+// so replay resolves the endpoints as ids even when a node's *name* is a
+// numeral.
+func (l *Log) AppendEdges(edges []graph.Edge) error {
+	recs := make([]EdgeRecord, len(edges))
+	for i, e := range edges {
+		if e.From < 0 || e.To < 0 {
+			return fmt.Errorf("store: negative node in edge %+v", e)
+		}
+		recs[i] = EdgeRecord{
+			From:  strconv.Itoa(e.From),
+			Label: e.Label,
+			To:    strconv.Itoa(e.To),
+		}
+	}
+	_, err := l.s.append(l.name, recIDs, recs)
+	return err
+}
+
+// IndexData is one evaluated index to persist alongside a snapshot: the
+// CFPQIDX2 bytes of a closure over the graph's first Seq edges.
+type IndexData struct {
+	Grammar string
+	Backend string
+	Seq     uint64
+	Data    []byte
+}
+
+// Snapshot folds a graph's WAL into a fresh snapshot of the mirror and
+// truncates the log; the optional indexes are written alongside. Appends
+// to the graph block for the duration, so the snapshot is consistent: it
+// covers exactly the records the truncation discards.
+func (s *Store) Snapshot(name string, indexes []IndexData) error {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	if gl.wal == nil {
+		return fmt.Errorf("store: graph %q: store closed", name)
+	}
+	for _, ix := range indexes {
+		if err := s.saveIndexLocked(gl, ix); err != nil {
+			return err
+		}
+	}
+	if err := writeFileAtomic(filepath.Join(gl.dir, "snapshot"), !s.opts.NoSync, func(w io.Writer) error {
+		return writeSnapshot(w, gl.g, gl.names, gl.seq)
+	}); err != nil {
+		return err
+	}
+	if err := gl.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := gl.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if !s.opts.NoSync {
+		if err := gl.wal.Sync(); err != nil {
+			return err
+		}
+	}
+	gl.baseSeq = gl.seq
+	gl.pending = nil
+	gl.walSize = 0
+	gl.snapTime = time.Now()
+	s.snapshots.Add(1)
+	return nil
+}
+
+// Compact is Snapshot without fresh index data: the WAL is folded into
+// the graph snapshot and existing index files stay as they are (recovery
+// repairs indexes whose watermark predates the new snapshot base).
+func (s *Store) Compact(name string) error {
+	err := s.Snapshot(name, nil)
+	if err == nil {
+		s.compactions.Add(1)
+	}
+	return err
+}
+
+// compactor is the background goroutine folding oversized WALs.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case name := <-s.compactCh:
+			gl, err := s.lookup(name)
+			if err != nil {
+				continue
+			}
+			gl.mu.Lock()
+			oversized := gl.walSize > s.opts.CompactBytes
+			gl.mu.Unlock()
+			if oversized {
+				// Best effort: a failed background compaction leaves the
+				// WAL long but the store correct; the next append re-arms.
+				_ = s.Compact(name)
+			}
+		}
+	}
+}
+
+// SaveIndex persists one evaluated index for (graph, grammar, backend):
+// CFPQIDX2 payload bytes covering the graph's first seq edges.
+func (s *Store) SaveIndex(graphName, grammarName, backend string, seq uint64, data []byte) error {
+	gl, err := s.lookup(graphName)
+	if err != nil {
+		return err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return s.saveIndexLocked(gl, IndexData{Grammar: grammarName, Backend: backend, Seq: seq, Data: data})
+}
+
+func (s *Store) saveIndexLocked(gl *graphLog, ix IndexData) error {
+	dir := filepath.Join(gl.dir, indexesDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, encodeName(ix.Grammar)+"@"+ix.Backend+indexExt)
+	return writeFileAtomic(path, !s.opts.NoSync, func(w io.Writer) error {
+		return writeIndexFile(w, ix.Seq, ix.Data)
+	})
+}
+
+// DropGrammarIndexes removes every saved index built for the named
+// grammar, across all graphs. A serving layer calls this when a grammar is
+// replaced: the old indexes' relations would otherwise warm-start under
+// the new grammar's name if the non-terminal sets happen to match.
+func (s *Store) DropGrammarIndexes(grammarName string) error {
+	s.mu.Lock()
+	logs := make([]*graphLog, 0, len(s.graphs))
+	for _, gl := range s.graphs {
+		logs = append(logs, gl)
+	}
+	s.mu.Unlock()
+	prefix := encodeName(grammarName) + "@"
+	var first error
+	for _, gl := range logs {
+		gl.mu.Lock()
+		entries, err := os.ReadDir(filepath.Join(gl.dir, indexesDir))
+		if err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+		for _, ent := range entries {
+			if strings.HasPrefix(ent.Name(), prefix) && strings.HasSuffix(ent.Name(), indexExt) {
+				if err := os.Remove(filepath.Join(gl.dir, indexesDir, ent.Name())); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		gl.mu.Unlock()
+	}
+	return first
+}
+
+// SaveGrammar persists a registered grammar's text.
+func (s *Store) SaveGrammar(name, text string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty grammar name")
+	}
+	path := filepath.Join(s.dir, grammarsDir, encodeName(name)+grammarExt)
+	return writeFileAtomic(path, !s.opts.NoSync, func(w io.Writer) error {
+		_, err := io.WriteString(w, text)
+		return err
+	})
+}
+
+// Grammars returns every persisted grammar, name → source text.
+func (s *Store) Grammars() (map[string]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, grammarsDir))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), grammarExt) {
+			continue
+		}
+		name, err := decodeName(strings.TrimSuffix(ent.Name(), grammarExt))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := os.ReadFile(filepath.Join(s.dir, grammarsDir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[name] = string(raw)
+	}
+	return out, nil
+}
+
+// GraphNames lists recovered graphs, sorted.
+func (s *Store) GraphNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GraphState returns an independent copy of a graph's recovered state —
+// the graph, its id→name table and its current seq — safe to hand to a
+// serving layer that will mutate it.
+func (s *Store) GraphState(name string) (*graph.Graph, []string, uint64, error) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	names := make([]string, len(gl.names))
+	copy(names, gl.names)
+	return gl.g.Clone(), names, gl.seq, nil
+}
+
+// EdgesSince returns the id-resolved edges journaled after seq, provided
+// they are still in the WAL (seq at or above the snapshot base). A false
+// second result means the tail was compacted away and the caller must
+// repair from the full edge set instead.
+func (s *Store) EdgesSince(name string, seq uint64) ([]graph.Edge, bool) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return nil, false
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	if seq < gl.baseSeq || seq > gl.seq {
+		return nil, false
+	}
+	tail := gl.pending[seq-gl.baseSeq:]
+	out := make([]graph.Edge, len(tail))
+	copy(out, tail)
+	return out, true
+}
+
+// IndexInfo names one saved index and its seq watermark.
+type IndexInfo struct {
+	Graph   string
+	Grammar string
+	Backend string
+	Seq     uint64
+}
+
+// Indexes lists the saved indexes of a graph, sorted by (grammar,
+// backend). Only the fixed-size header (magic + seq) of each file is
+// read — payload CRC validation happens at LoadIndex — so the listing
+// stays cheap under the graph lock no matter how large the indexes are.
+// Files with unreadable headers are skipped: a lost index only costs a
+// rebuild.
+func (s *Store) Indexes(name string) []IndexInfo {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return nil
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return indexInfosLocked(gl)
+}
+
+func indexInfosLocked(gl *graphLog) []IndexInfo {
+	entries, err := os.ReadDir(filepath.Join(gl.dir, indexesDir))
+	if err != nil {
+		return nil
+	}
+	var out []IndexInfo
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), indexExt) {
+			continue
+		}
+		base := strings.TrimSuffix(ent.Name(), indexExt)
+		at := strings.LastIndex(base, "@")
+		if at < 0 {
+			continue
+		}
+		gname, err := decodeName(base[:at])
+		if err != nil {
+			continue
+		}
+		seq, err := readIndexFileHeader(filepath.Join(gl.dir, indexesDir, ent.Name()))
+		if err != nil {
+			continue
+		}
+		out = append(out, IndexInfo{Graph: gl.name, Grammar: gname, Backend: base[at+1:], Seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Grammar != out[j].Grammar {
+			return out[i].Grammar < out[j].Grammar
+		}
+		return out[i].Backend < out[j].Backend
+	})
+	return out
+}
+
+// LoadIndex reads one saved index, validated against the CNF it was built
+// for and materialised with the given backend (nil means the backend
+// recorded in the CFPQIDX2 payload). The returned seq is the edge-stream
+// position the index covers.
+func (s *Store) LoadIndex(info IndexInfo, cnf *grammar.CNF, be matrix.Backend) (*core.Index, uint64, error) {
+	gl, err := s.lookup(info.Graph)
+	if err != nil {
+		return nil, 0, err
+	}
+	gl.mu.Lock()
+	path := filepath.Join(gl.dir, indexesDir, encodeName(info.Grammar)+"@"+info.Backend+indexExt)
+	raw, err := os.ReadFile(path)
+	gl.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, fmt.Errorf("store: index %s@%s for graph %q: %w", info.Grammar, info.Backend, info.Graph, ErrNotFound)
+		}
+		return nil, 0, err
+	}
+	seq, payload, err := readIndexFile(raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	ix, err := core.ReadIndex(strings.NewReader(string(payload)), cnf, be)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ix, seq, nil
+}
+
+// GraphStats describes one graph's durable state.
+type GraphStats struct {
+	Graph    string `json:"graph"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	Seq      uint64 `json:"seq"`
+	BaseSeq  uint64 `json:"base_seq"`
+	WALBytes int64  `json:"wal_bytes"`
+	// SnapshotAgeSeconds is the age of the on-disk snapshot file.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	Indexes            int     `json:"indexes"`
+}
+
+// Stats summarises the store.
+type Stats struct {
+	Dir      string       `json:"dir"`
+	Graphs   []GraphStats `json:"graphs"`
+	Grammars int          `json:"grammars"`
+	// Appends counts WAL batches written this session; WALBytes the bytes
+	// across all live WALs; WALWritten the bytes written this session.
+	Appends    int64 `json:"appends"`
+	WALBytes   int64 `json:"wal_bytes"`
+	WALWritten int64 `json:"wal_written"`
+	// Snapshots and Compactions count snapshot writes this session
+	// (compactions are the background/threshold-triggered subset).
+	Snapshots   int64 `json:"snapshots"`
+	Compactions int64 `json:"compactions"`
+	// ReplayedRecords and RecoveredBytes report Open-time recovery work:
+	// WAL records replayed, and torn tail bytes truncated.
+	ReplayedRecords int64 `json:"replayed_records"`
+	RecoveredBytes  int64 `json:"recovered_bytes"`
+}
+
+// Stats snapshots the store's statistics.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	logs := make([]*graphLog, 0, len(s.graphs))
+	for _, gl := range s.graphs {
+		logs = append(logs, gl)
+	}
+	s.mu.Unlock()
+	st := Stats{
+		Dir:             s.dir,
+		Appends:         s.appends.Load(),
+		WALWritten:      s.walWritten.Load(),
+		Snapshots:       s.snapshots.Load(),
+		Compactions:     s.compactions.Load(),
+		ReplayedRecords: s.replayed.Load(),
+		RecoveredBytes:  s.recovered.Load(),
+	}
+	now := time.Now()
+	for _, gl := range logs {
+		gl.mu.Lock()
+		gs := GraphStats{
+			Graph:              gl.name,
+			Nodes:              gl.g.Nodes(),
+			Edges:              gl.g.EdgeCount(),
+			Seq:                gl.seq,
+			BaseSeq:            gl.baseSeq,
+			WALBytes:           gl.walSize,
+			SnapshotAgeSeconds: now.Sub(gl.snapTime).Seconds(),
+			Indexes:            len(indexInfosLocked(gl)),
+		}
+		gl.mu.Unlock()
+		st.Graphs = append(st.Graphs, gs)
+		st.WALBytes += gs.WALBytes
+	}
+	sort.Slice(st.Graphs, func(i, j int) bool { return st.Graphs[i].Graph < st.Graphs[j].Graph })
+	if grams, err := s.Grammars(); err == nil {
+		st.Grammars = len(grams)
+	}
+	return st
+}
+
+// Close stops the background compactor and closes every WAL. The store
+// must not be used afterwards.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() { close(s.closed) })
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, gl := range s.graphs {
+		gl.mu.Lock()
+		if gl.wal != nil {
+			if err := gl.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+			gl.wal = nil
+		}
+		gl.mu.Unlock()
+	}
+	return first
+}

@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+)
+
+// The write-ahead log is a flat sequence of CRC-framed records, one frame
+// per AddEdges batch:
+//
+//	uint32 payloadLen
+//	uint32 crc32(payload)     (IEEE)
+//	payload:
+//	    uint8  kind           recTokens | recIDs
+//	    uint32 edgeCount
+//	    per edge: 3 × (uint16 tokenLen, token bytes)   from, label, to
+//
+// recTokens frames journal endpoints as the tokens the mutation named them
+// by — a node name, or the decimal id for unnamed nodes — so replay re-runs
+// the exact interning the serving layer performed (name table first, then
+// numeric) and reproduces the same id assignment. recIDs frames come from
+// id-addressed writers (Store.Log): endpoints are canonical decimal ids
+// and replay NEVER consults the name table, so a node whose *name* happens
+// to be a numeral cannot alias a different id. Frames are only ever
+// appended; recovery reads frames until the first torn or corrupt one and
+// truncates the file there, so a crash mid-append loses at most the record
+// being written.
+
+// EdgeRecord is one journaled edge, endpoints addressed by node token:
+// a node name, or the decimal id of an unnamed node. On replay, unknown
+// non-numeric tokens intern as new nodes and numeric tokens beyond the
+// node range grow the graph — the same rules the serving layer applies.
+type EdgeRecord struct {
+	From  string
+	Label string
+	To    string
+}
+
+// Frame kinds: how replay resolves the endpoint tokens.
+const (
+	recTokens byte = 1 // names-first, then decimal ids (serving-layer interning)
+	recIDs    byte = 2 // canonical decimal ids only, name table ignored
+)
+
+// walBatch is one decoded frame.
+type walBatch struct {
+	kind byte
+	recs []EdgeRecord
+}
+
+// maxWALPayload bounds a frame's declared payload so a corrupt length
+// field cannot drive a huge allocation; it matches the serving layer's
+// 64 MiB document bound.
+const maxWALPayload = 64 << 20
+
+// appendFrame encodes one batch as a frame and writes it to w.
+func appendFrame(w io.Writer, kind byte, recs []EdgeRecord) (int64, error) {
+	payload, err := encodeFrame(kind, recs)
+	if err != nil {
+		return 0, err
+	}
+	var head [8]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(head[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(len(head)) + int64(len(payload)), nil
+}
+
+func encodeFrame(kind byte, recs []EdgeRecord) ([]byte, error) {
+	if kind != recTokens && kind != recIDs {
+		return nil, fmt.Errorf("store: unknown WAL record kind %d", kind)
+	}
+	size := 5
+	for _, r := range recs {
+		for _, tok := range []string{r.From, r.Label, r.To} {
+			if len(tok) > 1<<16-1 {
+				return nil, fmt.Errorf("store: token too long for WAL record: %d bytes", len(tok))
+			}
+			size += 2 + len(tok)
+		}
+	}
+	if size > maxWALPayload {
+		return nil, fmt.Errorf("store: WAL batch of %d bytes exceeds the %d frame bound", size, maxWALPayload)
+	}
+	payload := make([]byte, 0, size)
+	payload = append(payload, kind)
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(recs)))
+	for _, r := range recs {
+		for _, tok := range []string{r.From, r.Label, r.To} {
+			payload = binary.LittleEndian.AppendUint16(payload, uint16(len(tok)))
+			payload = append(payload, tok...)
+		}
+	}
+	return payload, nil
+}
+
+// canonicalID reports whether tok is the canonical decimal rendering of a
+// non-negative int — the only endpoint form recIDs frames may carry.
+func canonicalID(tok string) bool {
+	id, err := strconv.Atoi(tok)
+	return err == nil && id >= 0 && strconv.Itoa(id) == tok
+}
+
+func decodeFrame(payload []byte) (walBatch, error) {
+	if len(payload) < 5 {
+		return walBatch{}, fmt.Errorf("store: WAL payload of %d bytes is shorter than its header", len(payload))
+	}
+	kind := payload[0]
+	if kind != recTokens && kind != recIDs {
+		return walBatch{}, fmt.Errorf("store: unknown WAL record kind %d", kind)
+	}
+	count := binary.LittleEndian.Uint32(payload[1:5])
+	off := 5
+	token := func() (string, error) {
+		if off+2 > len(payload) {
+			return "", fmt.Errorf("store: WAL payload truncated at token length")
+		}
+		n := int(binary.LittleEndian.Uint16(payload[off : off+2]))
+		off += 2
+		if off+n > len(payload) {
+			return "", fmt.Errorf("store: WAL payload truncated inside token")
+		}
+		tok := string(payload[off : off+n])
+		off += n
+		return tok, nil
+	}
+	// Each edge needs at least 6 bytes (three empty tokens), bounding the
+	// allocation by the payload actually present.
+	if int64(count) > int64(len(payload))/6+1 {
+		return walBatch{}, fmt.Errorf("store: WAL payload declares %d edges in %d bytes", count, len(payload))
+	}
+	recs := make([]EdgeRecord, 0, count)
+	for k := uint32(0); k < count; k++ {
+		var r EdgeRecord
+		var err error
+		if r.From, err = token(); err != nil {
+			return walBatch{}, err
+		}
+		if r.Label, err = token(); err != nil {
+			return walBatch{}, err
+		}
+		if r.To, err = token(); err != nil {
+			return walBatch{}, err
+		}
+		if r.Label == "" || r.From == "" || r.To == "" {
+			// An empty node token would be indistinguishable from
+			// "unnamed" in the snapshot's name table and make replay
+			// diverge from the live state; Append rejects these, so a
+			// frame carrying one is corrupt.
+			return walBatch{}, fmt.Errorf("store: WAL record with empty token %+v", r)
+		}
+		if kind == recIDs && (!canonicalID(r.From) || !canonicalID(r.To)) {
+			return walBatch{}, fmt.Errorf("store: id-addressed WAL record with non-id endpoint %+v", r)
+		}
+		recs = append(recs, r)
+	}
+	if off != len(payload) {
+		return walBatch{}, fmt.Errorf("store: %d trailing bytes in WAL payload", len(payload)-off)
+	}
+	return walBatch{kind: kind, recs: recs}, nil
+}
+
+// replayWAL reads frames from r until EOF or the first torn/corrupt frame
+// and returns the decoded batches plus the byte offset of the end of the
+// last good frame. A short header, short payload, CRC mismatch or
+// undecodable payload all end the replay at the preceding frame boundary —
+// that is the crash-recovery contract: everything before the tear
+// survives, the tear itself is discarded. Only an I/O failure (not
+// corruption) is reported as an error.
+func replayWAL(r io.Reader) (batches []walBatch, goodBytes int64, err error) {
+	br := bufio.NewReader(r)
+	for {
+		var head [8]byte
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return batches, goodBytes, nil
+			}
+			return batches, goodBytes, err
+		}
+		length := binary.LittleEndian.Uint32(head[0:4])
+		sum := binary.LittleEndian.Uint32(head[4:8])
+		if length > maxWALPayload {
+			return batches, goodBytes, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return batches, goodBytes, nil
+			}
+			return batches, goodBytes, err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return batches, goodBytes, nil
+		}
+		b, err := decodeFrame(payload)
+		if err != nil {
+			return batches, goodBytes, nil
+		}
+		batches = append(batches, b)
+		goodBytes += 8 + int64(length)
+	}
+}

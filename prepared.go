@@ -2,6 +2,7 @@ package cfpq
 
 import (
 	"context"
+	"io"
 	"iter"
 	"sync"
 	"sync/atomic"
@@ -22,11 +23,32 @@ type Prepared struct {
 	mu      sync.RWMutex
 	g       *Graph // owned by the Prepared; mutate only through AddEdges
 	ix      *Index
+	wal     WAL   // journal AddEdges tees into before mutating; may be nil
 	build   Stats // the initial closure
 	update  Stats // accumulated incremental patches
 	updates int   // number of AddEdges calls that patched
 	dirty   bool  // a cancelled patch left consequences unpropagated
 	queries atomic.Int64
+}
+
+// WAL is an append-only durability log a Prepared tees its mutations into
+// (see AttachWAL). The store package's per-graph Log satisfies it.
+type WAL interface {
+	// AppendEdges journals edges durably; an error means nothing may be
+	// considered persisted.
+	AppendEdges(edges []Edge) error
+}
+
+// AttachWAL tees every subsequent AddEdges into w, write-ahead: the batch
+// of genuinely new edges is journaled (and fsynced, for a durable log)
+// before the graph or index is touched, and a journaling error fails the
+// call with no in-memory effect. Attach at most one mutating handle per
+// log — the log is a single edge stream and replay assumes one interning
+// history. A nil w detaches.
+func (p *Prepared) AttachWAL(w WAL) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = w
 }
 
 // CNF returns the compiled grammar the handle was prepared with.
@@ -226,17 +248,37 @@ type UpdateInfo struct {
 // mid-way the index stays sound (every answered pair has a witness) but
 // may miss consequences of the new edges; the next successful AddEdges
 // repairs it with a full rebuild.
+//
+// With a WAL attached (AttachWAL), the new edges are journaled before any
+// in-memory state changes; a journaling failure aborts the call cleanly.
 func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	info := UpdateInfo{}
 	fresh := make([]Edge, 0, len(edges))
+	var seen map[Edge]bool
 	for _, ed := range edges {
 		if ed.From < p.g.Nodes() && ed.To < p.g.Nodes() && p.g.HasEdge(ed.From, ed.Label, ed.To) {
 			continue
 		}
-		p.g.AddEdge(ed.From, ed.Label, ed.To)
+		if seen[ed] {
+			continue
+		}
+		if seen == nil {
+			seen = map[Edge]bool{}
+		}
+		seen[ed] = true
 		fresh = append(fresh, ed)
+	}
+	if p.wal != nil && len(fresh) > 0 {
+		// Write-ahead: journal before mutating, so an acknowledged batch
+		// is always recoverable and a failed one leaves no trace.
+		if err := p.wal.AppendEdges(fresh); err != nil {
+			return info, err
+		}
+	}
+	for _, ed := range fresh {
+		p.g.AddEdge(ed.From, ed.Label, ed.To)
 	}
 	info.Added = len(fresh)
 	if p.g.Nodes() > p.ix.Nodes() {
@@ -265,6 +307,17 @@ func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, err
 		return info, err
 	}
 	return info, nil
+}
+
+// WriteIndex serialises the handle's cached index in the CFPQIDX2 format
+// under the read lock — a consistent point-in-time image a store can
+// persist for warm-starting a later session (LoadIndex +
+// PrepareFromIndex). Concurrent queries proceed; updates wait.
+func (p *Prepared) WriteIndex(w io.Writer) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, err := p.ix.WriteTo(w)
+	return err
 }
 
 // PreparedStats is a snapshot of the handle's cached-index statistics.

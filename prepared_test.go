@@ -228,3 +228,105 @@ func TestPreparedCancelledPatchRepairs(t *testing.T) {
 		t.Fatalf("repaired relation %v != cold rebuild %v", p.Relation("S"), cold.Relation("S"))
 	}
 }
+
+// fakeWAL records journaled batches and can be told to fail.
+type fakeWAL struct {
+	batches [][]Edge
+	fail    error
+}
+
+func (f *fakeWAL) AppendEdges(edges []Edge) error {
+	if f.fail != nil {
+		return f.fail
+	}
+	cp := make([]Edge, len(edges))
+	copy(cp, edges)
+	f.batches = append(f.batches, cp)
+	return nil
+}
+
+func TestPreparedAttachWALTeesFreshEdges(t *testing.T) {
+	ctx := context.Background()
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	p := mustPrepare(t, NewEngine(Sparse), g, "S -> a S b | a b")
+	wal := &fakeWAL{}
+	p.AttachWAL(wal)
+
+	// Duplicates of existing edges and within-batch repeats must not be
+	// journaled: replaying the WAL over the original graph has to rebuild
+	// exactly the final edge multiset.
+	dup := Edge{From: 0, Label: "a", To: 1}
+	fresh := Edge{From: 1, Label: "b", To: 2}
+	if _, err := p.AddEdges(ctx, dup, fresh, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if len(wal.batches) != 1 || !reflect.DeepEqual(wal.batches[0], []Edge{fresh}) {
+		t.Fatalf("journaled %v, want [[%v]]", wal.batches, fresh)
+	}
+	if !p.Has("S", 0, 2) {
+		t.Error("patch missing after journaled AddEdges")
+	}
+
+	// A journal failure is write-ahead: no in-memory effect.
+	wal.fail = errors.New("disk gone")
+	if _, err := p.AddEdges(ctx, Edge{From: 2, Label: "a", To: 3}); err == nil {
+		t.Fatal("AddEdges succeeded with failing WAL")
+	}
+	if p.Nodes() != 3 {
+		t.Errorf("failed journal mutated the graph: %d nodes, want 3", p.Nodes())
+	}
+	// An all-duplicates batch journals nothing even while failing.
+	wal.fail = errors.New("still down")
+	if _, err := p.AddEdges(ctx, dup); err != nil {
+		t.Errorf("no-op batch hit the WAL: %v", err)
+	}
+}
+
+func TestPrepareFromIndexWarmStart(t *testing.T) {
+	ctx := context.Background()
+	g := NewGraph(0)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "a", 2)
+	g.AddEdge(2, "b", 3)
+	gram := MustParseGrammar("S -> a S b | a b")
+	cnf, err := ToCNF(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Sparse)
+	cold, err := eng.PrepareCNF(ctx, g.Clone(), cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, _, err := eng.Evaluate(ctx, g, cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.PrepareFromIndex(g, cnf, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm.Relation("S"), cold.Relation("S")) {
+		t.Error("warm handle answers differ from cold")
+	}
+	if st := warm.Stats(); st.Build.Products != 0 || st.Build.Iterations != 0 {
+		t.Errorf("warm start ran a closure: %+v", st.Build)
+	}
+	// The warm handle keeps absorbing updates: b(3,4) completes
+	// a a b b from 0 to 4.
+	if _, err := warm.AddEdges(ctx, Edge{From: 3, Label: "b", To: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Has("S", 0, 4) {
+		t.Error("warm handle missed incremental consequence")
+	}
+	// CNF identity is enforced.
+	otherCNF, err := ToCNF(gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.PrepareFromIndex(NewGraph(1), otherCNF, ix); err == nil {
+		t.Error("foreign CNF accepted")
+	}
+}
