@@ -2,57 +2,24 @@ package cfpq
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
-// BatchOp selects what one BatchQuery computes.
-type BatchOp string
-
-// The batch operations. The *From variants restrict the relation to pairs
-// whose first component is in the query's source set.
-const (
-	BatchHas          BatchOp = "has"
-	BatchCount        BatchOp = "count"
-	BatchRelation     BatchOp = "relation"
-	BatchCountFrom    BatchOp = "count-from"
-	BatchRelationFrom BatchOp = "relation-from"
-)
-
-// BatchQuery is one query of a batch evaluated against a single closure
-// index — the request shape of QueryBatch, which coalesces any number of
-// queries sharing a (graph, grammar) pair into one index build.
-type BatchQuery struct {
-	// Op selects the computation; the zero value means BatchRelation.
-	Op BatchOp `json:"op,omitempty"`
-	// Nonterminal names the queried relation.
-	Nonterminal string `json:"nonterminal"`
-	// From, To address the pair tested by BatchHas.
-	From int `json:"from,omitempty"`
-	To   int `json:"to,omitempty"`
-	// Sources restricts the *From operations to rows in this set.
-	Sources []int `json:"sources,omitempty"`
-}
-
-// BatchResult is the answer to one BatchQuery. Exactly the fields the
-// query's Op produces are meaningful; Err is per-query, so one malformed
-// query does not fail its batch.
+// BatchResult is the answer to one Request of a batch: the Result when the
+// request was answered, or the per-request error — one malformed request
+// does not fail its batch.
 type BatchResult struct {
-	// Has answers BatchHas.
-	Has bool `json:"has,omitempty"`
-	// Count answers BatchCount and BatchCountFrom, and carries len(Pairs)
-	// for the relation operations.
-	Count int `json:"count"`
-	// Pairs answers BatchRelation and BatchRelationFrom.
-	Pairs []Pair `json:"pairs,omitempty"`
-	// Err reports a per-query failure (unknown non-terminal or operation).
-	Err error `json:"-"`
+	// Result is the request's answer; nil when Err is set.
+	Result *Result
+	// Err reports a per-request failure (invalid request, unknown
+	// non-terminal, or the batch context firing).
+	Err error
 }
 
 // batchWorkers sizes the worker pool fanning a batch out: one worker per
-// processor, never more than there are queries.
+// processor, never more than there are requests.
 func batchWorkers(n int) int {
 	w := runtime.GOMAXPROCS(0)
 	if w > n {
@@ -64,30 +31,42 @@ func batchWorkers(n int) int {
 	return w
 }
 
-// QueryBatch answers every query of the batch from the handle's cached
+// QueryBatch answers every Request of the batch from the handle's cached
 // index under ONE read-lock acquisition, fanning the work out over a
 // shared pool of one worker per processor. All answers come from the same
 // index state: an AddEdges racing the batch is either fully visible to
-// every answer or to none, which per-query locking cannot guarantee.
+// every answer or to none, which per-request locking cannot guarantee.
+// Each request is planned like Prepared.Do plans it (the cached-read
+// strategy, with the same request restrictions), and every Result streams
+// a snapshot materialised during the batch, so answers stay consistent
+// however late they are consumed.
 //
-// The context is checked between queries; once it fires, the remaining
+// The context is checked between requests; once it fires, the remaining
 // results carry ctx.Err() as their Err.
-func (p *Prepared) QueryBatch(ctx context.Context, queries []BatchQuery) []BatchResult {
-	if len(queries) == 0 {
+func (p *Prepared) QueryBatch(ctx context.Context, reqs []Request) []BatchResult {
+	if len(reqs) == 0 {
 		return nil
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	p.queries.Add(int64(len(queries)))
-	results := make([]BatchResult, len(queries))
-	workers := batchWorkers(len(queries))
+	p.queries.Add(int64(len(reqs)))
+	results := make([]BatchResult, len(reqs))
+	answer := func(i int) {
+		if err := ctx.Err(); err != nil {
+			results[i] = BatchResult{Err: err}
+			return
+		}
+		if err := p.checkRequest(reqs[i]); err != nil {
+			results[i] = BatchResult{Err: err}
+			return
+		}
+		res, err := p.doLocked(ctx, reqs[i])
+		results[i] = BatchResult{Result: res, Err: err}
+	}
+	workers := batchWorkers(len(reqs))
 	if workers == 1 {
-		for i, q := range queries {
-			if err := ctx.Err(); err != nil {
-				results[i] = BatchResult{Err: err}
-				continue
-			}
-			results[i] = p.answerLocked(q)
+		for i := range reqs {
+			answer(i)
 		}
 		return results
 	}
@@ -99,14 +78,10 @@ func (p *Prepared) QueryBatch(ctx context.Context, queries []BatchQuery) []Batch
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
+				if i >= len(reqs) {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					results[i] = BatchResult{Err: err}
-					continue
-				}
-				results[i] = p.answerLocked(queries[i])
+				answer(i)
 			}
 		}()
 	}
@@ -114,52 +89,20 @@ func (p *Prepared) QueryBatch(ctx context.Context, queries []BatchQuery) []Batch
 	return results
 }
 
-// answerLocked answers one query; callers hold p.mu (read side suffices:
-// only the index is consulted).
-func (p *Prepared) answerLocked(query BatchQuery) BatchResult {
-	nt := query.Nonterminal
-	if _, ok := p.cnf.Index(nt); !ok {
-		return BatchResult{Err: fmt.Errorf("cfpq: unknown non-terminal %q", nt)}
-	}
-	op := query.Op
-	if op == "" {
-		op = BatchRelation
-	}
-	switch op {
-	case BatchHas:
-		i, j := query.From, query.To
-		if i < 0 || j < 0 || i >= p.ix.Nodes() || j >= p.ix.Nodes() {
-			return BatchResult{Has: false}
-		}
-		return BatchResult{Has: p.ix.Has(nt, i, j)}
-	case BatchCount:
-		return BatchResult{Count: p.ix.Count(nt)}
-	case BatchRelation:
-		pairs := p.ix.Relation(nt)
-		return BatchResult{Count: len(pairs), Pairs: pairs}
-	case BatchCountFrom:
-		return BatchResult{Count: p.countFromLocked(nt, query.Sources)}
-	case BatchRelationFrom:
-		pairs := p.relationFromLocked(nt, query.Sources)
-		return BatchResult{Count: len(pairs), Pairs: pairs}
-	default:
-		return BatchResult{Err: fmt.Errorf("cfpq: unknown batch op %q", op)}
-	}
-}
-
-// QueryBatch evaluates a batch of queries sharing one (graph, grammar)
-// pair: the closure is built exactly once, then every query is answered
-// from it by the shared worker pool. This is the one-shot form; a serving
-// layer holding a Prepared handle should call Prepared.QueryBatch, which
-// reuses the cached index instead of building one per batch. The graph is
-// only read.
-func (e *Engine) QueryBatch(ctx context.Context, g *Graph, gram *Grammar, queries []BatchQuery) ([]BatchResult, error) {
-	if len(queries) == 0 {
+// QueryBatch evaluates a batch of Requests sharing one (graph, grammar)
+// pair: the closure is built exactly once, then every request is answered
+// from it by the shared worker pool. The requests must not carry their own
+// Graph or Grammar — the batch's pair is the one queried. This is the
+// one-shot form; a serving layer holding a Prepared handle should call
+// Prepared.QueryBatch, which reuses the cached index instead of building
+// one per batch. The graph is only read.
+func (e *Engine) QueryBatch(ctx context.Context, g *Graph, gram *Grammar, reqs []Request) ([]BatchResult, error) {
+	if len(reqs) == 0 {
 		return nil, nil
 	}
 	p, err := e.Prepare(ctx, g, gram)
 	if err != nil {
 		return nil, err
 	}
-	return p.QueryBatch(ctx, queries), nil
+	return p.QueryBatch(ctx, reqs), nil
 }

@@ -35,12 +35,12 @@ func TestQueryBatchRacesAddEdges(t *testing.T) {
 		go func(r int) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
-				res := p.QueryBatch(ctx, []cfpq.BatchQuery{
-					{Op: cfpq.BatchCount, Nonterminal: "S"},
-					{Op: cfpq.BatchRelation, Nonterminal: "S"},
-					{Op: cfpq.BatchHas, Nonterminal: "S", From: 0, To: i % 16},
-					{Op: cfpq.BatchRelationFrom, Nonterminal: "S", Sources: []int{r, i % 8}},
-					{Op: cfpq.BatchCountFrom, Nonterminal: "S", Sources: []int{0, 1, 2}},
+				res := p.QueryBatch(ctx, []cfpq.Request{
+					{Nonterminal: "S", Output: cfpq.OutputCount},
+					{Nonterminal: "S"},
+					{Nonterminal: "S", Output: cfpq.OutputExists, Sources: []int{0}, Targets: []int{i % 16}},
+					{Nonterminal: "S", Sources: []int{r, i % 8}},
+					{Nonterminal: "S", Output: cfpq.OutputCount, Sources: []int{0, 1, 2}},
 				})
 				for _, re := range res {
 					if re.Err != nil {
@@ -75,11 +75,11 @@ func TestQueryBatchRacesAddEdges(t *testing.T) {
 
 	// After the dust settles, a batch must agree with the single-query
 	// surface on the final state.
-	res := p.QueryBatch(ctx, []cfpq.BatchQuery{{Op: cfpq.BatchCount, Nonterminal: "S"}})
+	res := p.QueryBatch(ctx, []cfpq.Request{{Nonterminal: "S", Output: cfpq.OutputCount}})
 	if res[0].Err != nil {
 		t.Fatal(res[0].Err)
 	}
-	if got, want := res[0].Count, p.Count("S"); got != want {
+	if got, want := res[0].Result.Count, p.Count("S"); got != want {
 		t.Fatalf("post-race count: batch %d, single %d", got, want)
 	}
 }

@@ -31,67 +31,79 @@ func testPrepared(t *testing.T, be cfpq.Backend) *cfpq.Prepared {
 func TestPreparedQueryBatchMatchesSingleQueries(t *testing.T) {
 	for _, be := range cfpq.Backends() {
 		p := testPrepared(t, be)
-		queries := []cfpq.BatchQuery{
-			{Op: cfpq.BatchHas, Nonterminal: "S", From: 1, To: 3},
-			{Op: cfpq.BatchHas, Nonterminal: "S", From: 0, To: 3},
-			{Op: cfpq.BatchHas, Nonterminal: "S", From: -1, To: 99},
-			{Op: cfpq.BatchCount, Nonterminal: "S"},
-			{Op: cfpq.BatchRelation, Nonterminal: "S"},
-			{Nonterminal: "S"}, // zero Op defaults to relation
-			{Op: cfpq.BatchCountFrom, Nonterminal: "S", Sources: []int{0}},
-			{Op: cfpq.BatchRelationFrom, Nonterminal: "S", Sources: []int{0, 1}},
+		reqs := []cfpq.Request{
+			{Nonterminal: "S", Output: cfpq.OutputExists, Sources: []int{1}, Targets: []int{3}},
+			{Nonterminal: "S", Output: cfpq.OutputExists, Sources: []int{0}, Targets: []int{3}},
+			{Nonterminal: "S", Output: cfpq.OutputExists, Sources: []int{42}, Targets: []int{99}},
+			{Nonterminal: "S", Output: cfpq.OutputCount},
+			{Nonterminal: "S", Output: cfpq.OutputPairs},
+			{Nonterminal: "S"}, // zero Output defaults to pairs
+			{Nonterminal: "S", Output: cfpq.OutputCount, Sources: []int{0}},
+			{Nonterminal: "S", Sources: []int{0, 1}},
 		}
-		res := p.QueryBatch(context.Background(), queries)
-		if len(res) != len(queries) {
-			t.Fatalf("%s: got %d results, want %d", be, len(res), len(queries))
+		res := p.QueryBatch(context.Background(), reqs)
+		if len(res) != len(reqs) {
+			t.Fatalf("%s: got %d results, want %d", be, len(res), len(reqs))
 		}
 		for i, r := range res {
 			if r.Err != nil {
-				t.Fatalf("%s: query %d: unexpected error %v", be, i, r.Err)
+				t.Fatalf("%s: request %d: unexpected error %v", be, i, r.Err)
+			}
+			if got, want := r.Result.Explain.Strategy, cfpq.StrategyCachedRead; got != want {
+				t.Fatalf("%s: request %d: strategy %q, want %q", be, i, got, want)
 			}
 		}
-		if got, want := res[0].Has, p.Has("S", 1, 3); got != want {
-			t.Errorf("%s: has(1,3) = %v, want %v", be, got, want)
+		if got, want := res[0].Result.Exists, p.Has("S", 1, 3); got != want {
+			t.Errorf("%s: exists(1,3) = %v, want %v", be, got, want)
 		}
-		if got, want := res[1].Has, p.Has("S", 0, 3); got != want {
-			t.Errorf("%s: has(0,3) = %v, want %v", be, got, want)
+		if got, want := res[1].Result.Exists, p.Has("S", 0, 3); got != want {
+			t.Errorf("%s: exists(0,3) = %v, want %v", be, got, want)
 		}
-		if res[2].Has {
-			t.Errorf("%s: out-of-range has answered true", be)
+		if res[2].Result.Exists {
+			t.Errorf("%s: out-of-range exists answered true", be)
 		}
-		if got, want := res[3].Count, p.Count("S"); got != want {
+		if got, want := res[3].Result.Count, p.Count("S"); got != want {
 			t.Errorf("%s: count = %d, want %d", be, got, want)
 		}
-		if !slices.Equal(res[4].Pairs, p.Relation("S")) {
-			t.Errorf("%s: relation = %v, want %v", be, res[4].Pairs, p.Relation("S"))
+		if !slices.Equal(res[4].Result.AllPairs(), p.Relation("S")) {
+			t.Errorf("%s: pairs = %v, want %v", be, res[4].Result.AllPairs(), p.Relation("S"))
 		}
-		if !slices.Equal(res[5].Pairs, p.Relation("S")) {
-			t.Errorf("%s: default-op relation = %v, want %v", be, res[5].Pairs, p.Relation("S"))
+		if !slices.Equal(res[5].Result.AllPairs(), p.Relation("S")) {
+			t.Errorf("%s: default-output pairs = %v, want %v", be, res[5].Result.AllPairs(), p.Relation("S"))
 		}
-		if got, want := res[6].Count, p.CountFrom("S", []int{0}); got != want {
-			t.Errorf("%s: count-from = %d, want %d", be, got, want)
+		if got, want := res[6].Result.Count, p.CountFrom("S", []int{0}); got != want {
+			t.Errorf("%s: restricted count = %d, want %d", be, got, want)
 		}
-		if !slices.Equal(res[7].Pairs, p.RelationFrom("S", []int{0, 1})) {
-			t.Errorf("%s: relation-from = %v, want %v", be, res[7].Pairs, p.RelationFrom("S", []int{0, 1}))
+		if !slices.Equal(res[7].Result.AllPairs(), p.RelationFrom("S", []int{0, 1})) {
+			t.Errorf("%s: restricted pairs = %v, want %v", be, res[7].Result.AllPairs(), p.RelationFrom("S", []int{0, 1}))
 		}
 	}
 }
 
-func TestQueryBatchPerQueryErrors(t *testing.T) {
+func TestQueryBatchPerRequestErrors(t *testing.T) {
 	p := testPrepared(t, cfpq.Sparse)
-	res := p.QueryBatch(context.Background(), []cfpq.BatchQuery{
-		{Op: cfpq.BatchCount, Nonterminal: "Nope"},
-		{Op: "frobnicate", Nonterminal: "S"},
-		{Op: cfpq.BatchCount, Nonterminal: "S"},
+	res := p.QueryBatch(context.Background(), []cfpq.Request{
+		{Nonterminal: "Nope", Output: cfpq.OutputCount},
+		{Nonterminal: "S", Output: "frobnicate"},
+		{Nonterminal: "S", Expr: "a b"},
+		{Output: cfpq.OutputCount},
+		{Nonterminal: "S", Output: cfpq.OutputCount},
 	})
 	if res[0].Err == nil {
-		t.Error("unknown non-terminal: expected per-query error")
+		t.Error("unknown non-terminal: expected per-request error")
 	}
-	if res[1].Err == nil {
-		t.Error("unknown op: expected per-query error")
+	var reqErr *cfpq.RequestError
+	if res[1].Err == nil || !errors.As(res[1].Err, &reqErr) {
+		t.Errorf("unknown output: expected a *RequestError, got %v", res[1].Err)
 	}
-	if res[2].Err != nil {
-		t.Errorf("valid query after bad ones failed: %v", res[2].Err)
+	if res[2].Err == nil {
+		t.Error("nonterminal+expr: expected per-request error")
+	}
+	if res[3].Err == nil {
+		t.Error("no language: expected per-request error")
+	}
+	if res[4].Err != nil {
+		t.Errorf("valid request after bad ones failed: %v", res[4].Err)
 	}
 }
 
@@ -99,7 +111,7 @@ func TestQueryBatchCancelledContext(t *testing.T) {
 	p := testPrepared(t, cfpq.Sparse)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := p.QueryBatch(ctx, []cfpq.BatchQuery{{Op: cfpq.BatchCount, Nonterminal: "S"}})
+	res := p.QueryBatch(ctx, []cfpq.Request{{Nonterminal: "S", Output: cfpq.OutputCount}})
 	if !errors.Is(res[0].Err, context.Canceled) {
 		t.Fatalf("cancelled batch: got %v, want context.Canceled", res[0].Err)
 	}
@@ -112,9 +124,9 @@ func TestEngineQueryBatchOneShot(t *testing.T) {
 	g.AddEdge(2, "b", 3)
 	gram := cfpq.MustParseGrammar("S -> a S b | a b")
 	eng := cfpq.NewEngine(cfpq.Sparse)
-	res, err := eng.QueryBatch(context.Background(), g, gram, []cfpq.BatchQuery{
-		{Op: cfpq.BatchCount, Nonterminal: "S"},
-		{Op: cfpq.BatchRelation, Nonterminal: "S"},
+	res, err := eng.QueryBatch(context.Background(), g, gram, []cfpq.Request{
+		{Nonterminal: "S", Output: cfpq.OutputCount},
+		{Nonterminal: "S"},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -123,11 +135,11 @@ func TestEngineQueryBatchOneShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res[0].Count != len(pairs) {
-		t.Errorf("batch count %d, query returned %d pairs", res[0].Count, len(pairs))
+	if res[0].Result.Count != len(pairs) {
+		t.Errorf("batch count %d, query returned %d pairs", res[0].Result.Count, len(pairs))
 	}
-	if !slices.Equal(res[1].Pairs, pairs) {
-		t.Errorf("batch relation %v, query %v", res[1].Pairs, pairs)
+	if !slices.Equal(res[1].Result.AllPairs(), pairs) {
+		t.Errorf("batch pairs %v, query %v", res[1].Result.AllPairs(), pairs)
 	}
 	if empty, err := eng.QueryBatch(context.Background(), g, gram, nil); err != nil || empty != nil {
 		t.Errorf("empty batch: got %v, %v", empty, err)
@@ -168,8 +180,8 @@ func TestPreparedSourceFilteredReads(t *testing.T) {
 	}
 }
 
-// TestPreparedPairsFromEarlyBreak checks the iterator releases cleanly when
-// the consumer stops early.
+// TestPreparedPairsFromEarlyBreak checks the iterator stops cleanly when
+// the consumer does.
 func TestPreparedPairsFromEarlyBreak(t *testing.T) {
 	p := testPrepared(t, cfpq.Sparse)
 	count := 0
@@ -180,7 +192,7 @@ func TestPreparedPairsFromEarlyBreak(t *testing.T) {
 	if count != 1 {
 		t.Fatalf("early break: saw %d pairs", count)
 	}
-	// The lock must have been released: a write must not deadlock.
+	// No lock is held after the break: a write must not deadlock.
 	if _, err := p.AddEdges(context.Background(), cfpq.Edge{From: 0, Label: "a", To: 3}); err != nil {
 		t.Fatal(err)
 	}

@@ -155,7 +155,8 @@ func buildConfig(opts []Option) *config {
 // Query evaluates R_start on the graph under the relational semantics and
 // returns the sorted pair list.
 //
-// Deprecated: use NewEngine(backend).Query with a context.
+// Deprecated: use NewEngine(backend).Do with Request{Graph: g, Grammar:
+// gram, Nonterminal: start} (or the Query sugar) with a context.
 func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
 	return NewEngine(Sparse).Query(context.Background(), g, gram, start, opts...)
 }

@@ -11,6 +11,8 @@
 //	cfpq-bench -singlesource -sources 4 -json BENCH_singlesource.json
 //	cfpq-bench -warmstart            # cold closure vs store warm start
 //	cfpq-bench -warmstart -json BENCH_warmstart.json
+//	cfpq-bench -planner              # planner strategies (source/target frontier) vs all-pairs
+//	cfpq-bench -planner -json BENCH_planner.json
 package main
 
 import (
@@ -29,7 +31,8 @@ func main() {
 	ablation := flag.Bool("ablation", false, "run the ablation studies instead of the tables")
 	single := flag.Bool("singlesource", false, "run the single-source vs all-pairs serving scenario")
 	warm := flag.Bool("warmstart", false, "run the cold-start vs warm-start (persisted index) scenario")
-	sourceCount := flag.Int("sources", 1, "source nodes per query in the single-source scenario")
+	planner := flag.Bool("planner", false, "run the planner-strategy (source/target frontier) scenario")
+	sourceCount := flag.Int("sources", 1, "restriction nodes per query in the single-source/planner scenarios")
 	jsonPath := flag.String("json", "", "also write scenario results as JSON to this file (BENCH_*.json artifact)")
 	backend := flag.String("backend", "sparse", "matrix backend for the single-source/warm-start scenarios")
 	grammars := flag.String("grammars", "", "comma-separated single-source grammars: query1, query2, ancestors (default \"query1,ancestors\")")
@@ -51,6 +54,27 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatWarmStart(os.Stdout, rows)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rows)
+		}
+		return
+	}
+	if *planner {
+		var gramNames []string
+		if *grammars != "" {
+			gramNames = strings.Split(*grammars, ",")
+		}
+		rows, err := bench.RunPlanner(bench.PlannerConfig{
+			Grammars: gramNames,
+			Nodes:    *sourceCount,
+			Repeats:  *repeats,
+			Backend:  *backend,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatPlanner(os.Stdout, rows)
 		if *jsonPath != "" {
 			writeJSON(*jsonPath, rows)
 		}

@@ -224,3 +224,85 @@ func TestConformanceConjunctive(t *testing.T) {
 		}
 	})
 }
+
+// TestConformanceRequestDatasets pins Request-path answers on the six
+// smallest dataset ontologies: the target- and source-restricted counts
+// of the paper's Query 1 for the restriction {0,1,2,3}, and the
+// target-restricted ancestors relation (whose reverse frontier saturates
+// on these root-heavy nodes, pinning the fallback path too), for every
+// backend. These goldens hold the planner to the answers the full
+// closure gives; any strategy drift fails here with the exact count that
+// moved.
+func TestConformanceRequestDatasets(t *testing.T) {
+	golden := []struct {
+		dataset        string
+		nodes          int
+		q1TargetCount  int
+		q1SourceCount  int
+		ancestorsCount int
+	}{
+		{"skos", 161, 100, 100, 204},
+		{"generations", 173, 87, 87, 145},
+		{"travel", 175, 113, 113, 188},
+		{"univ-bench", 186, 94, 94, 188},
+		{"atom-primitive", 269, 122, 122, 212},
+		{"foaf", 404, 158, 158, 398},
+	}
+	ctx := context.Background()
+	restriction := []int{0, 1, 2, 3}
+	ancestors := cfpq.MustParseGrammar("S -> subClassOf S | subClassOf")
+	forEachBackend(t, func(t *testing.T, eng *cfpq.Engine) {
+		for _, row := range golden {
+			d, ok := dataset.ByName(row.dataset)
+			if !ok {
+				t.Fatalf("unknown dataset %q", row.dataset)
+			}
+			g := d.Build()
+			if g.Nodes() != row.nodes {
+				t.Fatalf("%s: %d nodes, want %d (generator drifted — goldens need review)",
+					row.dataset, g.Nodes(), row.nodes)
+			}
+			rt, err := eng.Do(ctx, cfpq.Request{
+				Graph: g, Grammar: dataset.Query(1), Nonterminal: "S",
+				Targets: restriction, Output: cfpq.OutputCount,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Explain.Strategy != cfpq.StrategyTargetFrontier {
+				t.Errorf("%s: q1 target strategy %q", row.dataset, rt.Explain.Strategy)
+			}
+			if rt.Count != row.q1TargetCount {
+				t.Errorf("%s: q1 target count %d, want %d", row.dataset, rt.Count, row.q1TargetCount)
+			}
+			rs, err := eng.Do(ctx, cfpq.Request{
+				Graph: g, Grammar: dataset.Query(1), Nonterminal: "S",
+				Sources: restriction, Output: cfpq.OutputCount,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Explain.Strategy != cfpq.StrategySourceFrontier {
+				t.Errorf("%s: q1 source strategy %q", row.dataset, rs.Explain.Strategy)
+			}
+			if rs.Count != row.q1SourceCount {
+				t.Errorf("%s: q1 source count %d, want %d", row.dataset, rs.Count, row.q1SourceCount)
+			}
+			ra, err := eng.Do(ctx, cfpq.Request{
+				Graph: g, Grammar: ancestors, Nonterminal: "S", Targets: restriction,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ra.Count != row.ancestorsCount {
+				t.Errorf("%s: ancestors target count %d, want %d", row.dataset, ra.Count, row.ancestorsCount)
+			}
+			for p := range ra.Pairs() {
+				if p.J > 3 {
+					t.Errorf("%s: pair %v escaped the target restriction", row.dataset, p)
+					break
+				}
+			}
+		}
+	})
+}

@@ -17,73 +17,94 @@
 // the all-path semantics enumerates all of them (infinitely many on cyclic
 // graphs, so enumeration is bounded).
 //
-// # Engine: the one query surface
+// # Request → planner → Result: the one query surface
 //
-// All evaluation goes through an Engine, constructed once with a Backend —
-// one of the paper's four matrix implementations — and carrying every query
-// method. Each method takes a context.Context, checked between closure
-// passes, so long evaluations honour cancellation and deadlines.
+// Every query is a declarative Request — a path language (a CFG
+// non-terminal, an RPQ expression, or a conjunctive grammar), an optional
+// restriction (Sources, Targets, or both — a single pair is one of each),
+// and an Output (exists, count, pairs, or paths with limits) — evaluated
+// by Engine.Do. A planner picks the cheapest strategy for the restriction
+// instead of the caller hard-wiring one:
+//
+//   - full: the all-pairs closure (unrestricted queries, path
+//     enumeration, conjunctive grammars);
+//   - source-frontier: only the matrix rows reachable from the sources,
+//     with a transparent fallback to the full closure on saturation;
+//   - target-frontier: the source frontier of the reversed graph under
+//     the reversed grammar — the CFPQ duality (i,j) ∈ R(G,D) ⟺
+//     (j,i) ∈ R(rev G, rev D) — answering "what reaches these nodes?";
+//   - cached-read: a Prepared handle's index, no closure work at all.
+//
+// The Result streams pairs/paths as iter.Seq, carries the closure Stats,
+// and records the chosen plan in Explain:
 //
 //	eng := cfpq.NewEngine(cfpq.Sparse) // or Dense, SparseParallel(n), DenseParallel(n)
 //	g := cfpq.NewGraph(3)
 //	g.AddEdge(0, "a", 1)
 //	g.AddEdge(1, "b", 2)
 //	gram, _ := cfpq.ParseGrammar("S -> a S b | a b")
-//	pairs, _ := eng.Query(context.Background(), g, gram, "S")
-//	// pairs == [{0 2}]
+//	res, _ := eng.Do(ctx, cfpq.Request{
+//		Graph: g, Grammar: gram, Nonterminal: "S", Targets: []int{2},
+//	})
+//	res.Explain.Strategy // cfpq.StrategyTargetFrontier
+//	for pair := range res.Pairs() { ... } // [{0 2}]
 //
 // The algorithm reduces query evaluation to a Boolean-matrix transitive
 // closure: one |V|×|V| Boolean matrix per non-terminal, with one matrix
-// multiplication per grammar production per fixpoint pass. Beyond Query,
-// the engine evaluates full closures (Evaluate), witness paths
-// (SinglePath, ShortestPath, AllPaths), regular path queries by reduction
-// (RPQ), conjunctive grammars (QueryConjunctive), incremental maintenance
-// (Update) and index persistence (LoadIndex with SaveIndex).
+// multiplication per grammar production per fixpoint pass. The familiar
+// call shapes survive as one-line sugar over Do — Query (unrestricted
+// pairs), QueryFrom/QueryFromStats (source-restricted), QueryTo
+// (target-restricted), RPQ, QueryConjunctive — alongside the index-level
+// APIs: Evaluate (the full Index), witness paths (SinglePath,
+// ShortestPath, AllPaths), incremental maintenance (Update) and index
+// persistence (LoadIndex with SaveIndex).
 //
-// # Source-restricted queries
+// # Batched requests
 //
-// The dominant serving question is single-source — "what can these nodes
-// reach via S?" — and QueryFrom answers it without paying for the
-// all-pairs closure: only the matrix rows of the reachable frontier (the
-// sources plus every node heading a derivation fragment they reach) are
-// maintained, with a transparent fallback to the full closure when the
-// frontier saturates. The result is exactly Query filtered to pairs
-// leaving the sources; QueryFromStats additionally reports the frontier
-// size and closure work:
-//
-//	pairs, _ := eng.QueryFrom(ctx, g, gram, "S", []int{v})
-//
-// # Batched queries
-//
-// QueryBatch coalesces many queries sharing one (graph, grammar) pair
-// into a single index build; answers fan out over a worker pool, and all
-// of them read the same index state, so a racing update is visible to the
-// whole batch or none of it. Engine.QueryBatch is the one-shot form;
+// QueryBatch evaluates []Request against one (graph, grammar) pair from a
+// single index build; answers fan out over a worker pool, and all of them
+// read the same index state, so a racing update is visible to the whole
+// batch or none of it. Engine.QueryBatch is the one-shot form;
 // Prepared.QueryBatch answers from the cached index:
 //
-//	results := p.QueryBatch(ctx, []cfpq.BatchQuery{
-//		{Op: cfpq.BatchCount, Nonterminal: "S"},
-//		{Op: cfpq.BatchRelationFrom, Nonterminal: "S", Sources: []int{v}},
+//	results := p.QueryBatch(ctx, []cfpq.Request{
+//		{Nonterminal: "S", Output: cfpq.OutputCount},
+//		{Nonterminal: "S", Sources: []int{v}},
 //	})
 //
-// Per-query failures land in BatchResult.Err without failing the batch.
+// Per-request failures land in BatchResult.Err without failing the batch.
 //
 // # Prepared: cached, incrementally-maintained queries
 //
-// For repeated queries against one (graph, grammar) pair, Prepare binds
+// For repeated requests against one (graph, grammar) pair, Prepare binds
 // the compiled grammar to the graph and caches the evaluated closure in a
-// Prepared handle. The handle answers any number of concurrent queries
-// under a read lock, exposes iter.Seq iterators (Pairs streams the
-// relation without materialising it; Paths yields a bounded path
-// enumeration), and absorbs edge updates with the incremental delta
-// closure instead of re-evaluating — transparently resizing its matrices
-// when edges grow the node set:
+// Prepared handle; Prepared.Do answers any number of concurrent requests
+// from it (the cached-read strategy) under a read lock, and AddEdges
+// absorbs edge updates with the incremental delta closure instead of
+// re-evaluating — transparently resizing its matrices when edges grow the
+// node set:
 //
 //	p, _ := eng.Prepare(ctx, g, gram)
-//	p.Has("S", 0, 2)
-//	for pair := range p.Pairs("S") { ... }
-//	for pair := range p.PairsFrom("S", []int{0, 1}) { ... } // source-filtered
+//	res, _ := p.Do(ctx, cfpq.Request{Nonterminal: "S", Sources: []int{0, 1}})
+//	p.Has("S", 0, 2)                       // sugar over Do, like the other readers
+//	for pair := range p.Pairs("S") { ... } // iter.Seq snapshot
 //	p.AddEdges(ctx, cfpq.Edge{From: 2, Label: "a", To: 7}) // patched, not rebuilt
+//
+// # Old → new call shapes
+//
+// Pre-planner methods map onto Requests one for one (all remain and are
+// sugar over Do):
+//
+//	Engine.Query(g, gram, "S")            = Request{Graph: g, Grammar: gram, Nonterminal: "S"}
+//	Engine.QueryFrom(..., srcs)           = Request{..., Sources: srcs}
+//	Engine.QueryTo(..., tgts)             = Request{..., Targets: tgts}
+//	Engine.RPQ(g, expr)                   = Request{Graph: g, Expr: expr}
+//	Engine.QueryConjunctive(g, cg, "S")   = Request{Graph: g, Conjunctive: cg, Nonterminal: "S"}
+//	Prepared.Has("S", i, j)               = Request{Nonterminal: "S", Sources: []int{i}, Targets: []int{j}, Output: OutputExists}
+//	Prepared.Count("S")                   = Request{Nonterminal: "S", Output: OutputCount}
+//	Prepared.Relation/Pairs("S")          = Request{Nonterminal: "S"}
+//	Prepared.RelationFrom("S", srcs)      = Request{Nonterminal: "S", Sources: srcs}
+//	Prepared.Paths("S", i, j, opts)       = Request{Nonterminal: "S", Sources: []int{i}, Targets: []int{j}, Output: OutputPaths, Limit: opts.MaxPaths, MaxPathLength: opts.MaxLength}
 //
 // The free functions (Query, Evaluate, SinglePath, RPQ, Update, …) predate
 // Engine and remain as deprecated wrappers over a default sparse engine.
@@ -100,13 +121,15 @@
 //	curl -X PUT --data-binary @wine.nt 'localhost:8080/v1/graphs/wine?format=ntriples'
 //	curl -X PUT --data-binary 'S -> subClassOf_r S subClassOf | subClassOf_r subClassOf' \
 //	     localhost:8080/v1/grammars/samegen
-//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=count'
-//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=relation&sources=n1'
+//	curl -X POST -d '{"graph":"wine","grammar":"samegen","nonterminal":"S","output":"count"}' \
+//	     localhost:8080/v1/query                   # declarative request; answer carries "explain"
+//	curl 'localhost:8080/v1/query?graph=wine&grammar=samegen&nonterminal=S&op=count'  # legacy shim
 //	curl -X POST -d '{"graph":"wine","grammar":"samegen","queries":[{"op":"count","nonterminal":"S"}]}' \
 //	     localhost:8080/v1/query/batch
 //	curl -X POST -d '{"edges":[{"from":"a","label":"subClassOf","to":"b"}]}' \
 //	     localhost:8080/v1/graphs/wine/edges
-//	curl localhost:8080/v1/stats   # build vs incremental-update products
+//	curl localhost:8080/v1/stats       # build vs incremental-update products
+//	curl localhost:8080/debug/vars     # includes per-strategy planner counters
 //
 // The service itself lives in internal/server and can be embedded
 // in-process; cmd/cfpqd is a thin HTTP shell around it.

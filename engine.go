@@ -5,17 +5,18 @@ import (
 	"fmt"
 	"io"
 
-	"cfpq/internal/conjunctive"
 	"cfpq/internal/core"
-	"cfpq/internal/rpq"
 )
 
 // Engine is the one query surface of this library: a closure engine bound
-// to a matrix Backend, carrying every evaluation method — relational
-// queries, full closures, single-/shortest-/all-path semantics, RPQs,
-// conjunctive queries, incremental updates and index (de)serialisation.
-// Construct it once and share it: an Engine is immutable and safe for
-// concurrent use; all per-call state lives in the arguments and results.
+// to a matrix Backend. Its evaluation entry point is Do, which plans a
+// declarative Request (full closure, source frontier, target frontier) —
+// the named query methods (Query, QueryFrom, QueryTo, RPQ,
+// QueryConjunctive, QueryBatch) are sugar over it, alongside the
+// index-level APIs: full closures, single-/shortest-/all-path semantics,
+// incremental updates and index (de)serialisation. Construct it once and
+// share it: an Engine is immutable and safe for concurrent use; all
+// per-call state lives in the arguments and results.
 //
 // Every query method takes a context.Context that is checked between
 // closure passes, so long evaluations on large graphs can be cancelled or
@@ -52,10 +53,14 @@ func (e *Engine) newCore(cfg *config) *core.Engine {
 }
 
 // Query evaluates R_start on the graph under the relational semantics and
-// returns the sorted pair list.
+// returns the sorted pair list. It is sugar for an unrestricted
+// OutputPairs Request evaluated by Do.
 func (e *Engine) Query(ctx context.Context, g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
-	cfg := buildConfig(opts)
-	return e.newCore(cfg).QueryContext(ctx, g, gram, start, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+	res, err := e.Do(ctx, Request{Graph: g, Grammar: gram, Nonterminal: start, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return res.AllPairs(), nil
 }
 
 // QueryFrom evaluates R_start restricted to the given source nodes: the
@@ -68,10 +73,11 @@ func (e *Engine) Query(ctx context.Context, g *Graph, gram *Grammar, start strin
 // workload, "what can these nodes reach via S?".
 //
 // An empty source set yields an empty result. Sources outside the graph's
-// node range are an error; duplicates are deduplicated.
+// node range are an error; duplicates are deduplicated. It is sugar for a
+// source-restricted Request evaluated by Do.
 func (e *Engine) QueryFrom(ctx context.Context, g *Graph, gram *Grammar, start string, sources []int, opts ...Option) ([]Pair, error) {
-	cfg := buildConfig(opts)
-	return e.newCore(cfg).QueryFromContext(ctx, g, gram, start, sources, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+	pairs, _, err := e.QueryFromStats(ctx, g, gram, start, sources, opts...)
+	return pairs, err
 }
 
 // FromStats reports what a source-restricted evaluation did: closure work,
@@ -83,8 +89,32 @@ type FromStats = core.FromStats
 // closure's work — the numbers the bench harness tracks when comparing
 // single-source against all-pairs evaluation.
 func (e *Engine) QueryFromStats(ctx context.Context, g *Graph, gram *Grammar, start string, sources []int, opts ...Option) ([]Pair, FromStats, error) {
-	cfg := buildConfig(opts)
-	return e.newCore(cfg).QueryFromStatsContext(ctx, g, gram, start, sources, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+	if sources == nil {
+		sources = []int{} // a Request distinguishes nil (unrestricted) from empty
+	}
+	res, err := e.Do(ctx, Request{Graph: g, Grammar: gram, Nonterminal: start, Sources: sources, Options: opts})
+	if err != nil {
+		return nil, FromStats{}, err
+	}
+	return res.AllPairs(), FromStats{Stats: res.Stats, Frontier: res.Explain.Frontier, Saturated: res.Explain.Saturated}, nil
+}
+
+// QueryTo evaluates R_start restricted to the given target nodes: the
+// result is exactly Query's pair list filtered to pairs (i, j) with j ∈
+// targets, evaluated by the target-frontier strategy (the source frontier
+// of the reversed graph under the reversed grammar) with the same
+// saturation fallback as QueryFrom — the call shape of "what reaches these
+// nodes via S?". It is sugar for a target-restricted Request evaluated by
+// Do.
+func (e *Engine) QueryTo(ctx context.Context, g *Graph, gram *Grammar, start string, targets []int, opts ...Option) ([]Pair, error) {
+	if targets == nil {
+		targets = []int{}
+	}
+	res, err := e.Do(ctx, Request{Graph: g, Grammar: gram, Nonterminal: start, Targets: targets, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	return res.AllPairs(), nil
 }
 
 // Evaluate runs the matrix closure and returns the full Index, from which
@@ -123,35 +153,27 @@ func (e *Engine) AllPaths(ctx context.Context, g *Graph, ix *Index, start string
 //	subClassOf_r* type (a | b)+ c?
 //
 // — by compiling the expression to an NFA, the NFA to a right-linear
-// grammar, and evaluating that grammar with this engine.
+// grammar, and evaluating that grammar with this engine. It is sugar for
+// an Expr Request evaluated by Do.
 func (e *Engine) RPQ(ctx context.Context, g *Graph, expr string, opts ...Option) ([]Pair, error) {
-	cfg := buildConfig(opts)
-	r, err := rpq.ParseRegex(expr)
+	res, err := e.Do(ctx, Request{Graph: g, Expr: expr, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	gram, start, nfa := rpq.Grammar(r)
-	if !gram.HasNonterminal(start) {
-		// Degenerate: the language is empty or {ε}.
-		if nfa.AcceptsEmpty && cfg.emptyPaths {
-			return rpq.ReflexivePairs(g.Nodes()), nil
-		}
-		return nil, nil
-	}
-	return e.newCore(cfg).QueryContext(ctx, g, gram, start, core.QueryOptions{IncludeEmptyPaths: cfg.emptyPaths})
+	return res.AllPairs(), nil
 }
 
 // QueryConjunctive evaluates a conjunctive path query. Per the paper's
 // Section 7 hypothesis (verified by this package's tests), the result is
 // an upper approximation of the single-path relation on cyclic graphs and
-// exact on linear inputs.
+// exact on linear inputs. It is sugar for a Conjunctive Request evaluated
+// by Do.
 func (e *Engine) QueryConjunctive(ctx context.Context, g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
-	cfg := buildConfig(opts)
-	res, err := conjunctive.EvaluateContext(ctx, g, cg, e.resolveBackend(cfg).mat())
+	res, err := e.Do(ctx, Request{Graph: g, Conjunctive: cg, Nonterminal: start, Options: opts})
 	if err != nil {
 		return nil, err
 	}
-	return res.Relation(start), nil
+	return res.AllPairs(), nil
 }
 
 // Update incorporates newly added edges into an evaluated Index without

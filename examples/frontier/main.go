@@ -1,9 +1,10 @@
-// Frontier demonstrates the serving-workload APIs: source-restricted
-// queries (Engine.QueryFrom), which answer "what can these nodes reach?"
-// by maintaining only the reachable frontier's matrix rows instead of the
-// full n×n closure, and batched evaluation (Prepared.QueryBatch), which
-// coalesces many queries against one (graph, grammar) pair into a single
-// cached index build with answers fanned out over a worker pool.
+// Frontier demonstrates the serving-workload APIs: declarative Requests
+// evaluated by the planner (Engine.Do), which picks the source- or
+// target-frontier strategy for restricted questions instead of the full
+// n×n closure — Result.Explain records the choice — and batched
+// evaluation (Prepared.QueryBatch), which coalesces many Requests against
+// one (graph, grammar) pair into a single cached index build with answers
+// fanned out over a worker pool.
 //
 // The scenario is a security review over a service-dependency graph:
 // `calls` edges between services, and the review asks per-service
@@ -57,16 +58,35 @@ func run(w io.Writer) error {
 	// Reach → calls Reach | calls: transitive dependencies.
 	gram := cfpq.MustParseGrammar("Reach -> calls Reach | calls")
 
-	// 1. A single-source question answered with the restricted closure:
-	// only the frontier reachable from billing is ever materialised.
-	pairs, stats, err := eng.QueryFromStats(ctx, g, gram, "Reach", []int{id["billing"]})
+	// 1. A single-source question as a declarative Request: the planner
+	// picks the source-frontier strategy, so only the rows reachable from
+	// billing are ever materialised; Explain records the choice.
+	res, err := eng.Do(ctx, cfpq.Request{
+		Graph: g, Grammar: gram, Nonterminal: "Reach", Sources: []int{id["billing"]},
+	})
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(w, "plan: %s\n", res.Explain.Strategy)
 	fmt.Fprintf(w, "billing transitively calls (frontier %d of %d nodes):\n",
-		stats.Frontier, g.Nodes())
-	for _, p := range pairs {
+		res.Explain.Frontier, g.Nodes())
+	for p := range res.Pairs() {
 		fmt.Fprintf(w, "  %s\n", services[p.J])
+	}
+
+	// 1b. The dual question — "who can take down db2?" — plans the
+	// target-frontier strategy: the same frontier evaluation over the
+	// reversed graph and grammar.
+	rev, err := eng.Do(ctx, cfpq.Request{
+		Graph: g, Grammar: gram, Nonterminal: "Reach", Targets: []int{id["db2"]},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nplan: %s\n", rev.Explain.Strategy)
+	fmt.Fprintf(w, "services that transitively call db2:\n")
+	for p := range rev.Pairs() {
+		fmt.Fprintf(w, "  %s\n", services[p.I])
 	}
 
 	// 2. A review batch: one Prepared handle, one closure build, every
@@ -76,11 +96,11 @@ func run(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	queries := []cfpq.BatchQuery{
-		{Op: cfpq.BatchCount, Nonterminal: "Reach"},
-		{Op: cfpq.BatchHas, Nonterminal: "Reach", From: id["edge"], To: id["db2"]},
-		{Op: cfpq.BatchHas, Nonterminal: "Reach", From: id["auth"], To: id["ledger"]},
-		{Op: cfpq.BatchRelationFrom, Nonterminal: "Reach", Sources: []int{id["auth"]}},
+	queries := []cfpq.Request{
+		{Nonterminal: "Reach", Output: cfpq.OutputCount},
+		{Nonterminal: "Reach", Output: cfpq.OutputExists, Sources: []int{id["edge"]}, Targets: []int{id["db2"]}},
+		{Nonterminal: "Reach", Output: cfpq.OutputExists, Sources: []int{id["auth"]}, Targets: []int{id["ledger"]}},
+		{Nonterminal: "Reach", Sources: []int{id["auth"]}},
 	}
 	results := prep.QueryBatch(ctx, queries)
 	for _, r := range results {
@@ -89,11 +109,11 @@ func run(w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "\nreview batch (%d queries, one index build):\n", len(queries))
-	fmt.Fprintf(w, "  total reachable pairs:     %d\n", results[0].Count)
-	fmt.Fprintf(w, "  edge can reach db2:        %v\n", results[1].Has)
-	fmt.Fprintf(w, "  auth can reach ledger:     %v\n", results[2].Has)
+	fmt.Fprintf(w, "  total reachable pairs:     %d\n", results[0].Result.Count)
+	fmt.Fprintf(w, "  edge can reach db2:        %v\n", results[1].Result.Exists)
+	fmt.Fprintf(w, "  auth can reach ledger:     %v\n", results[2].Result.Exists)
 	fmt.Fprintf(w, "  auth's reachable set:     ")
-	for _, p := range results[3].Pairs {
+	for p := range results[3].Result.Pairs() {
 		fmt.Fprintf(w, " %s", services[p.J])
 	}
 	fmt.Fprintln(w)

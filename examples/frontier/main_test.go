@@ -15,7 +15,10 @@ func TestRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, want := range []string{
+		"plan: source-frontier",
 		"billing transitively calls (frontier 4 of 8 nodes):",
+		"plan: target-frontier",
+		"services that transitively call db2:",
 		"review batch (4 queries, one index build):",
 		"edge can reach db2:        true",
 		"auth can reach ledger:     false",

@@ -30,7 +30,9 @@ func ParseConjunctive(text string) (*ConjunctiveGrammar, error) {
 
 // RPQ evaluates a regular path query (see Engine.RPQ for the syntax).
 //
-// Deprecated: use NewEngine(backend).RPQ with a context.
+// Deprecated: use NewEngine(backend).Do with Request{Graph: g, Expr:
+// expr} (or the RPQ sugar) — the planner then also serves restricted
+// forms via the frontier strategies.
 func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
 	return NewEngine(Sparse).RPQ(context.Background(), g, expr, opts...)
 }
@@ -38,7 +40,8 @@ func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
 // QueryConjunctive evaluates a conjunctive path query (see
 // Engine.QueryConjunctive).
 //
-// Deprecated: use NewEngine(backend).QueryConjunctive with a context.
+// Deprecated: use NewEngine(backend).Do with Request{Graph: g,
+// Conjunctive: cg, Nonterminal: start} (or the QueryConjunctive sugar).
 func QueryConjunctive(g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
 	return NewEngine(Sparse).QueryConjunctive(context.Background(), g, cg, start, opts...)
 }

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunPlannerSmoke runs the planner scenario on the smallest ontology
+// and checks the invariants the committed artifact relies on: agreement is
+// verified inside RunPlanner, a source restriction plans source-frontier,
+// a target restriction plans target-frontier, and neither saturates on the
+// directed ancestors grammar.
+func TestRunPlannerSmoke(t *testing.T) {
+	rows, err := RunPlanner(PlannerConfig{
+		Datasets: []string{"skos"},
+		Grammars: []string{"ancestors"},
+		Repeats:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (sources + targets)", len(rows))
+	}
+	byRestriction := map[string]PlannerRow{}
+	for _, r := range rows {
+		byRestriction[r.Restriction] = r
+	}
+	if got := byRestriction["sources"].Strategy; got != "source-frontier" {
+		t.Errorf("sources restriction planned %q, want source-frontier", got)
+	}
+	if got := byRestriction["targets"].Strategy; got != "target-frontier" {
+		t.Errorf("targets restriction planned %q, want target-frontier", got)
+	}
+	for _, r := range rows {
+		if r.Saturated {
+			t.Errorf("%s/%s: the directed ancestors grammar should not saturate", r.Dataset, r.Restriction)
+		}
+		if r.Frontier <= 0 || r.Frontier >= r.Nodes {
+			t.Errorf("%s/%s: frontier %d out of (0,%d)", r.Dataset, r.Restriction, r.Frontier, r.Nodes)
+		}
+	}
+
+	var buf bytes.Buffer
+	FormatPlanner(&buf, rows)
+	if !strings.Contains(buf.String(), "target-frontier") {
+		t.Errorf("formatted table misses the strategy column:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := WriteBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"scenario": "planner"`) {
+		t.Errorf("JSON artifact misses scenario tag:\n%s", buf.String())
+	}
+}

@@ -1,7 +1,9 @@
 // Package cli implements the cfpq command-line tool: flag parsing, input
 // loading and result printing, factored out of cmd/cfpq so the whole
-// pipeline is unit-testable. Evaluation goes through the public
-// cfpq.Engine, the same surface the server and benchmarks use.
+// pipeline is unit-testable. Relational evaluation builds one declarative
+// cfpq.Request and hands it to the planner (Engine.Do, or Prepared.Do on
+// a loaded index) — the same surface the server and benchmarks use;
+// -explain surfaces the planner's strategy choice.
 package cli
 
 import (
@@ -25,6 +27,8 @@ type Config struct {
 	Backend    string
 	Semantics  string
 	Sources    string
+	Targets    string
+	Explain    bool
 	CountOnly  bool
 	EmptyPaths bool
 	Names      bool
@@ -52,6 +56,13 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 		"comma-separated source nodes (IRIs or ids): restrict the query to pairs\n"+
 			"leaving these nodes, evaluated with the source-restricted closure\n"+
 			"(relational semantics only)")
+	fs.StringVar(&cfg.Targets, "targets", "",
+		"comma-separated target nodes (IRIs or ids): restrict the query to pairs\n"+
+			"entering these nodes, evaluated with the target-restricted closure\n"+
+			"over the reversed graph (relational semantics only)")
+	fs.BoolVar(&cfg.Explain, "explain", false,
+		"print the planner's chosen strategy as a leading '# plan:' line\n"+
+			"(relational semantics only)")
 	fs.BoolVar(&cfg.CountOnly, "count", false, "print only the result count")
 	fs.BoolVar(&cfg.EmptyPaths, "empty-paths", false,
 		"include (v,v) pairs when the start non-terminal derives ε")
@@ -72,9 +83,9 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 	return cfg, nil
 }
 
-// resolveSources parses the comma-separated -sources value: each token is
-// an IRI from the graph's name table or a decimal node id.
-func resolveSources(spec string, ids map[string]int, nodes int) ([]int, error) {
+// resolveNodes parses a comma-separated -sources/-targets value: each
+// token is an IRI from the graph's name table or a decimal node id.
+func resolveNodes(flagName, spec string, ids map[string]int, nodes int) ([]int, error) {
 	var out []int
 	for _, tok := range strings.Split(spec, ",") {
 		tok = strings.TrimSpace(tok)
@@ -87,15 +98,15 @@ func resolveSources(spec string, ids map[string]int, nodes int) ([]int, error) {
 		}
 		id, err := strconv.Atoi(tok)
 		if err != nil {
-			return nil, fmt.Errorf("cfpq: unknown source node %q", tok)
+			return nil, fmt.Errorf("cfpq: unknown %s node %q", flagName, tok)
 		}
 		if id < 0 || id >= nodes {
-			return nil, fmt.Errorf("cfpq: source node id %d out of range [0,%d)", id, nodes)
+			return nil, fmt.Errorf("cfpq: %s node id %d out of range [0,%d)", flagName, id, nodes)
 		}
 		out = append(out, id)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("cfpq: -sources %q names no nodes", spec)
+		return nil, fmt.Errorf("cfpq: -%s %q names no nodes", flagName, spec)
 	}
 	return out, nil
 }
@@ -147,8 +158,8 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 		nodeName = func(v int) string { return table[v] }
 	}
 	eng := cfpq.NewEngine(backend)
-	if cfg.Sources != "" && cfg.Semantics != "relational" {
-		return fmt.Errorf("cfpq: -sources supports only -semantics=relational")
+	if (cfg.Sources != "" || cfg.Targets != "" || cfg.Explain) && cfg.Semantics != "relational" {
+		return fmt.Errorf("cfpq: -sources/-targets/-explain support only -semantics=relational")
 	}
 	if cfg.SaveIndex != "" || cfg.LoadIndex != "" {
 		if cfg.Semantics != "relational" {
@@ -163,32 +174,24 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 	}
 	switch cfg.Semantics {
 	case "relational":
-		var opts []cfpq.Option
-		if cfg.EmptyPaths {
-			opts = append(opts, cfpq.WithEmptyPaths())
+		req := cfpq.Request{
+			Graph:       g,
+			Grammar:     gram,
+			Nonterminal: cfg.Start,
+			EmptyPaths:  cfg.EmptyPaths,
 		}
-		var pairs []cfpq.Pair
-		var err error
-		if cfg.Sources != "" {
-			sources, serr := resolveSources(cfg.Sources, ids, g.Nodes())
-			if serr != nil {
-				return serr
-			}
-			pairs, err = eng.QueryFrom(ctx, g, gram, cfg.Start, sources, opts...)
-		} else {
-			pairs, err = eng.Query(ctx, g, gram, cfg.Start, opts...)
+		if cfg.CountOnly {
+			req.Output = cfpq.OutputCount
 		}
+		if err := restrictRequest(&req, cfg, ids, g.Nodes()); err != nil {
+			return err
+		}
+		res, err := eng.Do(ctx, req)
 		if err != nil {
 			return err
 		}
-		if cfg.CountOnly {
-			fmt.Fprintln(out, len(pairs))
-			return nil
-		}
-		for _, p := range pairs {
-			fmt.Fprintf(out, "%s\t%s\n", nodeName(p.I), nodeName(p.J))
-		}
-		return nil
+		printExplain(cfg, out, res)
+		return printRelational(cfg, out, res, nodeName)
 	case "single-path":
 		cnf, err := cfpq.ToCNF(gram)
 		if err != nil {
@@ -221,6 +224,55 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 	default:
 		return fmt.Errorf("cfpq: unknown semantics %q", cfg.Semantics)
 	}
+}
+
+// restrictRequest applies the -sources/-targets flags to a request.
+func restrictRequest(req *cfpq.Request, cfg *Config, ids map[string]int, nodes int) error {
+	if cfg.Sources != "" {
+		sources, err := resolveNodes("sources", cfg.Sources, ids, nodes)
+		if err != nil {
+			return err
+		}
+		req.Sources = sources
+	}
+	if cfg.Targets != "" {
+		targets, err := resolveNodes("targets", cfg.Targets, ids, nodes)
+		if err != nil {
+			return err
+		}
+		req.Targets = targets
+	}
+	return nil
+}
+
+// printExplain renders the planner's Explain record as a leading comment
+// line when -explain is set.
+func printExplain(cfg *Config, out io.Writer, res *cfpq.Result) {
+	if !cfg.Explain {
+		return
+	}
+	fmt.Fprintf(out, "# plan: %s", res.Explain.Strategy)
+	if res.Explain.Frontier > 0 || res.Explain.Strategy == cfpq.StrategySourceFrontier || res.Explain.Strategy == cfpq.StrategyTargetFrontier {
+		fmt.Fprintf(out, " (frontier %d", res.Explain.Frontier)
+		if res.Explain.Saturated {
+			fmt.Fprint(out, ", saturated")
+		}
+		fmt.Fprint(out, ")")
+	}
+	fmt.Fprintf(out, " — %s\n", res.Explain.Reason)
+}
+
+// printRelational writes a relational Result: the count under -count,
+// otherwise one name-resolved pair per line.
+func printRelational(cfg *Config, out io.Writer, res *cfpq.Result, nodeName func(int) string) error {
+	if cfg.CountOnly {
+		fmt.Fprintln(out, res.Count)
+		return nil
+	}
+	for p := range res.Pairs() {
+		fmt.Fprintf(out, "%s\t%s\n", nodeName(p.I), nodeName(p.J))
+	}
+	return nil
 }
 
 // executeWithIndex answers through an evaluated index: loaded from
@@ -267,22 +319,17 @@ func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[s
 	if err != nil {
 		return err
 	}
-	var pairs []cfpq.Pair
-	if cfg.Sources != "" {
-		sources, err := resolveSources(cfg.Sources, ids, g.Nodes())
-		if err != nil {
-			return err
-		}
-		pairs = p.RelationFrom(cfg.Start, sources)
-	} else {
-		pairs = p.Relation(cfg.Start)
-	}
+	req := cfpq.Request{Nonterminal: cfg.Start}
 	if cfg.CountOnly {
-		fmt.Fprintln(out, len(pairs))
-		return nil
+		req.Output = cfpq.OutputCount
 	}
-	for _, pr := range pairs {
-		fmt.Fprintf(out, "%s\t%s\n", nodeName(pr.I), nodeName(pr.J))
+	if err := restrictRequest(&req, cfg, ids, g.Nodes()); err != nil {
+		return err
 	}
-	return nil
+	res, err := p.Do(ctx, req)
+	if err != nil {
+		return err
+	}
+	printExplain(cfg, out, res)
+	return printRelational(cfg, out, res, nodeName)
 }

@@ -324,3 +324,107 @@ func BackendMust(t *testing.T, name string) cfpq.Backend {
 	}
 	return be
 }
+
+func TestRunTargetsAndExplain(t *testing.T) {
+	dir := t.TempDir()
+	base := Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+	}
+
+	// Restricted to target c (node 2): the pairs entering c.
+	cfg := base
+	cfg.Targets = "c"
+	var out bytes.Buffer
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "0\t2\n1\t2\n" {
+		t.Errorf("targets=c output = %q, want %q", out.String(), "0\t2\n1\t2\n")
+	}
+
+	// -explain prefixes the plan; a target restriction names the
+	// target-frontier strategy.
+	cfg = base
+	cfg.Targets = "c"
+	cfg.Explain = true
+	out.Reset()
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(out.String(), "\n", 2)
+	if !strings.HasPrefix(lines[0], "# plan: target-frontier") {
+		t.Errorf("explain line = %q", lines[0])
+	}
+	if lines[1] != "0\t2\n1\t2\n" {
+		t.Errorf("explained output = %q", lines[1])
+	}
+
+	// Sources and targets combine into a pair restriction.
+	cfg = base
+	cfg.Sources = "a"
+	cfg.Targets = "c"
+	cfg.CountOnly = true
+	out.Reset()
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "1" {
+		t.Errorf("pair-restricted count = %q, want 1", out.String())
+	}
+
+	// Unknown target nodes and non-relational semantics are rejected.
+	cfg = base
+	cfg.Targets = "nope"
+	if err := Run(ctx, &cfg, &out); err == nil {
+		t.Error("unknown target should fail")
+	}
+	cfg = base
+	cfg.Targets = "c"
+	cfg.Semantics = "single-path"
+	if err := Run(ctx, &cfg, &out); err == nil {
+		t.Error("-targets with single-path should fail")
+	}
+	cfg = base
+	cfg.Explain = true
+	cfg.Semantics = "single-path"
+	if err := Run(ctx, &cfg, &out); err == nil {
+		t.Error("-explain with single-path should fail")
+	}
+}
+
+func TestLoadIndexExplainIsCachedRead(t *testing.T) {
+	dir := t.TempDir()
+	idx := filepath.Join(dir, "s.idx")
+	base := Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+	}
+	cfg := base
+	cfg.SaveIndex = idx
+	var out bytes.Buffer
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg = base
+	cfg.LoadIndex = idx
+	cfg.Targets = "c"
+	cfg.Explain = true
+	out.Reset()
+	if err := Run(ctx, &cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# plan: cached-read") {
+		t.Errorf("load-index explain = %q", out.String())
+	}
+	if !strings.HasSuffix(out.String(), "0\t2\n1\t2\n") {
+		t.Errorf("load-index output = %q", out.String())
+	}
+}

@@ -311,16 +311,23 @@ func (e *Engine) Query(g *graph.Graph, gram *grammar.Grammar, start string, opts
 // QueryContext is Query with cooperative cancellation between closure
 // passes.
 func (e *Engine) QueryContext(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, error) {
+	pairs, _, err := e.QueryStatsContext(ctx, g, gram, start, opts)
+	return pairs, err
+}
+
+// QueryStatsContext is QueryContext additionally reporting the closure
+// work — the numbers the public planner surfaces in Result.Stats.
+func (e *Engine) QueryStatsContext(ctx context.Context, g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, Stats, error) {
 	if !gram.HasNonterminal(start) {
-		return nil, fmt.Errorf("core: unknown non-terminal %q", start)
+		return nil, Stats{}, fmt.Errorf("core: unknown non-terminal %q", start)
 	}
 	cnf, err := grammar.ToCNF(gram)
 	if err != nil {
-		return nil, err
+		return nil, Stats{}, err
 	}
-	ix, _, err := e.RunContext(ctx, g, cnf)
+	ix, stats, err := e.RunContext(ctx, g, cnf)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	pairs := ix.Relation(start)
 	if opts.IncludeEmptyPaths && cnf.Nullable[start] {
@@ -341,5 +348,5 @@ func (e *Engine) QueryContext(ctx context.Context, g *graph.Graph, gram *grammar
 			return pairs[a].J < pairs[b].J
 		})
 	}
-	return pairs, nil
+	return pairs, stats, nil
 }

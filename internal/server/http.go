@@ -7,7 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strings"
+
+	"cfpq"
 )
 
 // Handler exposes a Service over HTTP/JSON. Routes (all responses JSON):
@@ -19,12 +22,20 @@ import (
 //	POST /v1/graphs/{name}/edges         add edges: {"edges":[{"from":..,"label":..,"to":..}]}
 //	GET  /v1/grammars                    list grammars
 //	PUT  /v1/grammars/{name}             register a grammar; body is grammar text
-//	GET  /v1/query                       evaluate: ?graph=&grammar=&nonterminal=&op=&backend=&from=&to=&sources=
+//	POST /v1/query                       evaluate one declarative request through the planner:
+//	                                     {"graph":..,"grammar":..,"backend":..,"nonterminal":..|"expr":..,
+//	                                     "sources":[..],"targets":[..],"output":"pairs|count|exists|paths",
+//	                                     "limit":..,"max_path_length":..}; the answer carries an
+//	                                     "explain" record naming the strategy the planner chose
+//	GET  /v1/query                       legacy form, a thin shim over the same planner path:
+//	                                     ?graph=&grammar=&nonterminal=&op=&backend=&from=&to=&sources=&targets=
 //	                                     op is has | relation | count | counts (default relation);
-//	                                     sources=a,b,c restricts relation/count to pairs leaving those nodes
+//	                                     sources=a,b,c / targets=a,b,c restrict relation/count to pairs
+//	                                     leaving / entering those nodes
 //	POST /v1/query/batch                 evaluate many queries against one target from one cached
 //	                                     index build: {"graph":..,"grammar":..,"backend":..,
-//	                                     "queries":[{"op":..,"nonterminal":..,"from":..,"to":..,"sources":[..]}]}
+//	                                     "queries":[{"op":..,"nonterminal":..,"from":..,"to":..,
+//	                                     "sources":[..],"targets":[..]}]}
 //	GET  /v1/stats                       per-index closure statistics
 //	POST /v1/snapshot                    persistent mode: fold WAL + built indexes into
 //	                                     fresh snapshots; ?graph= restricts to one graph
@@ -100,7 +111,23 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, gi)
 	})
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDocumentBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		ans, err := s.Do(r.Context(), req)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ans)
+	})
 	mux.HandleFunc("GET /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		// Legacy route: translate the stringly-typed params into a
+		// declarative QueryRequest and shim the answer back into the
+		// historic response shapes. Evaluation is Service.Do either way.
 		q := r.URL.Query()
 		t := Target{Graph: q.Get("graph"), Grammar: q.Get("grammar"), Backend: q.Get("backend")}
 		nt := q.Get("nonterminal")
@@ -116,20 +143,19 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, errors.New("nonterminal is required"))
 			return
 		}
-		var sources []string
-		if sv, restricted := q.Get("sources"), q.Has("sources"); restricted {
-			for _, tok := range strings.Split(sv, ",") {
-				if tok = strings.TrimSpace(tok); tok != "" {
-					sources = append(sources, tok)
-				}
-			}
-			// A present-but-empty restriction must not silently mean
-			// "everything" — that is the full n² answer the parameter
-			// exists to avoid.
-			if len(sources) == 0 {
-				writeError(w, http.StatusBadRequest, errors.New("sources names no nodes"))
-				return
-			}
+		sources, err := restrictionParam(q, "sources")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		targets, err := restrictionParam(q, "targets")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		req := QueryRequest{
+			Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend,
+			Nonterminal: nt, Sources: sources, Targets: targets,
 		}
 		switch op {
 		case "has":
@@ -138,38 +164,29 @@ func Handler(s *Service) http.Handler {
 				writeError(w, http.StatusBadRequest, errors.New("op=has requires from and to"))
 				return
 			}
-			ok, err := s.Has(r.Context(), t, nt, from, to)
+			req.Output = string(cfpq.OutputExists)
+			req.Sources, req.Targets = []string{from}, []string{to}
+			ans, err := s.Do(r.Context(), req)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]any{"has": ok, "from": from, "to": to, "nonterminal": nt})
+			writeJSON(w, http.StatusOK, map[string]any{"has": *ans.Exists, "from": from, "to": to, "nonterminal": nt})
 		case "relation":
-			var pairs []NamedPair
-			var err error
-			if sources != nil {
-				pairs, err = s.RelationFrom(r.Context(), t, nt, sources)
-			} else {
-				pairs, err = s.Relation(r.Context(), t, nt)
-			}
+			ans, err := s.Do(r.Context(), req)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": len(pairs), "pairs": pairs})
+			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": *ans.Count, "pairs": ans.Pairs})
 		case "count":
-			var n int
-			var err error
-			if sources != nil {
-				n, err = s.CountFrom(r.Context(), t, nt, sources)
-			} else {
-				n, err = s.Count(r.Context(), t, nt)
-			}
+			req.Output = string(cfpq.OutputCount)
+			ans, err := s.Do(r.Context(), req)
 			if err != nil {
 				writeError(w, statusFor(err), err)
 				return
 			}
-			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": n})
+			writeJSON(w, http.StatusOK, map[string]any{"nonterminal": nt, "count": *ans.Count})
 		case "counts":
 			counts, err := s.Counts(r.Context(), t)
 			if err != nil {
@@ -272,6 +289,26 @@ func serveDebugVars(w http.ResponseWriter, s *Service) {
 		}
 	}
 	fmt.Fprintf(w, "\n}\n")
+}
+
+// restrictionParam parses a comma-separated node-restriction parameter.
+// An absent parameter means unrestricted (nil); a present-but-empty one is
+// rejected, because it must not silently mean "everything" — that is the
+// full n² answer the parameter exists to avoid.
+func restrictionParam(q url.Values, name string) ([]string, error) {
+	if !q.Has(name) {
+		return nil, nil
+	}
+	var out []string
+	for _, tok := range strings.Split(q.Get(name), ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s names no nodes", name)
+	}
+	return out, nil
 }
 
 // maxDocumentBytes bounds uploaded graph/grammar documents and edge

@@ -280,6 +280,10 @@ type MetricsSnapshot struct {
 	Updates       int64 `json:"updates"`
 	EdgesAdded    int64 `json:"edges_added"`
 	PersistErrors int64 `json:"persist_errors"`
+	// Strategies counts answered queries per planner strategy (full,
+	// source-frontier, target-frontier, cached-read), so plan selection is
+	// observable in production.
+	Strategies map[string]int64 `json:"strategies"`
 }
 
 // Metrics snapshots the service counters.
@@ -291,5 +295,11 @@ func (s *Service) Metrics() MetricsSnapshot {
 		Updates:       s.metrics.updates.Load(),
 		EdgesAdded:    s.metrics.edgesAdded.Load(),
 		PersistErrors: s.metrics.persistErrors.Load(),
+		Strategies: map[string]int64{
+			string(cfpq.StrategyFull):           s.metrics.stratFull.Load(),
+			string(cfpq.StrategySourceFrontier): s.metrics.stratSourceFrontier.Load(),
+			string(cfpq.StrategyTargetFrontier): s.metrics.stratTargetFrontier.Load(),
+			string(cfpq.StrategyCachedRead):     s.metrics.stratCachedRead.Load(),
+		},
 	}
 }

@@ -1,0 +1,233 @@
+// This file is the service's declarative query path: QueryRequest is the
+// JSON wire form of a cfpq.Request (node names in place of ids, registry
+// names in place of bound values), Service.Do resolves it and hands it to
+// the library planner — Prepared.Do for grammar queries (the cached-read
+// strategy), Engine.Do for RPQ expressions (planned from scratch on a
+// snapshot). Every legacy query method and route is a shim over Do, so
+// the planner is the one evaluation path of the server.
+
+package server
+
+import (
+	"context"
+	"errors"
+
+	"cfpq"
+)
+
+// QueryRequest is the wire form of one declarative query — the body of
+// POST /v1/query. Graph (and, for grammar queries, Grammar) name registry
+// entries; Sources/Targets are node names or decimal ids; the remaining
+// fields mirror cfpq.Request.
+type QueryRequest struct {
+	Graph   string `json:"graph"`
+	Grammar string `json:"grammar,omitempty"`
+	Backend string `json:"backend,omitempty"`
+
+	// Nonterminal queries R_Nonterminal of the named grammar; Expr is an
+	// RPQ expression (no grammar; evaluated uncached on a graph snapshot).
+	Nonterminal string `json:"nonterminal,omitempty"`
+	Expr        string `json:"expr,omitempty"`
+
+	// Sources/Targets restrict the answer; nil means unrestricted, a
+	// present-but-empty list is an empty restriction (it selects nothing).
+	// Not omitempty: an empty restriction must survive re-encoding.
+	Sources []string `json:"sources"`
+	Targets []string `json:"targets"`
+
+	Output        string `json:"output,omitempty"`
+	Limit         int    `json:"limit,omitempty"`
+	MaxPathLength int    `json:"max_path_length,omitempty"`
+}
+
+// PathStep is one edge of a returned witness path, node names resolved.
+type PathStep struct {
+	From  string `json:"from"`
+	Label string `json:"label"`
+	To    string `json:"to"`
+}
+
+// QueryAnswer is the response to one QueryRequest. Exactly the fields of
+// the request's output are set; Explain names the strategy the planner
+// chose and Stats the closure work it performed.
+type QueryAnswer struct {
+	Output  string       `json:"output"`
+	Exists  *bool        `json:"exists,omitempty"`
+	Count   *int         `json:"count,omitempty"`
+	Pairs   []NamedPair  `json:"pairs,omitempty"`
+	Paths   [][]PathStep `json:"paths,omitempty"`
+	Explain cfpq.Explain `json:"explain"`
+	Stats   cfpq.Stats   `json:"stats"`
+}
+
+// countStrategy ticks the per-strategy metrics counter n times.
+func (s *Service) countStrategy(strategy cfpq.Strategy, n int64) {
+	switch strategy {
+	case cfpq.StrategyFull:
+		s.metrics.stratFull.Add(n)
+	case cfpq.StrategySourceFrontier:
+		s.metrics.stratSourceFrontier.Add(n)
+	case cfpq.StrategyTargetFrontier:
+		s.metrics.stratTargetFrontier.Add(n)
+	case cfpq.StrategyCachedRead:
+		s.metrics.stratCachedRead.Add(n)
+	}
+}
+
+// Do answers one declarative query — the single evaluation path every
+// endpoint and legacy service method funnels through.
+func (s *Service) Do(ctx context.Context, req QueryRequest) (QueryAnswer, error) {
+	if req.Graph == "" {
+		return QueryAnswer{}, errors.New("server: graph is required")
+	}
+	if req.Expr != "" {
+		if req.Grammar != "" || req.Nonterminal != "" {
+			return QueryAnswer{}, errors.New("server: expr excludes grammar and nonterminal")
+		}
+		return s.doExpr(ctx, req)
+	}
+	if req.Grammar == "" {
+		return QueryAnswer{}, errors.New("server: grammar is required for nonterminal queries")
+	}
+	if req.Nonterminal == "" {
+		return QueryAnswer{}, errors.New("server: one of nonterminal or expr is required")
+	}
+	t := Target{Graph: req.Graph, Grammar: req.Grammar, Backend: req.Backend}
+	e, p, err := s.index(ctx, t)
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	// Prepared answers unknown non-terminals with a plain error; the
+	// service contract is 404.
+	if err := checkNonterminal(p, req.Nonterminal); err != nil {
+		return QueryAnswer{}, err
+	}
+	e.ge.mu.RLock()
+	sources, errS := resolveRestrictionLocked(e.ge, req.Sources)
+	targets, errT := resolveRestrictionLocked(e.ge, req.Targets)
+	e.ge.mu.RUnlock()
+	if errS != nil {
+		return QueryAnswer{}, errS
+	}
+	if errT != nil {
+		return QueryAnswer{}, errT
+	}
+	res, err := p.Do(ctx, cfpq.Request{
+		Nonterminal:   req.Nonterminal,
+		Sources:       sources,
+		Targets:       targets,
+		Output:        cfpq.Output(req.Output),
+		Limit:         req.Limit,
+		MaxPathLength: req.MaxPathLength,
+	})
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	s.countStrategy(res.Explain.Strategy, 1)
+	return renderAnswer(e.ge, req, res), nil
+}
+
+// doExpr answers an RPQ request: expressions have no registry grammar to
+// cache an index under, so the engine plans them from scratch against a
+// point-in-time snapshot of the graph (restrictions still pick the
+// frontier strategies).
+func (s *Service) doExpr(ctx context.Context, req QueryRequest) (QueryAnswer, error) {
+	be := req.Backend
+	if be == "" {
+		be = DefaultBackend
+	}
+	backend, err := BackendByName(be)
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	ge, err := s.graphEntry(req.Graph)
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	ge.mu.RLock()
+	snapshot := ge.g.Clone()
+	sources, errS := resolveRestrictionLocked(ge, req.Sources)
+	targets, errT := resolveRestrictionLocked(ge, req.Targets)
+	ge.mu.RUnlock()
+	if errS != nil {
+		return QueryAnswer{}, errS
+	}
+	if errT != nil {
+		return QueryAnswer{}, errT
+	}
+	s.metrics.queries.Add(1)
+	res, err := cfpq.NewEngine(backend).Do(ctx, cfpq.Request{
+		Graph:         snapshot,
+		Expr:          req.Expr,
+		Sources:       sources,
+		Targets:       targets,
+		Output:        cfpq.Output(req.Output),
+		Limit:         req.Limit,
+		MaxPathLength: req.MaxPathLength,
+	})
+	if err != nil {
+		return QueryAnswer{}, err
+	}
+	s.countStrategy(res.Explain.Strategy, 1)
+	return renderAnswer(ge, req, res), nil
+}
+
+// resolveRestrictionLocked maps restriction node names to ids; nil stays
+// nil (unrestricted). Callers hold the graph entry's lock.
+func resolveRestrictionLocked(ge *graphEntry, tokens []string) ([]int, error) {
+	if tokens == nil {
+		return nil, nil
+	}
+	out := make([]int, 0, len(tokens))
+	for _, tok := range tokens {
+		id, err := ge.resolveNode(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// renderAnswer shapes a planner Result into the wire answer, resolving
+// node names under the graph entry's read lock.
+func renderAnswer(ge *graphEntry, req QueryRequest, res *cfpq.Result) QueryAnswer {
+	out := req.Output
+	if out == "" {
+		out = string(cfpq.OutputPairs)
+	}
+	ans := QueryAnswer{Output: out, Explain: res.Explain, Stats: res.Stats}
+	switch cfpq.Output(out) {
+	case cfpq.OutputExists:
+		exists := res.Exists
+		ans.Exists = &exists
+	case cfpq.OutputCount:
+		count := res.Count
+		ans.Count = &count
+	case cfpq.OutputPaths:
+		count := res.Count
+		ans.Count = &count
+		paths := res.AllPaths()
+		ge.mu.RLock()
+		ans.Paths = make([][]PathStep, len(paths))
+		for k, path := range paths {
+			steps := make([]PathStep, len(path))
+			for x, e := range path {
+				steps[x] = PathStep{From: ge.nodeName(e.From), Label: e.Label, To: ge.nodeName(e.To)}
+			}
+			ans.Paths[k] = steps
+		}
+		ge.mu.RUnlock()
+	default: // pairs
+		count := res.Count
+		ans.Count = &count
+		pairs := res.AllPairs()
+		ge.mu.RLock()
+		ans.Pairs = make([]NamedPair, len(pairs))
+		for k, pr := range pairs {
+			ans.Pairs[k] = NamedPair{From: ge.nodeName(pr.I), To: ge.nodeName(pr.J)}
+		}
+		ge.mu.RUnlock()
+	}
+	return ans
+}

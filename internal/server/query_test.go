@@ -1,0 +1,266 @@
+package server
+
+// Tests of the declarative query path: POST /v1/query across outputs and
+// languages, the uniform {"error": ...} envelope with correct status
+// codes, and the per-strategy /debug/vars counters.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// queryTestServer builds a service with the social graph and reach
+// grammar the HTTP tests use.
+func queryTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler(New()))
+	t.Cleanup(srv.Close)
+	code, body := httpDo(t, srv, http.MethodPut, "/v1/graphs/social?format=edgelist",
+		"alice knows bob\nbob knows carol\ncarol knows dave\n")
+	if code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	code, body = httpDo(t, srv, http.MethodPut, "/v1/grammars/reach", "S -> knows | knows S")
+	if code != http.StatusOK {
+		t.Fatalf("PUT grammar: %d %v", code, body)
+	}
+	return srv
+}
+
+func TestHTTPDeclarativeQuery(t *testing.T) {
+	srv := queryTestServer(t)
+
+	// pairs (default output), unrestricted.
+	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S"}`)
+	if code != http.StatusOK || body["count"].(float64) != 6 {
+		t.Fatalf("pairs: %d %v", code, body)
+	}
+	explain := body["explain"].(map[string]any)
+	if explain["strategy"] != "cached-read" {
+		t.Fatalf("pairs explain: %v", explain)
+	}
+
+	// exists with a name-addressed pair.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"exists","sources":["alice"],"targets":["dave"]}`)
+	if code != http.StatusOK || body["exists"] != true {
+		t.Fatalf("exists: %d %v", code, body)
+	}
+
+	// count restricted to targets.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","targets":["dave"]}`)
+	if code != http.StatusOK || body["count"].(float64) != 3 {
+		t.Fatalf("target-restricted count: %d %v", code, body)
+	}
+
+	// paths between one pair, with names in the steps.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"paths","sources":["alice"],"targets":["carol"],"limit":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("paths: %d %v", code, body)
+	}
+	paths := body["paths"].([]any)
+	if len(paths) != 1 {
+		t.Fatalf("paths: %v", body)
+	}
+	step := paths[0].([]any)[0].(map[string]any)
+	if step["from"] != "alice" || step["label"] != "knows" {
+		t.Fatalf("path step: %v", step)
+	}
+
+	// An RPQ expression, target-restricted: planned from scratch, so the
+	// explain record names the target-frontier strategy.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","expr":"knows+","output":"count","targets":["dave"]}`)
+	if code != http.StatusOK || body["count"].(float64) != 3 {
+		t.Fatalf("expr: %d %v", code, body)
+	}
+	if explain := body["explain"].(map[string]any); explain["strategy"] != "target-frontier" {
+		t.Fatalf("expr explain: %v", explain)
+	}
+
+	// The legacy GET route answers the same numbers through the shim,
+	// including the new targets= restriction.
+	code, body = httpDo(t, srv, http.MethodGet,
+		"/v1/query?graph=social&grammar=reach&nonterminal=S&op=count&targets=dave", "")
+	if code != http.StatusOK || body["count"].(float64) != 3 {
+		t.Fatalf("GET targets shim: %d %v", code, body)
+	}
+}
+
+// TestHTTPErrorEnvelope checks that every failure mode of the query
+// endpoints answers the same {"error": ...} JSON envelope with the right
+// status code.
+func TestHTTPErrorEnvelope(t *testing.T) {
+	srv := queryTestServer(t)
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		status int
+	}{
+		{"malformed body", http.MethodPost, "/v1/query", `{"graph":`, http.StatusBadRequest},
+		{"non-JSON body", http.MethodPost, "/v1/query", `garbage`, http.StatusBadRequest},
+		{"no graph", http.MethodPost, "/v1/query", `{"grammar":"reach","nonterminal":"S"}`, http.StatusBadRequest},
+		{"no language", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach"}`, http.StatusBadRequest},
+		{"two languages", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","expr":"a"}`, http.StatusBadRequest},
+		{"bad output", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","output":"nope"}`, http.StatusBadRequest},
+		{"negative limit", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","limit":-1}`, http.StatusBadRequest},
+		{"unknown graph", http.MethodPost, "/v1/query", `{"graph":"nope","grammar":"reach","nonterminal":"S"}`, http.StatusNotFound},
+		{"unknown grammar", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"nope","nonterminal":"S"}`, http.StatusNotFound},
+		{"unknown nonterminal", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"Nope"}`, http.StatusNotFound},
+		{"unknown node", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["nobody"]}`, http.StatusNotFound},
+		{"node id out of range", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["99"]}`, http.StatusBadRequest},
+		{"bad backend", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","backend":"gpu"}`, http.StatusBadRequest},
+		{"unknown expr graph", http.MethodPost, "/v1/query", `{"graph":"nope","expr":"knows+"}`, http.StatusNotFound},
+		{"bad expr", http.MethodPost, "/v1/query", `{"graph":"social","expr":"(("}`, http.StatusBadRequest},
+		{"GET unknown graph", http.MethodGet, "/v1/query?graph=nope&grammar=reach&nonterminal=S", "", http.StatusNotFound},
+		{"GET empty sources", http.MethodGet, "/v1/query?graph=social&grammar=reach&nonterminal=S&sources=", "", http.StatusBadRequest},
+		{"GET empty targets", http.MethodGet, "/v1/query?graph=social&grammar=reach&nonterminal=S&targets=,", "", http.StatusBadRequest},
+		{"batch malformed body", http.MethodPost, "/v1/query/batch", `{"queries":`, http.StatusBadRequest},
+		{"snapshot without store", http.MethodPost, "/v1/snapshot", "", http.StatusConflict},
+	}
+	for _, tc := range cases {
+		code, body := httpDo(t, srv, tc.method, tc.path, tc.body)
+		if code != tc.status {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, code, tc.status, body)
+		}
+		msg, ok := body["error"].(string)
+		if !ok || msg == "" {
+			t.Errorf("%s: missing error envelope: %v", tc.name, body)
+		}
+		if len(body) != 1 {
+			t.Errorf("%s: envelope carries extra fields: %v", tc.name, body)
+		}
+	}
+}
+
+// TestDebugVarsStrategyCounters asserts the per-strategy counters are
+// exposed and move with the plans the service executes.
+func TestDebugVarsStrategyCounters(t *testing.T) {
+	srv := queryTestServer(t)
+
+	strategies := func() map[string]float64 {
+		code, body := httpDo(t, srv, http.MethodGet, "/debug/vars", "")
+		if code != http.StatusOK {
+			t.Fatalf("debug/vars: %d", code)
+		}
+		raw := body["cfpqd"].(map[string]any)["strategies"].(map[string]any)
+		out := map[string]float64{}
+		for k, v := range raw {
+			out[k] = v.(float64)
+		}
+		return out
+	}
+	before := strategies()
+	for _, key := range []string{"full", "source-frontier", "target-frontier", "cached-read"} {
+		if _, ok := before[key]; !ok {
+			t.Fatalf("strategies misses %q: %v", key, before)
+		}
+	}
+
+	// One cached read (grammar query), one source-frontier and one
+	// target-frontier (restricted RPQs), one full (unrestricted RPQ).
+	posts := []string{
+		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count"}`,
+		`{"graph":"social","expr":"knows+","output":"count","sources":["alice"]}`,
+		`{"graph":"social","expr":"knows+","output":"count","targets":["dave"]}`,
+		`{"graph":"social","expr":"knows+","output":"count"}`,
+	}
+	for _, body := range posts {
+		if code, resp := httpDo(t, srv, http.MethodPost, "/v1/query", body); code != http.StatusOK {
+			t.Fatalf("query %s: %d %v", body, code, resp)
+		}
+	}
+	after := strategies()
+	wantDelta := map[string]float64{
+		"cached-read":     1,
+		"source-frontier": 1,
+		"target-frontier": 1,
+		"full":            1,
+	}
+	for key, want := range wantDelta {
+		if got := after[key] - before[key]; got != want {
+			t.Errorf("strategy %q moved by %v, want %v (before %v, after %v)", key, got, want, before, after)
+		}
+	}
+
+	// Batch queries count as cached reads, one per answered request.
+	batch := `{"graph":"social","grammar":"reach","queries":[` +
+		`{"op":"count","nonterminal":"S"},` +
+		`{"op":"has","nonterminal":"S","from":"alice","to":"bob"},` +
+		`{"op":"relation-from","nonterminal":"S","sources":["bob"]}]}`
+	if code, resp := httpDo(t, srv, http.MethodPost, "/v1/query/batch", batch); code != http.StatusOK {
+		t.Fatalf("batch: %d %v", code, resp)
+	}
+	final := strategies()
+	if got := final["cached-read"] - after["cached-read"]; got != 3 {
+		t.Errorf("batch cached-read delta %v, want 3", got)
+	}
+}
+
+// TestServiceDoTargets pins the service-level targets restriction and the
+// batch targets extension against the unrestricted relation.
+func TestServiceDoTargets(t *testing.T) {
+	s := New()
+	if _, err := s.LoadGraph("g", "edgelist", strings.NewReader("a x b\nb x c\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterGrammar("r", "S -> x | x S"); err != nil {
+		t.Fatal(err)
+	}
+	ans, err := s.Do(t.Context(), QueryRequest{Graph: "g", Grammar: "r", Nonterminal: "S", Targets: []string{"c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Pairs) != 2 {
+		t.Fatalf("target-restricted pairs: %v", ans.Pairs)
+	}
+	for _, p := range ans.Pairs {
+		if p.To != "c" {
+			t.Fatalf("pair %v escaped the target restriction", p)
+		}
+	}
+
+	answers, err := s.QueryBatch(t.Context(), Target{Graph: "g", Grammar: "r"}, []BatchQuerySpec{
+		{Op: "count", Nonterminal: "S", Targets: []string{"c"}},
+		{Op: "relation", Nonterminal: "S", Targets: []string{"c"}, Sources: []string{"a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if answers[0].Error != "" || *answers[0].Count != 2 {
+		t.Fatalf("batch target count: %+v", answers[0])
+	}
+	if answers[1].Error != "" || len(answers[1].Pairs) != 1 ||
+		answers[1].Pairs[0] != (NamedPair{From: "a", To: "c"}) {
+		t.Fatalf("batch pair restriction: %+v", answers[1])
+	}
+
+	if _, err := s.Do(t.Context(), QueryRequest{Graph: "g", Grammar: "r", Nonterminal: "S", Output: "paths"}); err == nil {
+		t.Fatal("paths without a single pair: expected a validation error")
+	} else if !strings.Contains(err.Error(), "invalid request") {
+		t.Fatalf("paths validation error: %v", err)
+	}
+}
+
+// TestHTTPDeclarativeQueryEmptyRestriction pins the declared semantics of
+// a present-but-empty restriction: it selects nothing (and does not
+// silently mean "everything").
+func TestHTTPDeclarativeQueryEmptyRestriction(t *testing.T) {
+	srv := queryTestServer(t)
+	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","sources":[]}`)
+	if code != http.StatusOK {
+		t.Fatalf("empty restriction: %d %v", code, body)
+	}
+	if got := body["count"].(float64); got != 0 {
+		t.Fatalf("empty restriction counted %v pairs, want 0", got)
+	}
+}

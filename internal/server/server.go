@@ -79,6 +79,13 @@ type serviceMetrics struct {
 	updates       atomic.Int64 // AddEdges calls
 	edgesAdded    atomic.Int64 // edges inserted across updates
 	persistErrors atomic.Int64 // best-effort index persistence failures
+
+	// Per-strategy counters: which plan the library planner chose per
+	// answered query, so plan selection is observable in production.
+	stratFull           atomic.Int64
+	stratSourceFrontier atomic.Int64
+	stratTargetFrontier atomic.Int64
+	stratCachedRead     atomic.Int64
 }
 
 // New returns an empty service.
@@ -479,31 +486,17 @@ func checkNonterminal(p *cfpq.Prepared, nt string) error {
 }
 
 // Has reports whether (from, to) is in R_nt on the target. from and to are
-// node names (or decimal ids).
+// node names (or decimal ids). A shim over Do.
 func (s *Service) Has(ctx context.Context, t Target, nt, from, to string) (bool, error) {
-	e, p, err := s.index(ctx, t)
+	ans, err := s.Do(ctx, QueryRequest{
+		Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend,
+		Nonterminal: nt, Output: string(cfpq.OutputExists),
+		Sources: []string{from}, Targets: []string{to},
+	})
 	if err != nil {
 		return false, err
 	}
-	// Names resolve through e.ge — the registry graph the index was built
-	// from — not a fresh registry lookup: a racing graph replacement under
-	// the same name is a different node-id namespace.
-	e.ge.mu.RLock()
-	i, errI := e.ge.resolveNode(from)
-	j, errJ := e.ge.resolveNode(to)
-	e.ge.mu.RUnlock()
-	if errI != nil {
-		return false, errI
-	}
-	if errJ != nil {
-		return false, errJ
-	}
-	if err := checkNonterminal(p, nt); err != nil {
-		return false, err
-	}
-	// Nodes added after this handle was built answer false (stale
-	// in-flight read); Prepared.Has bounds-checks.
-	return p.Has(nt, i, j), nil
+	return *ans.Exists, nil
 }
 
 // NamedPair is one relation element with node names resolved.
@@ -514,120 +507,92 @@ type NamedPair struct {
 
 // Relation returns R_nt on the target as (from, to) node-name pairs in
 // row-major node order. Names come from the registry graph the index was
-// built from (see Has).
+// built from. A shim over Do.
 func (s *Service) Relation(ctx context.Context, t Target, nt string) ([]NamedPair, error) {
-	e, p, err := s.index(ctx, t)
+	ans, err := s.Do(ctx, QueryRequest{
+		Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend, Nonterminal: nt,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := checkNonterminal(p, nt); err != nil {
-		return nil, err
-	}
-	pairs := p.Relation(nt)
-	out := make([]NamedPair, len(pairs))
-	e.ge.mu.RLock()
-	for k, pr := range pairs {
-		out[k] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
-	}
-	e.ge.mu.RUnlock()
-	return out, nil
+	return ans.Pairs, nil
 }
 
-// Count returns |R_nt| on the target.
+// Count returns |R_nt| on the target. A shim over Do.
 func (s *Service) Count(ctx context.Context, t Target, nt string) (int, error) {
-	_, p, err := s.index(ctx, t)
+	ans, err := s.Do(ctx, QueryRequest{
+		Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend,
+		Nonterminal: nt, Output: string(cfpq.OutputCount),
+	})
 	if err != nil {
 		return 0, err
 	}
-	if err := checkNonterminal(p, nt); err != nil {
-		return 0, err
-	}
-	return p.Count(nt), nil
+	return *ans.Count, nil
 }
 
-// Counts returns |R_A| for every non-terminal A of the target's grammar.
+// Counts returns |R_A| for every non-terminal A of the target's grammar —
+// a diagnostic listing over the whole cached index rather than one planned
+// query, but still a cached read.
 func (s *Service) Counts(ctx context.Context, t Target) (map[string]int, error) {
 	_, p, err := s.index(ctx, t)
 	if err != nil {
 		return nil, err
 	}
+	s.countStrategy(cfpq.StrategyCachedRead, 1)
 	return p.Counts(), nil
 }
 
-// resolveSources maps source-node names to ids under the graph entry's
-// read lock.
-func (ge *graphEntry) resolveSources(tokens []string) ([]int, error) {
-	ge.mu.RLock()
-	defer ge.mu.RUnlock()
-	return ge.resolveSourcesLocked(tokens)
-}
-
-// resolveSourcesLocked is resolveSources for callers already holding the
-// graph entry's lock.
-func (ge *graphEntry) resolveSourcesLocked(tokens []string) ([]int, error) {
-	out := make([]int, 0, len(tokens))
-	for _, tok := range tokens {
-		id, err := ge.resolveNode(tok)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, id)
-	}
-	return out, nil
-}
-
 // RelationFrom returns the pairs of R_nt whose source node is in sources
-// (node names or decimal ids), answered from the cached index.
+// (node names or decimal ids), answered from the cached index. A shim
+// over Do.
 func (s *Service) RelationFrom(ctx context.Context, t Target, nt string, sources []string) ([]NamedPair, error) {
-	e, p, err := s.index(ctx, t)
+	ans, err := s.Do(ctx, QueryRequest{
+		Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend,
+		Nonterminal: nt, Sources: nonNilTokens(sources),
+	})
 	if err != nil {
 		return nil, err
 	}
-	if err := checkNonterminal(p, nt); err != nil {
-		return nil, err
-	}
-	ids, err := e.ge.resolveSources(sources)
-	if err != nil {
-		return nil, err
-	}
-	pairs := p.RelationFrom(nt, ids)
-	out := make([]NamedPair, len(pairs))
-	e.ge.mu.RLock()
-	for k, pr := range pairs {
-		out[k] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
-	}
-	e.ge.mu.RUnlock()
-	return out, nil
+	return ans.Pairs, nil
 }
 
 // CountFrom returns the number of R_nt pairs whose source node is in
-// sources (node names or decimal ids).
+// sources (node names or decimal ids). A shim over Do.
 func (s *Service) CountFrom(ctx context.Context, t Target, nt string, sources []string) (int, error) {
-	e, p, err := s.index(ctx, t)
+	ans, err := s.Do(ctx, QueryRequest{
+		Graph: t.Graph, Grammar: t.Grammar, Backend: t.Backend,
+		Nonterminal: nt, Output: string(cfpq.OutputCount), Sources: nonNilTokens(sources),
+	})
 	if err != nil {
 		return 0, err
 	}
-	if err := checkNonterminal(p, nt); err != nil {
-		return 0, err
+	return *ans.Count, nil
+}
+
+// nonNilTokens keeps the legacy *From semantics: a nil source list meant
+// "no sources" (an empty answer), while a QueryRequest reads nil as
+// unrestricted.
+func nonNilTokens(tokens []string) []string {
+	if tokens == nil {
+		return []string{}
 	}
-	ids, err := e.ge.resolveSources(sources)
-	if err != nil {
-		return 0, err
-	}
-	return p.CountFrom(nt, ids), nil
+	return tokens
 }
 
 // --- batched queries --------------------------------------------------
 
 // BatchQuerySpec is one query of a batch, addressed by node names (or
 // decimal ids). Op is one of has, count, relation, count-from,
-// relation-from; empty means relation.
+// relation-from; empty means relation. Targets optionally restricts the
+// relation/count operations to pairs entering those nodes — the batch
+// analogue of the targets= restriction of the declarative query path.
 type BatchQuerySpec struct {
 	Op          string   `json:"op,omitempty"`
 	Nonterminal string   `json:"nonterminal"`
 	From        string   `json:"from,omitempty"`
 	To          string   `json:"to,omitempty"`
 	Sources     []string `json:"sources,omitempty"`
+	Targets     []string `json:"targets,omitempty"`
 }
 
 // BatchAnswer is the answer to one BatchQuerySpec. Errors are per-query:
@@ -656,43 +621,26 @@ func (s *Service) QueryBatch(ctx context.Context, t Target, specs []BatchQuerySp
 	}
 	s.metrics.queries.Add(int64(len(specs) - 1))
 	answers := make([]BatchAnswer, len(specs))
-	queries := make([]cfpq.BatchQuery, 0, len(specs))
+	reqs := make([]cfpq.Request, 0, len(specs))
 	slot := make([]int, 0, len(specs)) // batch index → specs index
 	e.ge.mu.RLock()
 	for i, spec := range specs {
-		answers[i] = BatchAnswer{Op: spec.Op, Nonterminal: spec.Nonterminal}
-		if answers[i].Op == "" {
-			answers[i].Op = string(cfpq.BatchRelation)
+		op := spec.Op
+		if op == "" {
+			op = "relation"
 		}
-		q := cfpq.BatchQuery{Op: cfpq.BatchOp(answers[i].Op), Nonterminal: spec.Nonterminal}
-		bad := func(err error) { answers[i].Error = err.Error() }
-		switch q.Op {
-		case cfpq.BatchHas:
-			from, errF := e.ge.resolveNode(spec.From)
-			to, errT := e.ge.resolveNode(spec.To)
-			if errF != nil {
-				bad(errF)
-				continue
-			}
-			if errT != nil {
-				bad(errT)
-				continue
-			}
-			q.From, q.To = from, to
-		case cfpq.BatchCountFrom, cfpq.BatchRelationFrom:
-			ids, err := e.ge.resolveSourcesLocked(spec.Sources)
-			if err != nil {
-				bad(err)
-				continue
-			}
-			q.Sources = ids
+		answers[i] = BatchAnswer{Op: op, Nonterminal: spec.Nonterminal}
+		req, err := specRequest(e.ge, op, spec)
+		if err != nil {
+			answers[i].Error = err.Error()
+			continue
 		}
-		queries = append(queries, q)
+		reqs = append(reqs, req)
 		slot = append(slot, i)
 	}
 	e.ge.mu.RUnlock()
 
-	results := p.QueryBatch(ctx, queries)
+	results := p.QueryBatch(ctx, reqs)
 	e.ge.mu.RLock()
 	defer e.ge.mu.RUnlock()
 	for k, r := range results {
@@ -701,24 +649,65 @@ func (s *Service) QueryBatch(ctx context.Context, t Target, specs []BatchQuerySp
 			answers[i].Error = r.Err.Error()
 			continue
 		}
-		switch cfpq.BatchOp(answers[i].Op) {
-		case cfpq.BatchHas:
-			has := r.Has
+		s.countStrategy(r.Result.Explain.Strategy, 1)
+		switch answers[i].Op {
+		case "has":
+			has := r.Result.Exists
 			answers[i].Has = &has
-		case cfpq.BatchCount, cfpq.BatchCountFrom:
-			count := r.Count
+		case "count", "count-from":
+			count := r.Result.Count
 			answers[i].Count = &count
 		default: // relation, relation-from
-			count := r.Count
+			count := r.Result.Count
 			answers[i].Count = &count
-			pairs := make([]NamedPair, len(r.Pairs))
-			for x, pr := range r.Pairs {
-				pairs[x] = NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)}
+			pairs := make([]NamedPair, 0, count)
+			for pr := range r.Result.Pairs() {
+				pairs = append(pairs, NamedPair{From: e.ge.nodeName(pr.I), To: e.ge.nodeName(pr.J)})
 			}
 			answers[i].Pairs = pairs
 		}
 	}
 	return answers, nil
+}
+
+// specRequest translates one legacy batch spec into a declarative
+// Request; callers hold the graph entry's lock for name resolution.
+func specRequest(ge *graphEntry, op string, spec BatchQuerySpec) (cfpq.Request, error) {
+	req := cfpq.Request{Nonterminal: spec.Nonterminal}
+	switch op {
+	case "has":
+		from, err := ge.resolveNode(spec.From)
+		if err != nil {
+			return req, err
+		}
+		to, err := ge.resolveNode(spec.To)
+		if err != nil {
+			return req, err
+		}
+		req.Output = cfpq.OutputExists
+		req.Sources, req.Targets = []int{from}, []int{to}
+		return req, nil
+	case "count", "relation", "count-from", "relation-from":
+		sources := spec.Sources
+		if op == "count-from" || op == "relation-from" {
+			// The -from ops historically read a missing source list as "no
+			// sources" (an empty answer), not as unrestricted.
+			sources = nonNilTokens(sources)
+		}
+		var err error
+		if req.Sources, err = resolveRestrictionLocked(ge, sources); err != nil {
+			return req, err
+		}
+		if req.Targets, err = resolveRestrictionLocked(ge, spec.Targets); err != nil {
+			return req, err
+		}
+		if op == "count" || op == "count-from" {
+			req.Output = cfpq.OutputCount
+		}
+		return req, nil
+	default:
+		return req, fmt.Errorf("server: unknown batch op %q", op)
+	}
 }
 
 // --- mutation ---------------------------------------------------------

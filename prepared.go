@@ -2,6 +2,7 @@ package cfpq
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"iter"
 	"sync"
@@ -64,24 +65,189 @@ func (p *Prepared) Nodes() int {
 	return p.g.Nodes()
 }
 
-// Has reports whether (i, j) ∈ R_nt. Unknown non-terminals and
-// out-of-range nodes answer false.
-func (p *Prepared) Has(nt string, i, j int) bool {
+// Do answers a declarative Request from the handle's cached closure index
+// — the cached-read strategy, which performs no closure work at all; the
+// planner's other strategies evaluate from scratch and belong to
+// Engine.Do. The request must not carry its own Graph, Grammar,
+// Conjunctive, Expr, Options or EmptyPaths: the handle is bound to one
+// compiled CFG and serves exactly its closure relation.
+//
+// Unlike Engine.Do (which rejects restriction nodes the graph does not
+// have — a caller mistake when evaluating from scratch), restriction
+// nodes outside the index's node range simply contribute no pairs,
+// mirroring the handle's historic read methods under concurrent graph
+// growth. Unknown non-terminals are an error.
+//
+// The returned Result's Pairs/Paths stream a point-in-time snapshot
+// materialised under the read lock, so iterating them needs no lock and
+// cannot deadlock against a concurrent AddEdges.
+func (p *Prepared) Do(ctx context.Context, req Request) (*Result, error) {
+	if err := p.checkRequest(req); err != nil {
+		return nil, err
+	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	p.queries.Add(1)
-	if i < 0 || j < 0 || i >= p.ix.Nodes() || j >= p.ix.Nodes() {
-		return false
-	}
-	return p.ix.Has(nt, i, j)
+	return p.doLocked(ctx, req)
 }
 
-// Count returns |R_nt|.
+// checkRequest validates a request against what a cached-index read can
+// answer; it needs no lock.
+func (p *Prepared) checkRequest(req Request) error {
+	if err := req.Validate(); err != nil {
+		return err
+	}
+	if req.Graph != nil {
+		return reqErr("graph", "Prepared.Do evaluates against the bound graph; drop the request's Graph")
+	}
+	if req.Grammar != nil || req.Conjunctive != nil {
+		return reqErr("grammar", "Prepared.Do evaluates under the bound grammar; drop the request's Grammar")
+	}
+	if req.Expr != "" {
+		return reqErr("expr", "RPQ requests compile a fresh grammar; evaluate them with Engine.Do")
+	}
+	if req.EmptyPaths {
+		return reqErr("empty_paths", "the cached index holds the closure relation only; evaluate ε-decorated queries with Engine.Do")
+	}
+	if len(req.Options) > 0 {
+		return reqErr("options", "per-call evaluation options do not apply to cached-index reads")
+	}
+	return nil
+}
+
+// cachedReadExplain is the Explain record of every Prepared answer.
+func cachedReadExplain() Explain {
+	return Explain{
+		Strategy: StrategyCachedRead,
+		Reason:   "answered from the prepared handle's cached closure index; no closure work",
+	}
+}
+
+// doLocked answers one checked request; callers hold p.mu (read side
+// suffices: only the index is consulted).
+func (p *Prepared) doLocked(ctx context.Context, req Request) (*Result, error) {
+	nt := req.Nonterminal
+	if _, ok := p.cnf.Index(nt); !ok {
+		return nil, fmt.Errorf("cfpq: unknown non-terminal %q", nt)
+	}
+	res := &Result{Explain: cachedReadExplain()}
+	n := p.ix.Nodes()
+	switch req.normOutput() {
+	case OutputPaths:
+		i, j := req.Sources[0], req.Targets[0]
+		if i >= n || j >= n {
+			return res, nil
+		}
+		paths, err := p.ix.AllPathsContext(ctx, p.g, nt, i, j,
+			AllPathsOptions{MaxLength: req.MaxPathLength, MaxPaths: req.Limit})
+		if err != nil {
+			return nil, err
+		}
+		res.Count = len(paths)
+		res.paths = paths
+	case OutputExists:
+		if len(req.Sources) == 1 && len(req.Targets) == 1 {
+			// The point lookup the serving hot path issues; O(1)-ish.
+			i, j := req.Sources[0], req.Targets[0]
+			res.Exists = i < n && j < n && p.ix.Has(nt, i, j)
+			return res, nil
+		}
+		res.Exists = p.scanLocked(nt, req.Sources, req.Targets, 1) > 0
+	case OutputCount:
+		res.Count = p.scanLocked(nt, req.Sources, req.Targets, 0)
+	default: // OutputPairs
+		// Materialised under the held lock: the streamed pairs are a
+		// consistent point-in-time snapshot (batch answers must all read
+		// one index state), and iterating the Result needs no lock.
+		pairs := p.pairsLocked(nt, req.Sources, req.Targets, req.Limit)
+		res.Count = len(pairs)
+		res.pairs = pairs
+	}
+	return res, nil
+}
+
+// restrictionMask turns a restriction into a membership mask over the
+// index's node range; nil stays nil (unrestricted) and out-of-range nodes
+// are dropped (they can have no pairs).
+func restrictionMask(n int, nodes []int) []bool {
+	if nodes == nil {
+		return nil
+	}
+	mask := make([]bool, n)
+	for _, v := range nodes {
+		if v >= 0 && v < n {
+			mask[v] = true
+		}
+	}
+	return mask
+}
+
+// inMask reports membership under an optional mask; nil means everything.
+func inMask(mask []bool, v int) bool {
+	return mask == nil || (v < len(mask) && mask[v])
+}
+
+// scanLocked counts the entries of R_nt satisfying the restriction,
+// stopping early at limit when limit > 0; callers hold p.mu.
+func (p *Prepared) scanLocked(nt string, sources, targets []int, limit int) int {
+	m := p.ix.Matrix(nt)
+	if m == nil {
+		return 0
+	}
+	if sources == nil && targets == nil && limit == 0 {
+		return p.ix.Count(nt)
+	}
+	srcMask := restrictionMask(p.ix.Nodes(), sources)
+	tgtMask := restrictionMask(p.ix.Nodes(), targets)
+	count := 0
+	m.Range(func(i, j int) bool {
+		if inMask(srcMask, i) && inMask(tgtMask, j) {
+			count++
+			if limit > 0 && count >= limit {
+				return false
+			}
+		}
+		return true
+	})
+	return count
+}
+
+// pairsLocked materialises the restricted relation in row-major order,
+// stopping at limit when limit > 0; callers hold p.mu.
+func (p *Prepared) pairsLocked(nt string, sources, targets []int, limit int) []Pair {
+	m := p.ix.Matrix(nt)
+	if m == nil {
+		return nil
+	}
+	srcMask := restrictionMask(p.ix.Nodes(), sources)
+	tgtMask := restrictionMask(p.ix.Nodes(), targets)
+	var out []Pair
+	m.Range(func(i, j int) bool {
+		if !inMask(srcMask, i) || !inMask(tgtMask, j) {
+			return true
+		}
+		out = append(out, Pair{I: i, J: j})
+		return limit == 0 || len(out) < limit
+	})
+	return out
+}
+
+// Has reports whether (i, j) ∈ R_nt. Unknown non-terminals and
+// out-of-range nodes answer false. Sugar for an OutputExists Request.
+func (p *Prepared) Has(nt string, i, j int) bool {
+	res, err := p.Do(context.Background(), Request{
+		Nonterminal: nt, Sources: []int{i}, Targets: []int{j}, Output: OutputExists,
+	})
+	return err == nil && res.Exists
+}
+
+// Count returns |R_nt|. Sugar for an OutputCount Request.
 func (p *Prepared) Count(nt string) int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	p.queries.Add(1)
-	return p.ix.Count(nt)
+	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Output: OutputCount})
+	if err != nil {
+		return 0
+	}
+	return res.Count
 }
 
 // Counts returns |R_A| for every non-terminal A, keyed by name.
@@ -92,140 +258,93 @@ func (p *Prepared) Counts() map[string]int {
 	return p.ix.Counts()
 }
 
-// Relation returns R_nt as a sorted pair list, materialised under the read
-// lock. For large relations prefer Pairs, which streams.
+// Relation returns R_nt as a sorted pair list. Sugar for an OutputPairs
+// Request; Pairs streams the same materialised snapshot.
 func (p *Prepared) Relation(nt string) []Pair {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	p.queries.Add(1)
-	return p.ix.Relation(nt)
+	res, err := p.Do(context.Background(), Request{Nonterminal: nt})
+	if err != nil {
+		return nil
+	}
+	return res.AllPairs()
 }
 
-// Pairs streams R_nt in row-major order without materialising it. The read
-// lock is held for the whole iteration — break early to release it sooner,
-// and do not call ANY method of this Prepared from inside the loop: an
-// AddEdges would deadlock outright, and even a nested query (Has, Count)
-// deadlocks as soon as a writer is queued between the two lock
-// acquisitions (sync.RWMutex blocks nested readers behind waiting
-// writers). Collect first with Relation if per-pair queries are needed.
+// Pairs streams R_nt in row-major order. The sequence is a point-in-time
+// snapshot taken under the read lock; iteration itself holds no lock, so
+// (unlike earlier versions of this API) methods of this Prepared may be
+// called from inside the loop. Sugar for an OutputPairs Request.
 func (p *Prepared) Pairs(nt string) iter.Seq[Pair] {
-	return func(yield func(Pair) bool) {
-		p.mu.RLock()
-		defer p.mu.RUnlock()
-		p.queries.Add(1)
-		m := p.ix.Matrix(nt)
-		if m == nil {
-			return
-		}
-		m.Range(func(i, j int) bool { return yield(Pair{I: i, J: j}) })
+	res, err := p.Do(context.Background(), Request{Nonterminal: nt})
+	if err != nil {
+		return func(func(Pair) bool) {}
 	}
-}
-
-// sourceSet turns a source list into a membership mask over the index's
-// node range; sources out of range are ignored (they can have no pairs).
-func sourceSet(n int, sources []int) []bool {
-	mask := make([]bool, n)
-	for _, s := range sources {
-		if s >= 0 && s < n {
-			mask[s] = true
-		}
-	}
-	return mask
+	return res.Pairs()
 }
 
 // RelationFrom returns the pairs of R_nt whose first component is one of
 // the given source nodes, in row-major order — the cached-index answer to
 // the single-/few-source question Engine.QueryFrom evaluates from scratch.
-// Out-of-range sources contribute nothing.
+// Out-of-range sources contribute nothing. Sugar for a source-restricted
+// OutputPairs Request.
 func (p *Prepared) RelationFrom(nt string, sources []int) []Pair {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	p.queries.Add(1)
-	return p.relationFromLocked(nt, sources)
-}
-
-func (p *Prepared) relationFromLocked(nt string, sources []int) []Pair {
-	m := p.ix.Matrix(nt)
-	if m == nil {
+	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
+	if err != nil {
 		return nil
 	}
-	mask := sourceSet(p.ix.Nodes(), sources)
-	var out []Pair
-	m.Range(func(i, j int) bool {
-		if mask[i] {
-			out = append(out, Pair{I: i, J: j})
-		}
-		return true
-	})
-	return out
+	return res.AllPairs()
 }
 
 // CountFrom returns the number of pairs of R_nt whose first component is
-// one of the given source nodes.
+// one of the given source nodes. Sugar for a source-restricted
+// OutputCount Request.
 func (p *Prepared) CountFrom(nt string, sources []int) int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	p.queries.Add(1)
-	return p.countFromLocked(nt, sources)
-}
-
-func (p *Prepared) countFromLocked(nt string, sources []int) int {
-	m := p.ix.Matrix(nt)
-	if m == nil {
+	res, err := p.Do(context.Background(), Request{
+		Nonterminal: nt, Sources: nonNilNodes(sources), Output: OutputCount,
+	})
+	if err != nil {
 		return 0
 	}
-	mask := sourceSet(p.ix.Nodes(), sources)
-	count := 0
-	m.Range(func(i, j int) bool {
-		if mask[i] {
-			count++
-		}
-		return true
-	})
-	return count
+	return res.Count
 }
 
 // PairsFrom streams the pairs of R_nt whose first component is one of the
-// given source nodes, in row-major order, without materialising the
-// relation. The same locking caveats as Pairs apply: the read lock is held
-// for the whole iteration and no method of this Prepared may be called
-// from inside the loop.
+// given source nodes, in row-major order — a point-in-time snapshot, like
+// Pairs. Sugar for a source-restricted OutputPairs Request.
 func (p *Prepared) PairsFrom(nt string, sources []int) iter.Seq[Pair] {
-	return func(yield func(Pair) bool) {
-		p.mu.RLock()
-		defer p.mu.RUnlock()
-		p.queries.Add(1)
-		m := p.ix.Matrix(nt)
-		if m == nil {
-			return
-		}
-		mask := sourceSet(p.ix.Nodes(), sources)
-		m.Range(func(i, j int) bool {
-			if !mask[i] {
-				return true
-			}
-			return yield(Pair{I: i, J: j})
-		})
+	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
+	if err != nil {
+		return func(func(Pair) bool) {}
 	}
+	return res.Pairs()
 }
 
 // Paths yields distinct paths witnessing (nt, i, j) in nondecreasing
 // length order, bounded by opts. The bounded enumeration runs up front
 // (path extraction needs a consistent index), so breaking early saves only
-// the consumer's work; keep MaxPaths tight. Like Pairs, the read lock is
-// held for the whole iteration and calling any method of this Prepared
-// from inside the loop can deadlock.
+// the consumer's work; keep MaxPaths tight. Sugar for an OutputPaths
+// Request.
 func (p *Prepared) Paths(nt string, i, j int, opts AllPathsOptions) iter.Seq[[]Edge] {
-	return func(yield func([]Edge) bool) {
-		p.mu.RLock()
-		defer p.mu.RUnlock()
-		p.queries.Add(1)
-		for _, path := range p.ix.AllPaths(p.g, nt, i, j, opts) {
-			if !yield(path) {
-				return
-			}
+	res, err := p.Do(context.Background(), Request{
+		Nonterminal: nt, Sources: []int{i}, Targets: []int{j}, Output: OutputPaths,
+		Limit: opts.MaxPaths, MaxPathLength: opts.MaxLength,
+	})
+	if err != nil {
+		return func(func([]Edge) bool) {}
+	}
+	return res.Paths()
+}
+
+// nonNilNodes normalises a restriction list for the sugar methods: they
+// historically treated nil as "no sources" (an empty answer), while a
+// Request reads nil as unrestricted, and they silently ignored negative
+// ids, which a Request rejects.
+func nonNilNodes(nodes []int) []int {
+	out := make([]int, 0, len(nodes))
+	for _, v := range nodes {
+		if v >= 0 {
+			out = append(out, v)
 		}
 	}
+	return out
 }
 
 // UpdateInfo reports what one AddEdges call did.

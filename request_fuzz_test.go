@@ -1,0 +1,64 @@
+package cfpq_test
+
+// FuzzRequestJSON fuzzes the wire form of the declarative Request:
+// whatever bytes arrive, decode → Validate → re-encode must never panic,
+// a valid request must re-encode to a stable round trip (decode(encode(r))
+// revalidates and re-encodes identically — the property the HTTP layer
+// relies on), and an invalid one must yield the structured *RequestError
+// the error envelope is built from.
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"cfpq"
+)
+
+func FuzzRequestJSON(f *testing.F) {
+	f.Add([]byte(`{"nonterminal":"S"}`))
+	f.Add([]byte(`{"nonterminal":"S","sources":[1,2],"targets":[3],"output":"count","limit":10}`))
+	f.Add([]byte(`{"expr":"a* b+","targets":[0],"output":"exists"}`))
+	f.Add([]byte(`{"nonterminal":"S","sources":[0],"targets":[2],"output":"paths","max_path_length":8,"limit":4}`))
+	f.Add([]byte(`{"nonterminal":"S","expr":"a"}`))
+	f.Add([]byte(`{"output":"pairs"}`))
+	f.Add([]byte(`{"nonterminal":"S","sources":[]}`))
+	f.Add([]byte(`{"nonterminal":"S","sources":[-1]}`))
+	f.Add([]byte(`{"nonterminal":"S","output":"frobnicate","limit":-3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req cfpq.Request
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not a Request document at all
+		}
+		err := req.Validate()
+		if err != nil {
+			var reqErr *cfpq.RequestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("Validate returned an unstructured error %T: %v", err, err)
+			}
+			if reqErr.Field == "" || reqErr.Reason == "" {
+				t.Fatalf("structured error with empty field/reason: %+v", reqErr)
+			}
+			return
+		}
+		// Valid requests must round-trip stably through the wire form.
+		blob, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding a valid request: %v", err)
+		}
+		var again cfpq.Request
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("decoding re-encoded request: %v\nblob: %s", err, blob)
+		}
+		if err := again.Validate(); err != nil {
+			t.Fatalf("round-tripped request became invalid: %v\nblob: %s", err, blob)
+		}
+		blob2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("re-encoding round-tripped request: %v", err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("unstable round trip:\n first: %s\nsecond: %s", blob, blob2)
+		}
+	})
+}

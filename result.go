@@ -1,0 +1,107 @@
+package cfpq
+
+import "iter"
+
+// Strategy names one of the planner's evaluation strategies — the value
+// Result.Explain records and serving layers count per query.
+type Strategy string
+
+// The planner strategies.
+const (
+	// StrategyFull evaluates the full all-pairs closure (the paper's
+	// Algorithm 1) and filters afterwards. Chosen for unrestricted
+	// queries, path enumeration and conjunctive grammars.
+	StrategyFull Strategy = "full"
+	// StrategySourceFrontier evaluates only the matrix rows reachable from
+	// the source restriction, falling back to the full closure on
+	// saturation.
+	StrategySourceFrontier Strategy = "source-frontier"
+	// StrategyTargetFrontier evaluates the source frontier of the reversed
+	// graph under the reversed grammar — the CFPQ duality
+	// (i, j) ∈ R(G, D) ⟺ (j, i) ∈ R(rev G, rev D) — answering "what
+	// reaches these targets?" without the full closure.
+	StrategyTargetFrontier Strategy = "target-frontier"
+	// StrategyCachedRead answers from a Prepared handle's cached closure
+	// index with no closure work at all.
+	StrategyCachedRead Strategy = "cached-read"
+)
+
+// Strategies lists every planner strategy, in the order serving layers
+// report their counters.
+func Strategies() []Strategy {
+	return []Strategy{StrategyFull, StrategySourceFrontier, StrategyTargetFrontier, StrategyCachedRead}
+}
+
+// Explain records which plan answered a Request and why — the query
+// surface's analogue of EXPLAIN output.
+type Explain struct {
+	// Strategy is the evaluation strategy the planner chose.
+	Strategy Strategy `json:"strategy"`
+	// Reason says, in one sentence, why that strategy won.
+	Reason string `json:"reason"`
+	// Frontier is the number of active rows a frontier strategy ended up
+	// maintaining (0 for full and cached-read).
+	Frontier int `json:"frontier,omitempty"`
+	// Saturated reports that a frontier strategy outgrew the saturation
+	// threshold and fell back to the full closure mid-evaluation.
+	Saturated bool `json:"saturated,omitempty"`
+}
+
+// Result is the answer to one Request. Exactly the fields of the request's
+// Output are meaningful: Exists for OutputExists, Count for OutputCount
+// (and the pair/path count for the streaming outputs), Pairs for
+// OutputPairs, Paths for OutputPaths. Stats is the closure work this
+// evaluation performed (zero for cached reads) and Explain names the plan.
+type Result struct {
+	// Exists answers OutputExists.
+	Exists bool `json:"exists,omitempty"`
+	// Count answers OutputCount; for OutputPairs and OutputPaths it is the
+	// number of elements the result streams (after Limit).
+	Count int `json:"count"`
+	// Stats is the closure work performed by this evaluation.
+	Stats Stats `json:"stats"`
+	// Explain records the chosen plan.
+	Explain Explain `json:"explain"`
+
+	// The evaluation strategies all materialise before streaming, so the
+	// backing slices are kept for AllPairs/AllPaths to hand out without a
+	// second copy of the relation.
+	pairs []Pair
+	paths [][]Edge
+}
+
+// Pairs streams the result relation of an OutputPairs request in
+// row-major order — a point-in-time snapshot materialised at evaluation
+// time, so iteration holds no locks. Other outputs stream nothing.
+func (r *Result) Pairs() iter.Seq[Pair] {
+	return sliceSeq(r.pairs)
+}
+
+// AllPairs returns the result relation as a slice — the same snapshot
+// Pairs streams, with no extra copy.
+func (r *Result) AllPairs() []Pair {
+	return r.pairs
+}
+
+// Paths streams the witness paths of an OutputPaths request in
+// nondecreasing length order — a snapshot, like Pairs.
+func (r *Result) Paths() iter.Seq[[]Edge] {
+	return sliceSeq(r.paths)
+}
+
+// AllPaths returns the witness paths as a slice — the same snapshot Paths
+// streams, with no extra copy.
+func (r *Result) AllPaths() [][]Edge {
+	return r.paths
+}
+
+// sliceSeq streams a materialised slice.
+func sliceSeq[T any](xs []T) iter.Seq[T] {
+	return func(yield func(T) bool) {
+		for _, x := range xs {
+			if !yield(x) {
+				return
+			}
+		}
+	}
+}
