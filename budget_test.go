@@ -1,0 +1,265 @@
+package cfpq_test
+
+// Tests of the per-closure memory budget (WithMemoryBudget → typed
+// *MemoryBudgetError on every context-taking evaluation path) and the
+// query-surface edge cases pinned alongside it: structured bounds errors,
+// empty-restriction semantics, and honest limit truncation.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cfpq"
+)
+
+// TestMemoryBudgetRejects asserts a budget far below the index footprint
+// fails fast with the typed error on each evaluation path, per-call and
+// engine-wide, and that a generous budget changes nothing.
+func TestMemoryBudgetRejects(t *testing.T) {
+	ctx := context.Background()
+	g, gram := figure5()
+	const tiny = 16 // bytes: below even one empty 3-node matrix
+
+	for _, be := range cfpq.Backends() {
+		t.Run(be.Name(), func(t *testing.T) {
+			eng := cfpq.NewEngine(be)
+
+			// Per-call option on the eager evaluation path.
+			cnf, err := cfpq.ToCNF(gram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = eng.Evaluate(ctx, g, cnf, cfpq.WithMemoryBudget(tiny))
+			var mbe *cfpq.MemoryBudgetError
+			if !errors.As(err, &mbe) {
+				t.Fatalf("Evaluate under %d bytes: %v, want *MemoryBudgetError", tiny, err)
+			}
+			if mbe.BudgetBytes != tiny || mbe.EstimatedBytes <= tiny {
+				t.Fatalf("error payload %+v, want budget %d and a larger estimate", mbe, tiny)
+			}
+
+			// The declarative path carries per-call options too, for both
+			// the full-closure and source-frontier strategies.
+			for _, req := range []cfpq.Request{
+				{Graph: g, Grammar: gram, Nonterminal: "S"},
+				{Graph: g, Grammar: gram, Nonterminal: "S", Sources: []int{0}},
+			} {
+				req.Options = []cfpq.Option{cfpq.WithMemoryBudget(tiny)}
+				if _, err := eng.Do(ctx, req); !errors.As(err, &mbe) {
+					t.Fatalf("Do (sources %v) under budget: %v, want *MemoryBudgetError", req.Sources, err)
+				}
+			}
+
+			// An engine-wide budget governs Prepare (and would govern every
+			// later patch through the same engine).
+			tight := cfpq.NewEngine(be, cfpq.WithMemoryBudget(tiny))
+			if _, err := tight.Prepare(ctx, g.Clone(), gram); !errors.As(err, &mbe) {
+				t.Fatalf("Prepare under engine budget: %v, want *MemoryBudgetError", err)
+			}
+
+			// A budget the closure fits under is invisible.
+			roomy := cfpq.NewEngine(be, cfpq.WithMemoryBudget(64<<20))
+			p, err := roomy.Prepare(ctx, g.Clone(), gram)
+			if err != nil {
+				t.Fatalf("Prepare under 64MiB budget: %v", err)
+			}
+			if p.Count("S") != 3 {
+				t.Fatalf("budgeted Prepare count = %d, want 3", p.Count("S"))
+			}
+		})
+	}
+}
+
+// TestDoBoundsErrorsStructured pins satellite 3: out-of-range restriction
+// nodes on Engine.Do come back as *RequestError naming the field and the
+// valid range — the same shape Validate produces — on both Do surfaces.
+func TestDoBoundsErrorsStructured(t *testing.T) {
+	ctx := context.Background()
+	g, gram := figure5()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	p, err := eng.Prepare(ctx, g.Clone(), gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		req      cfpq.Request
+		field    string
+		reason   string
+		prepared bool // Prepared.Do rejects it too
+	}{
+		// Negatives are invalid in any graph: Validate rejects them on
+		// both surfaces.
+		{"sources negative", cfpq.Request{Nonterminal: "S", Sources: []int{-1}}, "sources", "negative node id", true},
+		{"targets negative", cfpq.Request{Nonterminal: "S", Targets: []int{-7}}, "targets", "negative node id", true},
+		// Too-large ids are checked against the bound graph's size on
+		// Engine.Do; Prepared.Do deliberately tolerates them (its graph
+		// can grow under AddEdges, and Has/Relation already answer false
+		// for unknown nodes).
+		{"sources high", cfpq.Request{Nonterminal: "S", Sources: []int{99}}, "sources", "out of range [0,", false},
+		{"targets high", cfpq.Request{Nonterminal: "S", Targets: []int{0, 99}}, "targets", "out of range [0,", false},
+	}
+	for _, tc := range cases {
+		engReq := tc.req
+		engReq.Graph, engReq.Grammar = g, gram
+		surfaces := map[string]error{
+			"Engine.Do": func() error { _, err := eng.Do(ctx, engReq); return err }(),
+		}
+		if tc.prepared {
+			surfaces["Prepared.Do"] = func() error { _, err := p.Do(ctx, tc.req); return err }()
+		}
+		for surface, doErr := range surfaces {
+			var reqErr *cfpq.RequestError
+			if !errors.As(doErr, &reqErr) {
+				t.Errorf("%s %s: %v, want *RequestError", surface, tc.name, doErr)
+				continue
+			}
+			if reqErr.Field != tc.field {
+				t.Errorf("%s %s: Field = %q, want %q", surface, tc.name, reqErr.Field, tc.field)
+			}
+			if !strings.Contains(reqErr.Reason, tc.reason) {
+				t.Errorf("%s %s: Reason = %q, want %q", surface, tc.name, reqErr.Reason, tc.reason)
+			}
+		}
+		if !tc.prepared {
+			// The tolerant surface masks the unknown id and answers for
+			// the ids that do exist — same as dropping 99 by hand.
+			res, err := p.Do(ctx, tc.req)
+			if err != nil {
+				t.Fatalf("Prepared.Do %s: %v", tc.name, err)
+			}
+			valid := tc.req
+			if valid.Sources != nil {
+				valid.Sources = dropOutOfRange(valid.Sources, g.Nodes())
+			}
+			if valid.Targets != nil {
+				valid.Targets = dropOutOfRange(valid.Targets, g.Nodes())
+			}
+			want, err := p.Do(ctx, valid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want.Count {
+				t.Errorf("Prepared.Do %s: count %d, want %d (unknown ids masked)", tc.name, res.Count, want.Count)
+			}
+		}
+	}
+}
+
+// dropOutOfRange filters a restriction to ids the graph actually has.
+func dropOutOfRange(ids []int, n int) []int {
+	out := []int{}
+	for _, id := range ids {
+		if id >= 0 && id < n {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestDoEmptyRestrictionStrategy pins satellite 1 on the library surface:
+// a non-nil empty restriction is a frontier with zero seeds — it runs the
+// frontier plan (observable in Explain) and selects nothing — while nil
+// stays unrestricted. Prepared.Do answers the same way from its cache.
+func TestDoEmptyRestrictionStrategy(t *testing.T) {
+	ctx := context.Background()
+	g, gram := figure5()
+	eng := cfpq.NewEngine(cfpq.Dense)
+
+	res, err := eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S", Sources: []int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain.Strategy != cfpq.StrategySourceFrontier || res.Explain.Frontier != 0 {
+		t.Fatalf("empty sources: strategy %s frontier %d, want %s with an empty frontier",
+			res.Explain.Strategy, res.Explain.Frontier, cfpq.StrategySourceFrontier)
+	}
+	if res.Count != 0 || len(res.AllPairs()) != 0 {
+		t.Fatalf("empty sources selected %d pairs, want 0", res.Count)
+	}
+
+	res, err = eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S", Targets: []int{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain.Strategy != cfpq.StrategyTargetFrontier || res.Count != 0 {
+		t.Fatalf("empty targets: strategy %s count %d, want %s with 0 pairs",
+			res.Explain.Strategy, res.Count, cfpq.StrategyTargetFrontier)
+	}
+
+	full, err := eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Count == 0 {
+		t.Fatal("nil restriction must stay unrestricted (figure 5 has S-pairs)")
+	}
+
+	p, err := eng.Prepare(ctx, g.Clone(), gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range []cfpq.Request{
+		{Nonterminal: "S", Sources: []int{}},
+		{Nonterminal: "S", Targets: []int{}},
+		{Nonterminal: "S", Sources: []int{}, Targets: []int{0, 1, 2}},
+	} {
+		res, err := p.Do(ctx, req)
+		if err != nil {
+			t.Fatalf("Prepared.Do %+v: %v", req, err)
+		}
+		if res.Count != 0 || len(res.AllPairs()) != 0 {
+			t.Fatalf("Prepared.Do %+v: %d pairs, want 0", req, res.Count)
+		}
+	}
+}
+
+// TestResultTruncated pins satellite 2: a limit that clips the pair list
+// sets Result.Truncated on both Do surfaces; a limit the relation fits
+// under does not.
+func TestResultTruncated(t *testing.T) {
+	ctx := context.Background()
+	g, gram := figure5()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+
+	full, err := eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated || full.Count < 2 {
+		t.Fatalf("unlimited result: count %d truncated %v", full.Count, full.Truncated)
+	}
+
+	p, err := eng.Prepare(ctx, g.Clone(), gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := map[string]func(cfpq.Request) (*cfpq.Result, error){
+		"Engine.Do": func(req cfpq.Request) (*cfpq.Result, error) {
+			req.Graph, req.Grammar = g, gram
+			return eng.Do(ctx, req)
+		},
+		"Prepared.Do": func(req cfpq.Request) (*cfpq.Result, error) { return p.Do(ctx, req) },
+	}
+	for surface, run := range do {
+		res, err := run(cfpq.Request{Nonterminal: "S", Limit: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 1 || !res.Truncated {
+			t.Errorf("%s limit 1 of %d: count %d truncated %v, want a truncated single pair",
+				surface, full.Count, res.Count, res.Truncated)
+		}
+		res, err = run(cfpq.Request{Nonterminal: "S", Limit: full.Count})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != full.Count || res.Truncated {
+			t.Errorf("%s limit == |R|: count %d truncated %v, want the exact relation unflagged",
+				surface, res.Count, res.Truncated)
+		}
+	}
+}

@@ -137,6 +137,23 @@ func WithTrace(fn func(iteration int, ix *Index)) Option {
 	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithTrace(fn)) }
 }
 
+// MemoryBudgetError reports that an evaluation was abandoned because its
+// estimated matrix storage outgrew the memory budget (WithMemoryBudget).
+// Detect it with errors.As; serving layers map it to HTTP 413.
+type MemoryBudgetError = core.MemoryBudgetError
+
+// WithMemoryBudget bounds the estimated matrix bytes one closure
+// evaluation may hold at once; a breach fails fast with a
+// *MemoryBudgetError before the offending allocation instead of running
+// the process out of memory. bytes ≤ 0 means unlimited (the default).
+// Pass it to NewEngine to govern every evaluation — including Prepare's
+// index build — or per call to bound a single one. The estimate covers
+// the index matrices plus schedule-dependent working copies; transient
+// kernel scratch is not counted.
+func WithMemoryBudget(bytes int64) Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithMemoryBudget(bytes)) }
+}
+
 func buildConfig(opts []Option) *config {
 	c := &config{}
 	for _, o := range opts {
@@ -163,6 +180,10 @@ func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error
 
 // Evaluate runs the matrix closure and returns the full Index, from which
 // the relation of every non-terminal can be read (Relation, Has, Count).
+// It discards evaluation errors, so do not combine it with
+// WithMemoryBudget: an over-budget closure would come back as a nil
+// Index with no explanation. Budgeted callers need the Engine method,
+// whose error carries the *MemoryBudgetError.
 //
 // Deprecated: use NewEngine(backend).Evaluate with a context.
 func Evaluate(g *Graph, cnf *CNF, opts ...Option) (*Index, Stats) {

@@ -13,6 +13,9 @@
 //	cfpq-bench -warmstart -json BENCH_warmstart.json
 //	cfpq-bench -planner              # planner strategies (source/target frontier) vs all-pairs
 //	cfpq-bench -planner -json BENCH_planner.json
+//	cfpq-bench -scale                # synthetic big-graph topologies, sparse vs dense
+//	cfpq-bench -scale -short         # CI smoke tier (2048 nodes, finishes in seconds)
+//	cfpq-bench -scale -json BENCH_scale.json
 package main
 
 import (
@@ -32,6 +35,10 @@ func main() {
 	single := flag.Bool("singlesource", false, "run the single-source vs all-pairs serving scenario")
 	warm := flag.Bool("warmstart", false, "run the cold-start vs warm-start (persisted index) scenario")
 	planner := flag.Bool("planner", false, "run the planner-strategy (source/target frontier) scenario")
+	scale := flag.Bool("scale", false, "run the scale-tier scenario: synthetic topologies, sparse vs dense")
+	short := flag.Bool("short", false, "shrink the scale tier to its CI smoke size")
+	nodes := flag.Int("nodes", 0, "matrix dimension for the scale scenario (0 = 10000)")
+	seed := flag.Int64("seed", 0, "scale-free topology seed for the scale scenario (0 = 1)")
 	sourceCount := flag.Int("sources", 1, "restriction nodes per query in the single-source/planner scenarios")
 	jsonPath := flag.String("json", "", "also write scenario results as JSON to this file (BENCH_*.json artifact)")
 	backend := flag.String("backend", "sparse", "matrix backend for the single-source/warm-start scenarios")
@@ -54,6 +61,23 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatWarmStart(os.Stdout, rows)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rows)
+		}
+		return
+	}
+	if *scale {
+		rows, err := bench.RunScale(bench.ScaleConfig{
+			Nodes:   *nodes,
+			Seed:    *seed,
+			Repeats: *repeats,
+			Short:   *short,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatScale(os.Stdout, rows)
 		if *jsonPath != "" {
 			writeJSON(*jsonPath, rows)
 		}

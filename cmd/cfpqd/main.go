@@ -11,6 +11,7 @@
 //	cfpqd -addr 127.0.0.1:9000
 //	cfpqd -graph ontology=wine.nt -grammar q1=samegen.g
 //	cfpqd -data-dir /var/lib/cfpqd   # durable: WAL + snapshots + warm start
+//	cfpqd -memory-budget 268435456   # answer 413 when a closure needs > 256 MiB of matrices
 //
 // The -graph flag preloads name=path pairs (format inferred from the
 // extension: .nt → N-Triples, anything else → edge list); -grammar
@@ -103,12 +104,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	dataDir := flag.String("data-dir", "", "durable store directory; empty serves purely in memory")
 	compactBytes := flag.Int64("compact-bytes", 0, "WAL size that triggers background compaction (0 = 4 MiB default)")
+	memoryBudget := flag.Int64("memory-budget", 0, "per-closure matrix memory budget in bytes; over-budget queries answer 413 (0 = unlimited)")
 	var graphs, grammars namedFiles
 	flag.Var(&graphs, "graph", "preload a graph as name=path (repeatable)")
 	flag.Var(&grammars, "grammar", "preload a grammar as name=path (repeatable)")
 	flag.Parse()
 
 	svc := server.New()
+	svc.SetMemoryBudget(*memoryBudget)
 	var st *store.Store
 	if *dataDir != "" {
 		var err error

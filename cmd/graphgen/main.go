@@ -1,5 +1,6 @@
 // Command graphgen emits the synthetic evaluation datasets as N-Triples,
-// for inspection or for use with external tools.
+// and the scale-tier benchmark topologies as edge lists, for inspection or
+// for use with external tools.
 //
 // Usage:
 //
@@ -7,16 +8,20 @@
 //	graphgen -name wine            # write wine.nt to stdout
 //	graphgen -name g1 -o g1.nt     # write to a file
 //	graphgen -all -dir data/       # write every dataset into a directory
+//	graphgen -synth chain -nodes 10000            # scale-tier topology as an edge list
+//	graphgen -synth scale-free -nodes 100000 -degree 3 -seed 7 -o sf.edges
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"cfpq/internal/dataset"
 	"cfpq/internal/graph"
+	"cfpq/internal/graphgen"
 )
 
 func main() {
@@ -25,9 +30,37 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	all := flag.Bool("all", false, "emit every dataset")
 	dir := flag.String("dir", ".", "output directory for -all")
+	synth := flag.String("synth", "", "scale-tier topology to emit: chain, cycle, grid or scale-free")
+	nodes := flag.Int("nodes", 10_000, "node count for -synth")
+	depth := flag.Int("depth", 0, "derivation depth for the chain/cycle topologies (0 = default)")
+	degree := flag.Int("degree", 0, "out-degree for the scale-free topology (0 = 3)")
+	seed := flag.Int64("seed", 0, "seed for the scale-free topology (0 = 1)")
 	flag.Parse()
 
 	switch {
+	case *synth != "":
+		g, err := graphgen.Generate(graphgen.Spec{
+			Kind:   graphgen.Kind(*synth),
+			Nodes:  *nodes,
+			Depth:  *depth,
+			Degree: *degree,
+			Seed:   *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		w := io.Writer(os.Stdout)
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := graph.WriteEdgeList(w, g, nil); err != nil {
+			fatal(err)
+		}
 	case *list:
 		fmt.Printf("%-30s %9s %7s\n", "name", "#triples", "copies")
 		for _, d := range dataset.Graphs() {

@@ -109,6 +109,15 @@
 // The free functions (Query, Evaluate, SinglePath, RPQ, Update, …) predate
 // Engine and remain as deprecated wrappers over a default sparse engine.
 //
+// # Memory budgets
+//
+// WithMemoryBudget bounds the estimated matrix footprint of a closure —
+// per call as an Option, or engine-wide via NewEngine(backend,
+// cfpq.WithMemoryBudget(n)), where it also governs Prepare and every
+// incremental patch. An evaluation that would exceed the budget fails
+// fast between passes with a typed *MemoryBudgetError instead of
+// thrashing the process; cmd/cfpqd maps the error to HTTP 413.
+//
 // # Serving queries
 //
 // cmd/cfpqd serves CFPQs over HTTP: it registers named graphs (N-Triples

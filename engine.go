@@ -26,11 +26,21 @@ import (
 // Prepared handle instead of re-running the closure per call.
 type Engine struct {
 	backend Backend
+	// engineOpts are engine-level evaluation options (such as
+	// WithMemoryBudget) applied to every closure this engine runs —
+	// including Prepare/PrepareCNF index builds — before any per-call
+	// options.
+	engineOpts []core.Option
 }
 
 // NewEngine returns an engine evaluating with the given backend. The zero
-// Backend value selects serial sparse.
-func NewEngine(b Backend) *Engine { return &Engine{backend: b} }
+// Backend value selects serial sparse. Options passed here apply to every
+// evaluation the engine runs (the typical use is WithMemoryBudget, which
+// must also govern Prepare's index build); per-call options are applied on
+// top of them.
+func NewEngine(b Backend, opts ...Option) *Engine {
+	return &Engine{backend: b, engineOpts: buildConfig(opts).engineOpts}
+}
 
 // Backend returns the engine's backend.
 func (e *Engine) Backend() Backend { return e.backend }
@@ -49,7 +59,11 @@ func (e *Engine) resolveBackend(cfg *config) Backend {
 // in the library that constructs core.NewEngine: every evaluation path —
 // library, server, CLI, bench — funnels through it.
 func (e *Engine) newCore(cfg *config) *core.Engine {
-	return core.NewEngine(append([]core.Option{core.WithBackend(e.resolveBackend(cfg).mat())}, cfg.engineOpts...)...)
+	opts := make([]core.Option, 0, 1+len(e.engineOpts)+len(cfg.engineOpts))
+	opts = append(opts, core.WithBackend(e.resolveBackend(cfg).mat()))
+	opts = append(opts, e.engineOpts...)
+	opts = append(opts, cfg.engineOpts...)
+	return core.NewEngine(opts...)
 }
 
 // Query evaluates R_start on the graph under the relational semantics and

@@ -14,6 +14,12 @@ import (
 // and dynamic (incremental) query maintenance — as deprecated one-shot
 // wrappers over Engine, plus the grammar/graph utilities that need no
 // engine at all.
+//
+// Each wrapper runs on a fresh default engine, so engine-level
+// enforcement such as WithMemoryBudget never applies here, and the
+// error-dropping ones (ShortestPath, Update) could not report a typed
+// rejection anyway. Anything that needs enforcement — memory budgets
+// above all — must go through the Engine methods.
 
 // ConjunctiveGrammar is a grammar with conjunctive productions
 // (`A -> B C & D E`); see ParseConjunctive.

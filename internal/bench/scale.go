@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"cfpq"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graphgen"
+)
+
+// ScaleConfig drives RunScale — the scale-tier scenario: the synthetic
+// graphgen topologies at 10⁴+ nodes, each closed under the Dyck grammar
+// S → a S b | a b head-to-head on the CSR sparse and dense bitset
+// backends. The scenario's claim is the paper's: sparse representation is
+// what makes big, sparse graphs feasible, and the committed artifact holds
+// the numbers behind it.
+type ScaleConfig struct {
+	// Nodes is the matrix dimension of every generated graph. Zero means
+	// 10_000 (the scale tier's floor); Short overrides it to 2_048 so CI
+	// smoke runs finish in seconds.
+	Nodes int
+	// Depth forwards to graphgen.Spec.Depth (zero = generator default).
+	Depth int
+	// Degree forwards to graphgen.Spec.Degree (zero = generator default).
+	Degree int
+	// Seed drives the scale-free topology. Zero means 1.
+	Seed int64
+	// Backends names the measured matrix backends. Nil means
+	// {"sparse", "dense"} — the paper's sCPU vs dGPU axis.
+	Backends []string
+	// Repeats is the number of timed closures per cell; the minimum is
+	// reported. Zero means 3.
+	Repeats int
+	// Short shrinks Nodes for CI smoke runs.
+	Short bool
+}
+
+// ScaleRow is one measured (topology, backend) cell of the scale scenario.
+type ScaleRow struct {
+	Scenario string `json:"scenario"`
+	Topology string `json:"topology"`
+	Backend  string `json:"backend"`
+	Nodes    int    `json:"nodes"`
+	Edges    int    `json:"edges"`
+	// Pairs is |R_S| — identical across backends for a topology (checked).
+	Pairs int `json:"pairs"`
+	// Iterations is the number of outer closure passes the evaluation ran.
+	Iterations int `json:"iterations"`
+	// CloseMS is the closure time, best of Repeats.
+	CloseMS float64 `json:"close_ms"`
+}
+
+// RunScale generates each topology once, then times the full closure on
+// every configured backend, verifying all backends agree on |R_S| before
+// reporting.
+func RunScale(cfg ScaleConfig) ([]ScaleRow, error) {
+	nodes := cfg.Nodes
+	if nodes <= 0 {
+		nodes = 10_000
+	}
+	if cfg.Short {
+		nodes = 2_048
+	}
+	backends := cfg.Backends
+	if len(backends) == 0 {
+		backends = []string{"sparse", "dense"}
+	}
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 3
+	}
+	cnf := grammar.MustCNF(grammar.MustParse("S -> a S b | a b"))
+	ctx := context.Background()
+
+	var rows []ScaleRow
+	for _, kind := range graphgen.Kinds() {
+		g, err := graphgen.Generate(graphgen.Spec{
+			Kind: kind, Nodes: nodes, Depth: cfg.Depth, Degree: cfg.Degree, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return rows, err
+		}
+		pairs := -1
+		for _, name := range backends {
+			be, err := cfpq.BackendByName(name)
+			if err != nil {
+				return rows, err
+			}
+			eng := cfpq.NewEngine(be)
+			var best time.Duration
+			var count int
+			var stats cfpq.Stats
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				ix, st, err := eng.Evaluate(ctx, g, cnf)
+				if err != nil {
+					return rows, err
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+				count, stats = ix.Count("S"), st
+			}
+			if pairs >= 0 && count != pairs {
+				return rows, fmt.Errorf("bench: %s/%s: |R_S| = %d disagrees with %d on %s",
+					kind, name, count, pairs, backends[0])
+			}
+			pairs = count
+			rows = append(rows, ScaleRow{
+				Scenario:   "scale",
+				Topology:   string(kind),
+				Backend:    name,
+				Nodes:      g.Nodes(),
+				Edges:      g.EdgeCount(),
+				Pairs:      count,
+				Iterations: stats.Iterations,
+				CloseMS:    msFloat(best),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatScale renders the scale rows as a readable table, pairing each
+// topology's backends so the sparse-vs-dense ratio is visible at a glance.
+func FormatScale(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintf(w, "Scale tier: Dyck closure on synthetic topologies\n\n")
+	fmt.Fprintf(w, "%-12s %-16s %9s %9s %9s %6s %11s\n",
+		"topology", "backend", "nodes", "edges", "pairs", "iters", "close(ms)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-16s %9d %9d %9d %6d %11.2f\n",
+			r.Topology, r.Backend, r.Nodes, r.Edges, r.Pairs, r.Iterations, r.CloseMS)
+	}
+}

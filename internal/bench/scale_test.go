@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunScaleShort runs the CI smoke tier end to end: every topology at
+// the short size, sparse and dense rows that agree on |R_S|, and a JSON
+// artifact that round-trips.
+func TestRunScaleShort(t *testing.T) {
+	rows, err := RunScale(ScaleConfig{Short: true, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 topologies × 2 backends.
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	byTopo := map[string][]ScaleRow{}
+	for _, r := range rows {
+		if r.Scenario != "scale" {
+			t.Errorf("row scenario %q, want scale", r.Scenario)
+		}
+		if r.Nodes != 2048 {
+			t.Errorf("%s/%s at %d nodes, want the short tier's 2048", r.Topology, r.Backend, r.Nodes)
+		}
+		if r.Pairs <= 0 || r.Edges <= 0 || r.Iterations <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		byTopo[r.Topology] = append(byTopo[r.Topology], r)
+	}
+	for topo, rs := range byTopo {
+		if len(rs) != 2 {
+			t.Fatalf("%s: %d backends, want sparse and dense", topo, len(rs))
+		}
+		if rs[0].Pairs != rs[1].Pairs {
+			t.Errorf("%s: backends disagree on |R_S|: %d vs %d", topo, rs[0].Pairs, rs[1].Pairs)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBenchJSON(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Rows []ScaleRow `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Rows) != len(rows) || decoded.Rows[0] != rows[0] {
+		t.Fatalf("artifact did not round-trip: %+v", decoded.Rows)
+	}
+
+	var tbl strings.Builder
+	FormatScale(&tbl, rows)
+	for _, want := range []string{"chain", "cycle", "grid", "scale-free", "sparse", "dense"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

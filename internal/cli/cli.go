@@ -29,6 +29,7 @@ type Config struct {
 	Sources    string
 	Targets    string
 	Explain    bool
+	Limit      int
 	CountOnly  bool
 	EmptyPaths bool
 	Names      bool
@@ -63,6 +64,9 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 	fs.BoolVar(&cfg.Explain, "explain", false,
 		"print the planner's chosen strategy as a leading '# plan:' line\n"+
 			"(relational semantics only)")
+	fs.IntVar(&cfg.Limit, "limit", 0,
+		"print at most this many pairs; a clipped list is flagged on the\n"+
+			"-explain line (relational semantics only)")
 	fs.BoolVar(&cfg.CountOnly, "count", false, "print only the result count")
 	fs.BoolVar(&cfg.EmptyPaths, "empty-paths", false,
 		"include (v,v) pairs when the start non-terminal derives ε")
@@ -158,8 +162,8 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 		nodeName = func(v int) string { return table[v] }
 	}
 	eng := cfpq.NewEngine(backend)
-	if (cfg.Sources != "" || cfg.Targets != "" || cfg.Explain) && cfg.Semantics != "relational" {
-		return fmt.Errorf("cfpq: -sources/-targets/-explain support only -semantics=relational")
+	if (cfg.Sources != "" || cfg.Targets != "" || cfg.Explain || cfg.Limit != 0) && cfg.Semantics != "relational" {
+		return fmt.Errorf("cfpq: -sources/-targets/-explain/-limit support only -semantics=relational")
 	}
 	if cfg.SaveIndex != "" || cfg.LoadIndex != "" {
 		if cfg.Semantics != "relational" {
@@ -179,6 +183,7 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 			Grammar:     gram,
 			Nonterminal: cfg.Start,
 			EmptyPaths:  cfg.EmptyPaths,
+			Limit:       cfg.Limit,
 		}
 		if cfg.CountOnly {
 			req.Output = cfpq.OutputCount
@@ -260,6 +265,9 @@ func printExplain(cfg *Config, out io.Writer, res *cfpq.Result) {
 		fmt.Fprint(out, ")")
 	}
 	fmt.Fprintf(out, " — %s\n", res.Explain.Reason)
+	if res.Truncated {
+		fmt.Fprintf(out, "# truncated: more pairs exist beyond -limit %d\n", cfg.Limit)
+	}
 }
 
 // printRelational writes a relational Result: the count under -count,
@@ -319,7 +327,7 @@ func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[s
 	if err != nil {
 		return err
 	}
-	req := cfpq.Request{Nonterminal: cfg.Start}
+	req := cfpq.Request{Nonterminal: cfg.Start, Limit: cfg.Limit}
 	if cfg.CountOnly {
 		req.Output = cfpq.OutputCount
 	}

@@ -428,3 +428,48 @@ func TestLoadIndexExplainIsCachedRead(t *testing.T) {
 		t.Errorf("load-index output = %q", out.String())
 	}
 }
+
+// TestRunLimitTruncation pins the -limit flag: the pair list is clipped,
+// and -explain flags the clip instead of passing the prefix off as the
+// whole relation.
+func TestRunLimitTruncation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+		Explain:   true,
+		Limit:     2,
+	}
+	var out bytes.Buffer
+	if err := Run(ctx, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# truncated: more pairs exist beyond -limit 2") {
+		t.Errorf("missing truncation note:\n%s", got)
+	}
+	if lines := strings.Count(got, "\t"); lines != 2 {
+		t.Errorf("printed %d pairs, want 2:\n%s", lines, got)
+	}
+
+	// A limit the 3-pair relation fits under prints no note.
+	cfg.Limit = 3
+	out.Reset()
+	if err := Run(ctx, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "# truncated") {
+		t.Errorf("unclipped run flagged truncation:\n%s", out.String())
+	}
+
+	// -limit is relational-only, like the other planner flags.
+	cfg.Semantics = "single-path"
+	cfg.Explain = false
+	cfg.Limit = 1
+	if err := Run(ctx, cfg, &out); err == nil {
+		t.Error("-limit accepted under single-path semantics")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"cfpq/internal/matrix"
+)
+
+// MemoryBudgetError reports that a closure evaluation was abandoned
+// because its estimated matrix storage outgrew the engine's memory
+// budget (WithMemoryBudget). The index under construction is discarded;
+// the error fires before the allocation that would breach the budget,
+// not after the process is already swapping.
+type MemoryBudgetError struct {
+	// BudgetBytes is the configured allowance.
+	BudgetBytes int64
+	// EstimatedBytes is the estimate that breached it.
+	EstimatedBytes int64
+}
+
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("core: memory budget exceeded: closure needs an estimated %d bytes, budget is %d", e.EstimatedBytes, e.BudgetBytes)
+}
+
+// WithMemoryBudget bounds the estimated matrix bytes a single closure
+// evaluation may hold at once. The estimate covers the index matrices
+// plus schedule-dependent working copies (per-pass clones in naive mode,
+// delta/frontier matrices in the semi-naive and source-restricted
+// schedules); it is checked before matrix allocation and between fixpoint
+// passes, and a breach aborts the evaluation with a *MemoryBudgetError.
+// bytes ≤ 0 means unlimited (the default). The budget is enforced on the
+// context-taking evaluation paths (RunContext, CloseContext,
+// RunFromContext and everything built on them).
+func WithMemoryBudget(bytes int64) Option {
+	return func(e *Engine) { e.budget = bytes }
+}
+
+// Bytes estimates the heap bytes of the index's relation matrices.
+func (ix *Index) Bytes() int64 {
+	var total int64
+	for _, m := range ix.mats {
+		total += m.Bytes()
+	}
+	return total
+}
+
+// checkBudget returns a *MemoryBudgetError when estimated bytes exceed
+// the engine's budget; a zero or negative budget never fails.
+func (e *Engine) checkBudget(estimated int64) error {
+	if e.budget > 0 && estimated > e.budget {
+		return &MemoryBudgetError{BudgetBytes: e.budget, EstimatedBytes: estimated}
+	}
+	return nil
+}
+
+// matsBytes sums the byte estimates of a working matrix set (a delta or
+// next frontier slice).
+func matsBytes(mats []matrix.Bool) int64 {
+	var total int64
+	for _, m := range mats {
+		total += m.Bytes()
+	}
+	return total
+}

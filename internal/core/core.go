@@ -160,7 +160,10 @@ type Engine struct {
 	naive bool
 	// delta selects the semi-naive schedule (see WithDeltaIteration).
 	delta bool
-	trace func(iteration int, ix *Index)
+	// budget bounds the estimated matrix bytes one evaluation may hold
+	// (see WithMemoryBudget); ≤ 0 means unlimited.
+	budget int64
+	trace  func(iteration int, ix *Index)
 }
 
 // Option configures an Engine.
@@ -244,6 +247,13 @@ func (e *Engine) CloseContext(ctx context.Context, ix *Index) (Stats, error) {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
+		est := ix.Bytes()
+		if e.naive {
+			est *= 2 // snapshot semantics clone every matrix
+		}
+		if err := e.checkBudget(est); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		changed := false
 		if e.naive {
@@ -282,8 +292,14 @@ func (e *Engine) Run(g *graph.Graph, cnf *grammar.CNF) (*Index, Stats) {
 	return ix, stats
 }
 
-// RunContext is Run with cooperative cancellation between closure passes.
+// RunContext is Run with cooperative cancellation between closure passes
+// and, when the engine carries a memory budget, a pre-allocation check:
+// an instance whose empty index alone breaches the budget is rejected
+// before any matrix is allocated.
 func (e *Engine) RunContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF) (*Index, Stats, error) {
+	if err := e.checkBudget(int64(cnf.NonterminalCount()) * e.backend.EmptyBytes(g.Nodes())); err != nil {
+		return nil, Stats{}, err
+	}
 	ix := e.Init(g, cnf)
 	stats, err := e.CloseContext(ctx, ix)
 	if err != nil {

@@ -41,6 +41,11 @@ func (e *Engine) closeDelta(ctx context.Context, ix *Index) (Stats, error) {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
+		// Working set of the coming pass: index + current frontier + the
+		// empty next-frontier matrices about to be allocated.
+		if err := e.checkBudget(ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)); err != nil {
+			return stats, err
+		}
 		stats.Iterations++
 		next := make([]matrix.Bool, nn)
 		for a := range next {

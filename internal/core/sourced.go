@@ -67,6 +67,11 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 		}
 	}
 	nn := cnf.NonterminalCount()
+	// Pre-allocation budget check: the restricted closure starts with the
+	// index matrices plus an equal set of delta matrices.
+	if err := e.checkBudget(2 * int64(nn) * e.backend.EmptyBytes(n)); err != nil {
+		return nil, FromStats{}, err
+	}
 	ix := &Index{cnf: cnf, n: n, backend: e.backend, mats: make([]matrix.Bool, nn)}
 	for a := range ix.mats {
 		ix.mats[a] = e.backend.NewMatrix(n)
@@ -150,6 +155,9 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 
 	for {
 		if err := ctx.Err(); err != nil {
+			return nil, fs, err
+		}
+		if err := e.checkBudget(ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)); err != nil {
 			return nil, fs, err
 		}
 		empty := true

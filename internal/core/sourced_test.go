@@ -213,3 +213,52 @@ func TestAddMulRowsMatchesMaskedAddMul(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFromSaturationThreshold drives the restricted closure exactly
+// across the ½-row saturation threshold: an a-chain of k edges from the
+// single source reaches k+1 rows, so on a 10-node graph a 4-edge chain
+// (frontier 5, 5·2 = n) stays restricted while a 5-edge chain (frontier
+// 6, 6·2 > n) saturates and falls back to the full closure — for every
+// backend, with the source row agreeing with the full closure either way.
+func TestRunFromSaturationThreshold(t *testing.T) {
+	const n = 10
+	gram := grammar.MustParse("S -> a S | a")
+	cnf := grammar.MustCNF(gram)
+	for _, be := range matrix.Backends() {
+		e := NewEngine(WithBackend(be))
+		for edges := 1; edges < n; edges++ {
+			g := graph.New(n)
+			for i := 0; i < edges; i++ {
+				g.AddEdge(i, "a", i+1)
+			}
+			fullIx, _ := e.Run(g, cnf)
+			ix, fs, err := e.RunFromContext(context.Background(), g, cnf, []int{0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			reach := edges + 1
+			wantSat := reach*saturationDen > n*saturationNum
+			if fs.Saturated != wantSat {
+				t.Fatalf("%s %d-edge chain: Saturated=%v, want %v (frontier %d of %d)",
+					be.Name(), edges, fs.Saturated, wantSat, reach, n)
+			}
+			wantFrontier := reach
+			if wantSat {
+				wantFrontier = n
+			}
+			if fs.Frontier != wantFrontier {
+				t.Fatalf("%s %d-edge chain: Frontier=%d, want %d",
+					be.Name(), edges, fs.Frontier, wantFrontier)
+			}
+			if wantSat && !ix.Equal(fullIx) {
+				t.Fatalf("%s %d-edge chain: saturated fallback differs from full closure", be.Name(), edges)
+			}
+			m, fm := ix.Matrix("S"), fullIx.Matrix("S")
+			for j := 0; j < n; j++ {
+				if m.Get(0, j) != fm.Get(0, j) {
+					t.Fatalf("%s %d-edge chain: source row disagrees at column %d", be.Name(), edges, j)
+				}
+			}
+		}
+	}
+}

@@ -52,6 +52,12 @@ func (d denseBackend) NewMatrix(n int) Bool {
 	}
 }
 
+// EmptyBytes estimates the word storage of an empty n×n bit-packed matrix:
+// dense matrices pay their full footprint up front.
+func (d denseBackend) EmptyBytes(n int) int64 {
+	return 8 * int64(n) * int64((n+63)/64)
+}
+
 // NewDense returns an empty serial n×n dense matrix (convenience for tests
 // and direct use).
 func NewDense(n int) *DenseMatrix {
@@ -77,6 +83,12 @@ func (m *DenseMatrix) Get(i, j int) bool {
 func (m *DenseMatrix) Set(i, j int) {
 	m.check(i, j)
 	m.words[i*m.stride+j/64] |= 1 << (uint(j) % 64)
+}
+
+// Bytes estimates the heap bytes of the word storage. Density does not
+// matter: a dense matrix pays its full footprint at allocation time.
+func (m *DenseMatrix) Bytes() int64 {
+	return 8 * int64(len(m.words))
 }
 
 // Nnz counts set entries.

@@ -59,6 +59,11 @@ type Bool interface {
 	// Range calls fn for every set entry in row-major order; fn returning
 	// false stops the iteration.
 	Range(fn func(i, j int) bool)
+	// Bytes estimates the heap bytes this matrix currently occupies
+	// (backing storage, not Go object headers beyond the per-row ones).
+	// The closure memory budget sums these estimates to fail fast before
+	// an evaluation outgrows its allowance.
+	Bytes() int64
 }
 
 // Backend allocates matrices of one representation.
@@ -68,6 +73,11 @@ type Backend interface {
 	Name() string
 	// NewMatrix returns an empty n×n matrix.
 	NewMatrix(n int) Bool
+	// EmptyBytes estimates the heap bytes an empty n×n matrix of this
+	// backend occupies — what NewMatrix(n).Bytes() would report, without
+	// allocating. Budget checks use it to reject an evaluation whose
+	// empty index alone exceeds the allowance.
+	EmptyBytes(n int) int64
 }
 
 // Pair is a set entry (I, J) extracted from a matrix.

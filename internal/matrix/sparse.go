@@ -11,8 +11,11 @@ import (
 // SparseMatrix is a row-compressed sparse Boolean matrix: each row stores
 // its set column indices as a sorted []int32 (the per-row view of the CSR
 // format the paper's sCPU/sGPU implementations use). Multiplication is
-// Gustavson's row-wise SpGEMM with a dense accumulator per worker; the
-// parallel flavour distributes rows across goroutines exactly the way
+// row-wise SpGEMM where each product row is the union of the b-rows
+// selected by the a-row, computed by a balanced tree of sorted-list merges
+// (see rowMerger) — O(nnz·log fan-in) per row with no n-sized scratch and
+// no sort, so the cost tracks the output size rather than the dimension.
+// The parallel flavour distributes rows across goroutines exactly the way
 // CUSPARSE distributes them across thread blocks, which is why
 // SparseParallel serves as the paper's sGPU stand-in.
 type SparseMatrix struct {
@@ -51,6 +54,12 @@ func (s sparseBackend) NewMatrix(n int) Bool {
 		parallel: s.parallel,
 		workers:  s.workers,
 	}
+}
+
+// EmptyBytes estimates the row-header storage of an empty n×n sparse
+// matrix (24 bytes per row slice header).
+func (s sparseBackend) EmptyBytes(n int) int64 {
+	return 24 * int64(n)
 }
 
 // NewSparse returns an empty serial n×n sparse matrix (convenience for
@@ -93,6 +102,12 @@ func (m *SparseMatrix) Set(i, j int) {
 
 // Nnz returns the number of set entries.
 func (m *SparseMatrix) Nnz() int { return m.nnz }
+
+// Bytes estimates the heap bytes of the row storage: 24 bytes per row
+// slice header plus 4 bytes per stored column index.
+func (m *SparseMatrix) Bytes() int64 {
+	return 24*int64(m.n) + 4*int64(m.nnz)
+}
 
 // Grow resizes the matrix to n×n in place, keeping every entry. The CSR
 // row list simply gains empty rows; column indices need no translation.
@@ -268,8 +283,8 @@ func differenceSorted(a, b []int32) []int32 {
 	return out
 }
 
-// AddMul computes m |= a × b with Gustavson row products. All product rows
-// are materialised before merging, so m may alias a or b.
+// AddMul computes m |= a × b with merge-based row products. All product
+// rows are materialised before merging, so m may alias a or b.
 func (m *SparseMatrix) AddMul(a, b Bool) bool {
 	sa := mustSparse(a, m.n)
 	sb := mustSparse(b, m.n)
@@ -277,9 +292,9 @@ func (m *SparseMatrix) AddMul(a, b Bool) bool {
 	if m.parallel {
 		m.spgemmParallel(sa, sb, prod)
 	} else {
-		scratch := newAccumulator(m.n)
+		var rm rowMerger
 		for i := 0; i < m.n; i++ {
-			prod[i] = spgemmRow(sa, sb, i, scratch)
+			prod[i] = rm.productRow(sa, sb, i)
 		}
 	}
 	changed := false
@@ -320,9 +335,9 @@ func (m *SparseMatrix) AddMulRows(a, b Bool, rows []bool) bool {
 	if m.parallel && len(idx) > 1 {
 		m.spgemmParallelRows(sa, sb, prod, idx)
 	} else {
-		scratch := newAccumulator(m.n)
+		var rm rowMerger
 		for ri, i := range idx {
-			prod[ri] = spgemmRow(sa, sb, i, scratch)
+			prod[ri] = rm.productRow(sa, sb, i)
 		}
 	}
 	changed := false
@@ -351,9 +366,9 @@ func (m *SparseMatrix) spgemmParallelRows(a, b *SparseMatrix, prod [][]int32, id
 		workers = len(idx)
 	}
 	if workers <= 1 {
-		scratch := newAccumulator(m.n)
+		var rm rowMerger
 		for ri, i := range idx {
-			prod[ri] = spgemmRow(a, b, i, scratch)
+			prod[ri] = rm.productRow(a, b, i)
 		}
 		return
 	}
@@ -364,7 +379,7 @@ func (m *SparseMatrix) spgemmParallelRows(a, b *SparseMatrix, prod [][]int32, id
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := newAccumulator(m.n)
+			var rm rowMerger
 			for {
 				lo := int(next.Add(grain)) - grain
 				if lo >= len(idx) {
@@ -375,7 +390,7 @@ func (m *SparseMatrix) spgemmParallelRows(a, b *SparseMatrix, prod [][]int32, id
 					hi = len(idx)
 				}
 				for ri := lo; ri < hi; ri++ {
-					prod[ri] = spgemmRow(a, b, idx[ri], scratch)
+					prod[ri] = rm.productRow(a, b, idx[ri])
 				}
 			}
 		}()
@@ -383,38 +398,86 @@ func (m *SparseMatrix) spgemmParallelRows(a, b *SparseMatrix, prod [][]int32, id
 	wg.Wait()
 }
 
-// accumulator is the dense scratch used by Gustavson's algorithm: a bitmap
-// plus the list of touched columns, reusable across rows.
-type accumulator struct {
-	mark    []bool
-	touched []int32
+// rowMerger is the per-worker scratch of the merge-based SpGEMM kernel:
+// two reusable [][]int32 list buffers plus two ping-pong arenas backing
+// the intermediate merge rounds. The zero value is ready to use; capacity
+// grows to the working set of the largest row and is then reused, so the
+// steady-state kernel allocates only the final product rows.
+type rowMerger struct {
+	cand, next     [][]int32
+	arenaA, arenaB []int32
 }
 
-func newAccumulator(n int) *accumulator {
-	return &accumulator{mark: make([]bool, n)}
-}
-
-// spgemmRow computes row i of a×b as a sorted column list.
-func spgemmRow(a, b *SparseMatrix, i int, acc *accumulator) []int32 {
-	acc.touched = acc.touched[:0]
+// productRow computes row i of a×b as a freshly allocated sorted column
+// list (nil when empty). The candidate rows b.rows[k] for k ∈ a.rows[i]
+// are merged pairwise in balanced rounds — a merge tree of depth
+// log₂(fan-in) — so the cost is O(output·log fan-in) with no n-sized
+// scratch and no sort. Each round writes into the arena its inputs do NOT
+// occupy; an odd leftover list is copied into the round's arena rather
+// than carried by reference, so every list read in round r+1 lives in
+// memory written in round r and arena writes never alias arena reads.
+func (rm *rowMerger) productRow(a, b *SparseMatrix, i int) []int32 {
+	rm.cand = rm.cand[:0]
 	for _, k := range a.rows[i] {
-		for _, j := range b.rows[k] {
-			if !acc.mark[j] {
-				acc.mark[j] = true
-				acc.touched = append(acc.touched, j)
-			}
+		if row := b.rows[k]; len(row) > 0 {
+			rm.cand = append(rm.cand, row)
 		}
 	}
-	if len(acc.touched) == 0 {
+	if len(rm.cand) == 0 {
 		return nil
 	}
-	out := make([]int32, len(acc.touched))
-	copy(out, acc.touched)
-	for _, j := range acc.touched {
-		acc.mark[j] = false
+	cur, free := rm.cand, rm.next
+	useA := true
+	for len(cur) > 1 {
+		arena := rm.arenaB[:0]
+		if useA {
+			arena = rm.arenaA[:0]
+		}
+		nxt := free[:0]
+		for p := 0; p+1 < len(cur); p += 2 {
+			start := len(arena)
+			arena = mergeRowsInto(arena, cur[p], cur[p+1])
+			nxt = append(nxt, arena[start:len(arena):len(arena)])
+		}
+		if len(cur)%2 == 1 {
+			start := len(arena)
+			arena = append(arena, cur[len(cur)-1]...)
+			nxt = append(nxt, arena[start:len(arena):len(arena)])
+		}
+		if useA {
+			rm.arenaA = arena
+		} else {
+			rm.arenaB = arena
+		}
+		cur, free = nxt, cur
+		useA = !useA
 	}
-	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	rm.cand, rm.next = cur, free
+	out := make([]int32, len(cur[0]))
+	copy(out, cur[0])
 	return out
+}
+
+// mergeRowsInto appends the sorted union of x and y (sorted unique
+// slices) to dst and returns the extended slice.
+func mergeRowsInto(dst, x, y []int32) []int32 {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		switch {
+		case x[i] < y[j]:
+			dst = append(dst, x[i])
+			i++
+		case x[i] > y[j]:
+			dst = append(dst, y[j])
+			j++
+		default:
+			dst = append(dst, x[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, x[i:]...)
+	return append(dst, y[j:]...)
 }
 
 func (m *SparseMatrix) spgemmParallel(a, b *SparseMatrix, prod [][]int32) {
@@ -426,9 +489,9 @@ func (m *SparseMatrix) spgemmParallel(a, b *SparseMatrix, prod [][]int32) {
 		workers = m.n
 	}
 	if workers <= 1 {
-		scratch := newAccumulator(m.n)
+		var rm rowMerger
 		for i := 0; i < m.n; i++ {
-			prod[i] = spgemmRow(a, b, i, scratch)
+			prod[i] = rm.productRow(a, b, i)
 		}
 		return
 	}
@@ -439,7 +502,7 @@ func (m *SparseMatrix) spgemmParallel(a, b *SparseMatrix, prod [][]int32) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			scratch := newAccumulator(m.n)
+			var rm rowMerger
 			for {
 				lo := int(next.Add(grain)) - grain
 				if lo >= m.n {
@@ -450,7 +513,7 @@ func (m *SparseMatrix) spgemmParallel(a, b *SparseMatrix, prod [][]int32) {
 					hi = m.n
 				}
 				for i := lo; i < hi; i++ {
-					prod[i] = spgemmRow(a, b, i, scratch)
+					prod[i] = rm.productRow(a, b, i)
 				}
 			}
 		}()

@@ -166,8 +166,9 @@ func TestHTTPQueryBatchAndSources(t *testing.T) {
 		t.Errorf("GET sources count = %d, want 5", cnt.Count)
 	}
 
-	// A trailing comma is tolerated; a present-but-empty restriction is a
-	// client error, not a silent fall-through to the unrestricted answer.
+	// A trailing comma is tolerated; a present-but-empty restriction is an
+	// empty frontier (zero pairs), not a silent fall-through to the
+	// unrestricted answer.
 	resp3, err := http.Get(srv.URL + "/v1/query?graph=social&grammar=reach&nonterminal=Knows&op=count&sources=alice,")
 	if err != nil {
 		t.Fatal(err)
@@ -181,9 +182,15 @@ func TestHTTPQueryBatchAndSources(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		var cnt struct {
+			Count int `json:"count"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cnt); err != nil {
+			t.Fatal(err)
+		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("empty restriction %q: status %d, want 400", empty, resp.StatusCode)
+		if resp.StatusCode != http.StatusOK || cnt.Count != 0 {
+			t.Errorf("empty restriction %q: status %d count %d, want 200 with 0 pairs", empty, resp.StatusCode, cnt.Count)
 		}
 	}
 

@@ -292,21 +292,19 @@ func serveDebugVars(w http.ResponseWriter, s *Service) {
 }
 
 // restrictionParam parses a comma-separated node-restriction parameter.
-// An absent parameter means unrestricted (nil); a present-but-empty one is
-// rejected, because it must not silently mean "everything" — that is the
-// full n² answer the parameter exists to avoid.
+// An absent parameter means unrestricted (nil); a present-but-empty one
+// is a non-nil empty restriction selecting nothing — the same semantics
+// as a JSON "sources": [], and never silently "everything" (the full n²
+// answer the parameter exists to avoid).
 func restrictionParam(q url.Values, name string) ([]string, error) {
 	if !q.Has(name) {
 		return nil, nil
 	}
-	var out []string
+	out := []string{}
 	for _, tok := range strings.Split(q.Get(name), ",") {
 		if tok = strings.TrimSpace(tok); tok != "" {
 			out = append(out, tok)
 		}
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("%s names no nodes", name)
 	}
 	return out, nil
 }
@@ -328,10 +326,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps service errors to HTTP statuses: lookups of unregistered
-// names are 404, everything else a client error.
+// names are 404, memory-budget rejections 413 (the request names an
+// instance too large for the configured allowance), everything else a
+// client error.
 func statusFor(err error) int {
 	if errors.Is(err, ErrNotFound) {
 		return http.StatusNotFound
+	}
+	var be *cfpq.MemoryBudgetError
+	if errors.As(err, &be) {
+		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
 }

@@ -280,6 +280,9 @@ type MetricsSnapshot struct {
 	Updates       int64 `json:"updates"`
 	EdgesAdded    int64 `json:"edges_added"`
 	PersistErrors int64 `json:"persist_errors"`
+	// BudgetRejections counts evaluations rejected by the configured
+	// memory budget (SetMemoryBudget); the HTTP layer answers them 413.
+	BudgetRejections int64 `json:"budget_rejections"`
 	// Strategies counts answered queries per planner strategy (full,
 	// source-frontier, target-frontier, cached-read), so plan selection is
 	// observable in production.
@@ -289,12 +292,13 @@ type MetricsSnapshot struct {
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		Queries:       s.metrics.queries.Load(),
-		IndexBuilds:   s.metrics.indexBuilds.Load(),
-		WarmStarts:    s.metrics.warmStarts.Load(),
-		Updates:       s.metrics.updates.Load(),
-		EdgesAdded:    s.metrics.edgesAdded.Load(),
-		PersistErrors: s.metrics.persistErrors.Load(),
+		Queries:          s.metrics.queries.Load(),
+		IndexBuilds:      s.metrics.indexBuilds.Load(),
+		WarmStarts:       s.metrics.warmStarts.Load(),
+		Updates:          s.metrics.updates.Load(),
+		EdgesAdded:       s.metrics.edgesAdded.Load(),
+		PersistErrors:    s.metrics.persistErrors.Load(),
+		BudgetRejections: s.metrics.budgetRejections.Load(),
 		Strategies: map[string]int64{
 			string(cfpq.StrategyFull):           s.metrics.stratFull.Load(),
 			string(cfpq.StrategySourceFrontier): s.metrics.stratSourceFrontier.Load(),

@@ -51,13 +51,16 @@ type PathStep struct {
 // the request's output are set; Explain names the strategy the planner
 // chose and Stats the closure work it performed.
 type QueryAnswer struct {
-	Output  string       `json:"output"`
-	Exists  *bool        `json:"exists,omitempty"`
-	Count   *int         `json:"count,omitempty"`
-	Pairs   []NamedPair  `json:"pairs,omitempty"`
-	Paths   [][]PathStep `json:"paths,omitempty"`
-	Explain cfpq.Explain `json:"explain"`
-	Stats   cfpq.Stats   `json:"stats"`
+	Output string       `json:"output"`
+	Exists *bool        `json:"exists,omitempty"`
+	Count  *int         `json:"count,omitempty"`
+	Pairs  []NamedPair  `json:"pairs,omitempty"`
+	Paths  [][]PathStep `json:"paths,omitempty"`
+	// Truncated reports that limit clipped the pair list: the full
+	// relation has more than count pairs.
+	Truncated bool         `json:"truncated,omitempty"`
+	Explain   cfpq.Explain `json:"explain"`
+	Stats     cfpq.Stats   `json:"stats"`
 }
 
 // countStrategy ticks the per-strategy metrics counter n times.
@@ -121,7 +124,7 @@ func (s *Service) Do(ctx context.Context, req QueryRequest) (QueryAnswer, error)
 		MaxPathLength: req.MaxPathLength,
 	})
 	if err != nil {
-		return QueryAnswer{}, err
+		return QueryAnswer{}, s.noteErr(err)
 	}
 	s.countStrategy(res.Explain.Strategy, 1)
 	return renderAnswer(e.ge, req, res), nil
@@ -156,7 +159,7 @@ func (s *Service) doExpr(ctx context.Context, req QueryRequest) (QueryAnswer, er
 		return QueryAnswer{}, errT
 	}
 	s.metrics.queries.Add(1)
-	res, err := cfpq.NewEngine(backend).Do(ctx, cfpq.Request{
+	res, err := cfpq.NewEngine(backend, cfpq.WithMemoryBudget(s.budget.Load())).Do(ctx, cfpq.Request{
 		Graph:         snapshot,
 		Expr:          req.Expr,
 		Sources:       sources,
@@ -166,7 +169,7 @@ func (s *Service) doExpr(ctx context.Context, req QueryRequest) (QueryAnswer, er
 		MaxPathLength: req.MaxPathLength,
 	})
 	if err != nil {
-		return QueryAnswer{}, err
+		return QueryAnswer{}, s.noteErr(err)
 	}
 	s.countStrategy(res.Explain.Strategy, 1)
 	return renderAnswer(ge, req, res), nil
@@ -221,6 +224,7 @@ func renderAnswer(ge *graphEntry, req QueryRequest, res *cfpq.Result) QueryAnswe
 	default: // pairs
 		count := res.Count
 		ans.Count = &count
+		ans.Truncated = res.Truncated
 		pairs := res.AllPairs()
 		ge.mu.RLock()
 		ans.Pairs = make([]NamedPair, len(pairs))

@@ -121,8 +121,6 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 		{"unknown expr graph", http.MethodPost, "/v1/query", `{"graph":"nope","expr":"knows+"}`, http.StatusNotFound},
 		{"bad expr", http.MethodPost, "/v1/query", `{"graph":"social","expr":"(("}`, http.StatusBadRequest},
 		{"GET unknown graph", http.MethodGet, "/v1/query?graph=nope&grammar=reach&nonterminal=S", "", http.StatusNotFound},
-		{"GET empty sources", http.MethodGet, "/v1/query?graph=social&grammar=reach&nonterminal=S&sources=", "", http.StatusBadRequest},
-		{"GET empty targets", http.MethodGet, "/v1/query?graph=social&grammar=reach&nonterminal=S&targets=,", "", http.StatusBadRequest},
 		{"batch malformed body", http.MethodPost, "/v1/query/batch", `{"queries":`, http.StatusBadRequest},
 		{"snapshot without store", http.MethodPost, "/v1/snapshot", "", http.StatusConflict},
 	}
@@ -252,15 +250,122 @@ func TestServiceDoTargets(t *testing.T) {
 
 // TestHTTPDeclarativeQueryEmptyRestriction pins the declared semantics of
 // a present-but-empty restriction: it selects nothing (and does not
-// silently mean "everything").
+// silently mean "everything"), uniformly across the POST wire form
+// ("sources": []), the GET shim (sources= / targets=,), and the uncached
+// expression path.
 func TestHTTPDeclarativeQueryEmptyRestriction(t *testing.T) {
 	srv := queryTestServer(t)
-	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
-		`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","sources":[]}`)
-	if code != http.StatusOK {
-		t.Fatalf("empty restriction: %d %v", code, body)
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+	}{
+		{"POST empty sources", http.MethodPost, "/v1/query",
+			`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","sources":[]}`},
+		{"POST empty targets", http.MethodPost, "/v1/query",
+			`{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","targets":[]}`},
+		{"POST expr empty sources", http.MethodPost, "/v1/query",
+			`{"graph":"social","expr":"knows+","output":"count","sources":[]}`},
+		{"GET empty sources", http.MethodGet,
+			"/v1/query?graph=social&grammar=reach&nonterminal=S&op=count&sources=", ""},
+		{"GET empty targets", http.MethodGet,
+			"/v1/query?graph=social&grammar=reach&nonterminal=S&op=count&targets=,", ""},
 	}
-	if got := body["count"].(float64); got != 0 {
-		t.Fatalf("empty restriction counted %v pairs, want 0", got)
+	for _, tc := range cases {
+		code, body := httpDo(t, srv, tc.method, tc.path, tc.body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d %v", tc.name, code, body)
+		}
+		if got := body["count"].(float64); got != 0 {
+			t.Fatalf("%s counted %v pairs, want 0", tc.name, got)
+		}
+	}
+
+	// The absent parameter still means unrestricted — the full relation.
+	code, body := httpDo(t, srv, http.MethodGet,
+		"/v1/query?graph=social&grammar=reach&nonterminal=S&op=count", "")
+	if code != http.StatusOK || body["count"].(float64) != 6 {
+		t.Fatalf("unrestricted count: %d %v", code, body)
+	}
+}
+
+// TestHTTPTruncatedFlag asserts the wire answer reports limit truncation
+// instead of passing a clipped relation off as complete.
+func TestHTTPTruncatedFlag(t *testing.T) {
+	srv := queryTestServer(t)
+	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","limit":2}`)
+	if code != http.StatusOK {
+		t.Fatalf("limited pairs: %d %v", code, body)
+	}
+	if body["count"].(float64) != 2 || body["truncated"] != true {
+		t.Fatalf("limit 2 of 6 pairs: want count 2 truncated true, got %v", body)
+	}
+
+	// A limit the relation fits under is not truncation; the flag is
+	// omitted from the wire form entirely.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S","limit":10}`)
+	if code != http.StatusOK || body["count"].(float64) != 6 {
+		t.Fatalf("unclipped pairs: %d %v", code, body)
+	}
+	if _, present := body["truncated"]; present {
+		t.Fatalf("unclipped answer carries truncated: %v", body)
+	}
+
+	// The uncached expression path (Engine.Do → shapePairs) reports it too.
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","expr":"knows+","limit":1}`)
+	if code != http.StatusOK || body["truncated"] != true {
+		t.Fatalf("expr truncation: %d %v", code, body)
+	}
+}
+
+// TestHTTPMemoryBudget asserts a closure rejected by the service memory
+// budget answers 413 with the error envelope and ticks the
+// budget_rejections counter in /debug/vars.
+func TestHTTPMemoryBudget(t *testing.T) {
+	svc := New()
+	svc.SetMemoryBudget(64) // far below even a 4-node index
+	srv := httptest.NewServer(Handler(svc))
+	t.Cleanup(srv.Close)
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/graphs/social?format=edgelist",
+		"alice knows bob\nbob knows carol\ncarol knows dave\n"); code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/grammars/reach", "S -> knows | knows S"); code != http.StatusOK {
+		t.Fatalf("PUT grammar: %d %v", code, body)
+	}
+
+	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S"}`)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("budgeted query: status %d, want 413 (%v)", code, body)
+	}
+	if msg, ok := body["error"].(string); !ok || !strings.Contains(msg, "memory budget") {
+		t.Fatalf("budgeted query error envelope: %v", body)
+	}
+
+	// The expression path is budgeted too.
+	if code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","expr":"knows+"}`); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("budgeted expr: status %d, want 413 (%v)", code, body)
+	}
+
+	code, body = httpDo(t, srv, http.MethodGet, "/debug/vars", "")
+	if code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", code)
+	}
+	if got := body["cfpqd"].(map[string]any)["budget_rejections"].(float64); got != 2 {
+		t.Fatalf("budget_rejections = %v, want 2", got)
+	}
+
+	// Lifting the budget lets the same query through (rebuild on next use:
+	// the failed build cached nothing).
+	svc.SetMemoryBudget(0)
+	if code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"social","grammar":"reach","nonterminal":"S"}`); code != http.StatusOK {
+		t.Fatalf("unbudgeted query after lift: %d %v", code, body)
 	}
 }

@@ -68,17 +68,48 @@ type Service struct {
 	// serving; read without s.mu on the hot paths.
 	store *store.Store
 
+	// budget is the per-closure memory budget in bytes applied to every
+	// engine this service constructs (index builds, incremental patches,
+	// uncached RPQ evaluations); 0 means unlimited. Atomic so it can be
+	// set after serving started.
+	budget atomic.Int64
+
 	metrics serviceMetrics
+}
+
+// SetMemoryBudget bounds the estimated matrix bytes any single closure
+// evaluation run by this service may hold (cfpq.WithMemoryBudget): index
+// builds, incremental update patches and uncached RPQ evaluations alike.
+// A breach answers the offending request with a typed error the HTTP
+// layer maps to 413 and ticks the budget_rejections counter. bytes ≤ 0
+// means unlimited. Engines already cached keep the budget they were
+// built with; set the budget before serving for uniform behaviour.
+func (s *Service) SetMemoryBudget(bytes int64) {
+	if bytes < 0 {
+		bytes = 0
+	}
+	s.budget.Store(bytes)
+}
+
+// noteErr classifies an evaluation error into the error counters —
+// currently just memory-budget rejections — and returns it unchanged.
+func (s *Service) noteErr(err error) error {
+	var be *cfpq.MemoryBudgetError
+	if errors.As(err, &be) {
+		s.metrics.budgetRejections.Add(1)
+	}
+	return err
 }
 
 // serviceMetrics are the monotonic counters /debug/vars exposes.
 type serviceMetrics struct {
-	queries       atomic.Int64 // query operations answered (batch = one per spec)
-	indexBuilds   atomic.Int64 // full closure builds
-	warmStarts    atomic.Int64 // Prepared handles restored from the store without a closure
-	updates       atomic.Int64 // AddEdges calls
-	edgesAdded    atomic.Int64 // edges inserted across updates
-	persistErrors atomic.Int64 // best-effort index persistence failures
+	queries          atomic.Int64 // query operations answered (batch = one per spec)
+	indexBuilds      atomic.Int64 // full closure builds
+	warmStarts       atomic.Int64 // Prepared handles restored from the store without a closure
+	updates          atomic.Int64 // AddEdges calls
+	edgesAdded       atomic.Int64 // edges inserted across updates
+	persistErrors    atomic.Int64 // best-effort index persistence failures
+	budgetRejections atomic.Int64 // evaluations rejected by the memory budget (HTTP 413)
 
 	// Per-strategy counters: which plan the library planner chose per
 	// answered query, so plan selection is observable in production.
@@ -397,7 +428,7 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 	// mutation, excludes lost updates).
 	e := s.indexes[key]
 	if e == nil {
-		e = &indexEntry{key: key, ge: ge, eng: cfpq.NewEngine(be)}
+		e = &indexEntry{key: key, ge: ge}
 		s.indexes[key] = e
 	}
 	s.mu.Unlock()
@@ -405,6 +436,12 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.built {
+		// The engine is constructed at build time (not entry-creation
+		// time) so it carries the memory budget in force when the closure
+		// actually runs: a build rejected under one budget retries under
+		// the current one, while a built index keeps its engine — and its
+		// budget — for every incremental patch.
+		e.eng = cfpq.NewEngine(be, cfpq.WithMemoryBudget(s.budget.Load()))
 		// The Prepared owns a private snapshot of the graph, so the graph
 		// lock is held only for the clone, not the (potentially long)
 		// closure. An AddEdges racing this build either sees built=false
@@ -418,7 +455,7 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 		e.ge.mu.RUnlock()
 		p, err := e.eng.PrepareCNF(ctx, snapshot, re.cnf)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, s.noteErr(err)
 		}
 		e.p = p
 		e.built = true
@@ -870,6 +907,7 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 			info, err := e.p.AddEdges(ctx, edges...)
 			res.UpdateStats.Add(info.Stats)
 			if err != nil {
+				s.noteErr(err)
 				// A cancelled patch leaves the handle sound but
 				// incomplete; drop it so the next query rebuilds, and
 				// report it as invalidated, not patched.

@@ -255,6 +255,7 @@ func shapePairs(req Request, pairs []Pair, ex Explain, stats Stats) *Result {
 	default: // OutputPairs
 		if req.Limit > 0 && len(pairs) > req.Limit {
 			pairs = pairs[:req.Limit]
+			res.Truncated = true
 		}
 		res.Count = len(pairs)
 		res.pairs = pairs

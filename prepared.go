@@ -159,7 +159,17 @@ func (p *Prepared) doLocked(ctx context.Context, req Request) (*Result, error) {
 		// Materialised under the held lock: the streamed pairs are a
 		// consistent point-in-time snapshot (batch answers must all read
 		// one index state), and iterating the Result needs no lock.
-		pairs := p.pairsLocked(nt, req.Sources, req.Targets, req.Limit)
+		// The scan looks one pair past the limit so a clipped answer can
+		// report Truncated instead of silently passing for a complete one.
+		lookahead := req.Limit
+		if lookahead > 0 {
+			lookahead++
+		}
+		pairs := p.pairsLocked(nt, req.Sources, req.Targets, lookahead)
+		if req.Limit > 0 && len(pairs) > req.Limit {
+			pairs = pairs[:req.Limit]
+			res.Truncated = true
+		}
 		res.Count = len(pairs)
 		res.pairs = pairs
 	}

@@ -58,6 +58,11 @@ type Result struct {
 	// Count answers OutputCount; for OutputPairs and OutputPaths it is the
 	// number of elements the result streams (after Limit).
 	Count int `json:"count"`
+	// Truncated reports that Limit clipped an OutputPairs relation: the
+	// full relation has more than Count pairs. Without it, a limited
+	// request cannot distinguish "exactly Limit pairs exist" from "at
+	// least Limit pairs exist".
+	Truncated bool `json:"truncated,omitempty"`
 	// Stats is the closure work performed by this evaluation.
 	Stats Stats `json:"stats"`
 	// Explain records the chosen plan.
