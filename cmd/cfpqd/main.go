@@ -12,6 +12,8 @@
 //	cfpqd -graph ontology=wine.nt -grammar q1=samegen.g
 //	cfpqd -data-dir /var/lib/cfpqd   # durable: WAL + snapshots + warm start
 //	cfpqd -memory-budget 268435456   # answer 413 when a closure needs > 256 MiB of matrices
+//	cfpqd -follow http://leader:8080 -data-dir /var/lib/cfpqd-replica
+//	                                 # read replica: bootstrap + tail the leader's WAL
 //
 // The -graph flag preloads name=path pairs (format inferred from the
 // extension: .nt → N-Triples, anything else → edge list); -grammar
@@ -30,6 +32,22 @@
 // does the same for any graph whose WAL outgrows its threshold; a clean
 // shutdown (SIGINT/SIGTERM) snapshots everything so the next start
 // replays nothing.
+//
+// # Replication
+//
+// With -follow <leader-url>, cfpqd runs as a read replica: it bootstraps
+// every graph and grammar from the leader's snapshot endpoints, then tails
+// the leader's WAL with retry/backoff, applying each batch through the
+// same write-ahead + incremental delta-patch path a warm start uses —
+// never a cold closure. Local writes answer 403; reads are served at a
+// measured staleness reported by GET /v1/replication/status and /debug/vars.
+// GET /readyz answers 503 while the follower bootstraps, loses its leader,
+// or lags more than -max-lag records, so load balancers stop routing to
+// stale replicas. POST /v1/promote detaches the follower and opens the
+// write gate, turning it into a writable leader. A follower given its own
+// -data-dir is durable (it re-journals the leader's frames into its own
+// WAL, warm-starts after a restart, and can itself lead further
+// followers); without -data-dir it replicates purely in memory.
 //
 // # Walkthrough
 //
@@ -83,6 +101,7 @@ import (
 	"syscall"
 	"time"
 
+	"cfpq/internal/replica"
 	"cfpq/internal/server"
 	"cfpq/internal/store"
 )
@@ -105,10 +124,18 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory; empty serves purely in memory")
 	compactBytes := flag.Int64("compact-bytes", 0, "WAL size that triggers background compaction (0 = 4 MiB default)")
 	memoryBudget := flag.Int64("memory-budget", 0, "per-closure matrix memory budget in bytes; over-budget queries answer 413 (0 = unlimited)")
+	follow := flag.String("follow", "", "leader URL to replicate from; this node serves reads only until promoted")
+	maxLag := flag.Uint64("max-lag", 0, "follower staleness (records behind the leader) beyond which /readyz answers 503 (0 = any finite lag)")
+	followerID := flag.String("follower-id", "", "identity reported to the leader's WAL retention (default hostname-pid)")
 	var graphs, grammars namedFiles
 	flag.Var(&graphs, "graph", "preload a graph as name=path (repeatable)")
 	flag.Var(&grammars, "grammar", "preload a grammar as name=path (repeatable)")
 	flag.Parse()
+	if *follow != "" && (len(graphs) > 0 || len(grammars) > 0) {
+		// Preloads are local writes, and a follower's registry belongs to
+		// its leader.
+		log.Fatalf("cfpqd: -graph/-grammar preloads cannot be combined with -follow; load data on the leader")
+	}
 
 	svc := server.New()
 	svc.SetMemoryBudget(*memoryBudget)
@@ -150,6 +177,25 @@ func main() {
 		}
 	}
 
+	var rep *replica.Replicator
+	if *follow != "" {
+		id := *followerID
+		if id == "" {
+			host, _ := os.Hostname()
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		svc.SetReadOnly(true)
+		svc.SetReadinessMaxLag(*maxLag)
+		rep = replica.New(&replica.Client{Base: *follow, FollowerID: id}, svc, replica.Options{})
+		svc.SetReplication(rep)
+		go func() {
+			if err := rep.Run(context.Background()); err != nil {
+				log.Printf("cfpqd: replication stopped: %v", err)
+			}
+		}()
+		log.Printf("cfpqd: following %s as %q (read-only until promoted)", *follow, id)
+	}
+
 	log.Printf("cfpqd: listening on %s (%d graphs, %d grammars preloaded)",
 		*addr, len(graphs), len(grammars))
 	srv := &http.Server{
@@ -175,6 +221,12 @@ func main() {
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("cfpqd: shutdown: %v", err)
+		}
+		if rep != nil {
+			// Ask the stream to stop before the final snapshot. A batch
+			// still in flight is journaled write-ahead, so at worst it
+			// stays in the WAL for the next warm start.
+			rep.Stop()
 		}
 		if st != nil {
 			if err := svc.Snapshot(""); err != nil {

@@ -166,12 +166,27 @@
 //	p, _ := eng.PrepareFromIndex(g, cnf, ix) // serve it — Build stats stay zero
 //	p.AttachWAL(log)                        // tee AddEdges into a durable log, write-ahead
 //
+// # Replication
+//
+// The same WAL doubles as a replication stream. `cfpqd -follow
+// <leader-url>` runs a read replica (internal/replica): it bootstraps
+// graphs and grammars from the leader's snapshots, then tails the leader's
+// WAL over HTTP long-polls and applies each CRC-framed batch exactly the
+// way a warm start would — journaled write-ahead into its own store, then
+// delta-patched into every cached index; a follower never re-runs a
+// closure to absorb replicated writes. Replication is asynchronous with
+// measured staleness (applied seq vs leader seq, pending WAL bytes, lag
+// age) reported by GET /v1/replication/status; /readyz turns 503 when a
+// follower bootstraps, loses its leader, or lags beyond -max-lag, and
+// POST /v1/promote detaches it into a writable leader.
+//
 // Subpackages under internal/ implement the machinery: grammars and CNF
 // (internal/grammar), graphs, N-Triples and edge lists (internal/graph),
 // Boolean matrix kernels (internal/matrix), the closure engine and path
 // semantics (internal/core), the concurrent query service
 // (internal/server), the durable store — WAL, snapshots, compaction
-// (internal/store), the Hellings and GLL baselines (internal/baseline),
+// (internal/store), WAL shipping and follower apply (internal/replica),
+// the Hellings and GLL baselines (internal/baseline),
 // the paper's evaluation datasets (internal/dataset) and the table harness
 // (internal/bench) — all of which evaluate through the public Engine.
 package cfpq

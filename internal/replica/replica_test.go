@@ -1,0 +1,162 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"cfpq/internal/store"
+)
+
+var ctx = context.Background()
+
+func TestStatusReady(t *testing.T) {
+	cases := []struct {
+		name   string
+		st     Status
+		maxLag uint64
+		want   bool
+	}{
+		{"bootstrapping", Status{State: StateBootstrapping}, 0, false},
+		{"degraded", Status{State: StateDegraded}, 0, false},
+		{"stopped", Status{State: StateStopped}, 0, false},
+		{"streaming caught up", Status{State: StateStreaming}, 0, true},
+		{"streaming any finite lag", Status{State: StateStreaming, LagRecords: 1 << 20}, 0, true},
+		{"streaming within bound", Status{State: StateStreaming, LagRecords: 10}, 10, true},
+		{"streaming beyond bound", Status{State: StateStreaming, LagRecords: 11}, 10, false},
+	}
+	for _, c := range cases {
+		if got := c.st.Ready(c.maxLag); got != c.want {
+			t.Errorf("%s: Ready(%d) = %v, want %v", c.name, c.maxLag, got, c.want)
+		}
+	}
+}
+
+func TestWireBatchRoundTrip(t *testing.T) {
+	in := []store.TailBatch{
+		{Seq: 2, Kind: store.RecordTokens, Bytes: 40, Recs: []store.EdgeRecord{
+			{From: "a", Label: "x", To: "b"},
+			{From: "b", Label: "y", To: "c"},
+		}},
+		{Seq: 3, Kind: store.RecordIDs, Bytes: 21, Recs: []store.EdgeRecord{
+			{From: "0", Label: "z", To: "2"},
+		}},
+	}
+	wire := WireBatches(in)
+	if wire[0].Kind != "tokens" || wire[1].Kind != "ids" {
+		t.Fatalf("wire kinds = %q, %q", wire[0].Kind, wire[1].Kind)
+	}
+	// Through JSON, like the HTTP layer ships it.
+	raw, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []WireBatch
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i, wb := range back {
+		b, err := wb.Batch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(b, in[i]) {
+			t.Errorf("batch %d round-tripped to %+v, want %+v", i, b, in[i])
+		}
+	}
+	if _, err := (WireBatch{Kind: "morse"}).Batch(); err == nil {
+		t.Error("unknown kind decoded without error")
+	}
+}
+
+// TestClientSentinels checks the HTTP status → sentinel error mapping the
+// tailer branches on: 410 means re-bootstrap, 404 means re-sync.
+func TestClientSentinels(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("graph") {
+		case "compacted":
+			http.Error(w, "tail gone", http.StatusGone)
+		case "vanished":
+			http.Error(w, "no such graph", http.StatusNotFound)
+		default:
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL, FollowerID: "t"}
+
+	if _, err := c.Tail(ctx, "compacted", 5, 1, 0); !errors.Is(err, ErrSnapshotRequired) {
+		t.Errorf("410: err = %v, want ErrSnapshotRequired", err)
+	}
+	if _, err := c.Tail(ctx, "vanished", 5, 1, 0); !errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("404: err = %v, want ErrUnknownGraph", err)
+	}
+	_, err := c.Tail(ctx, "other", 5, 1, 0)
+	if err == nil || errors.Is(err, ErrSnapshotRequired) || errors.Is(err, ErrUnknownGraph) {
+		t.Errorf("500: err = %v, want a plain error", err)
+	}
+}
+
+// TestClientRequests checks the wire format the client emits and decodes:
+// manifest JSON, snapshot headers, and the tail query string.
+func TestClientRequests(t *testing.T) {
+	manifest := Manifest{
+		ConfigVersion: 7,
+		Grammars:      map[string]string{"q": "S -> a"},
+		Graphs:        []GraphMeta{{Name: "g", Seq: 9, Epoch: 3}},
+	}
+	var tailQuery map[string]string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/replica/snapshot":
+			if r.URL.Query().Get("graph") == "" {
+				json.NewEncoder(w).Encode(manifest)
+				return
+			}
+			w.Header().Set("X-Cfpq-Seq", "9")
+			w.Header().Set("X-Cfpq-Epoch", "3")
+			w.Write([]byte("binary-snapshot"))
+		case "/v1/replica/wal":
+			tailQuery = map[string]string{}
+			for k := range r.URL.Query() {
+				tailQuery[k] = r.URL.Query().Get(k)
+			}
+			json.NewEncoder(w).Encode(TailResponse{Graph: "g", From: 9, LeaderSeq: 9})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+	c := &Client{Base: srv.URL + "/", FollowerID: "f1"} // trailing slash must not double up
+
+	m, err := c.Manifest(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*m, manifest) {
+		t.Errorf("manifest = %+v, want %+v", *m, manifest)
+	}
+
+	raw, seq, epoch, err := c.GraphSnapshot(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "binary-snapshot" || seq != 9 || epoch != 3 {
+		t.Errorf("snapshot = %q seq=%d epoch=%d", raw, seq, epoch)
+	}
+
+	if _, err := c.Tail(ctx, "g", 9, 3, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"graph": "g", "from": "9", "epoch": "3", "wait": "250ms", "follower": "f1",
+	}
+	if !reflect.DeepEqual(tailQuery, want) {
+		t.Errorf("tail query = %v, want %v", tailQuery, want)
+	}
+}

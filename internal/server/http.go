@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"cfpq"
 )
@@ -40,10 +42,25 @@ import (
 //	POST /v1/snapshot                    persistent mode: fold WAL + built indexes into
 //	                                     fresh snapshots; ?graph= restricts to one graph
 //	GET  /v1/store/stats                 persistent mode: durable-store statistics
+//	GET  /v1/replica/snapshot            leader: JSON manifest (grammars, graphs with
+//	                                     seq+epoch, config version); ?graph= instead
+//	                                     returns that graph's binary snapshot with
+//	                                     X-Cfpq-Seq / X-Cfpq-Epoch headers
+//	GET  /v1/replica/wal                 leader: long-poll one graph's WAL tail,
+//	                                     ?graph=&from=&epoch=&follower=&wait=; 410 means
+//	                                     the follower must re-bootstrap from a snapshot
+//	GET  /v1/replication/status          role + stream positions: follower staleness
+//	                                     (applied vs leader seq, lag bytes/age) or the
+//	                                     leader's graphs and attached followers
+//	POST /v1/promote                     follower: detach from the leader and open the
+//	                                     write gate
 //	GET  /healthz                        liveness probe, {"status":"ok"}
-//	GET  /debug/vars                     expvar dump + cfpqd service/store metrics
+//	GET  /readyz                         readiness: 503 while a follower bootstraps, has
+//	                                     lost its leader, or exceeds the -max-lag bound
+//	GET  /debug/vars                     expvar dump + cfpqd service/store/replication metrics
 //
-// Errors are {"error": "..."} with a 4xx/5xx status.
+// Errors are {"error": "..."} with a 4xx/5xx status. On a follower every
+// local mutation route answers 403; writes go to the leader.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
@@ -101,7 +118,7 @@ func Handler(s *Service) http.Handler {
 		}
 		name := r.PathValue("name")
 		if err := s.RegisterGrammar(name, string(text)); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
 		gi, err := s.GrammarInfoFor(name)
@@ -250,8 +267,81 @@ func Handler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, st)
 	})
+	mux.HandleFunc("GET /v1/replica/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		if name := r.URL.Query().Get("graph"); name != "" {
+			data, seq, epoch, err := s.ReplicaGraphSnapshot(name)
+			if err != nil {
+				writeError(w, replicationStatusFor(err), err)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("X-Cfpq-Seq", strconv.FormatUint(seq, 10))
+			w.Header().Set("X-Cfpq-Epoch", strconv.FormatUint(epoch, 10))
+			_, _ = w.Write(data)
+			return
+		}
+		m, err := s.ReplicaManifest()
+		if err != nil {
+			writeError(w, replicationStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, m)
+	})
+	mux.HandleFunc("GET /v1/replica/wal", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		name := q.Get("graph")
+		if name == "" {
+			writeError(w, http.StatusBadRequest, errors.New("graph is required"))
+			return
+		}
+		from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from param: %w", err))
+			return
+		}
+		epoch, err := strconv.ParseUint(q.Get("epoch"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad epoch param: %w", err))
+			return
+		}
+		var wait time.Duration
+		if wv := q.Get("wait"); wv != "" {
+			if wait, err = time.ParseDuration(wv); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait param: %w", err))
+				return
+			}
+			if wait > maxTailWait {
+				wait = maxTailWait
+			}
+		}
+		resp, err := s.ReplicaTail(r.Context(), name, q.Get("follower"), from, epoch, wait)
+		if err != nil {
+			writeError(w, replicationStatusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.ReplicationStatus())
+	})
+	mux.HandleFunc("POST /v1/promote", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Promote(r.Context())
+		if err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "replication": st})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, detail := s.Ready()
+		code := http.StatusOK
+		if !ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, detail)
 	})
 	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		serveDebugVars(w, s)
@@ -286,6 +376,11 @@ func serveDebugVars(w http.ResponseWriter, s *Service) {
 	if st, ok := s.StoreStats(); ok {
 		if raw, err := json.Marshal(st); err == nil {
 			emit("cfpqd_store", string(raw))
+		}
+	}
+	if rc := s.replicationController(); rc != nil {
+		if raw, err := json.Marshal(rc.Status()); err == nil {
+			emit("cfpqd_replication", string(raw))
 		}
 	}
 	fmt.Fprintf(w, "\n}\n")
@@ -326,16 +421,38 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps service errors to HTTP statuses: lookups of unregistered
-// names are 404, memory-budget rejections 413 (the request names an
-// instance too large for the configured allowance), everything else a
-// client error.
+// names are 404, writes rejected by a read-only follower 403,
+// memory-budget rejections 413 (the request names an instance too large
+// for the configured allowance), everything else a client error.
 func statusFor(err error) int {
 	if errors.Is(err, ErrNotFound) {
 		return http.StatusNotFound
+	}
+	if errors.Is(err, ErrReadOnly) {
+		return http.StatusForbidden
 	}
 	var be *cfpq.MemoryBudgetError
 	if errors.As(err, &be) {
 		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
+}
+
+// maxTailWait caps a replication long-poll so a dead follower connection
+// cannot park a handler goroutine indefinitely.
+const maxTailWait = 60 * time.Second
+
+// replicationStatusFor maps replication-endpoint errors: the
+// snapshot-required signal is 410 Gone, unknown graphs 404, and a node
+// that cannot serve the request in its current role (no store attached,
+// not a follower) 409 Conflict.
+func replicationStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrSnapshotNeeded):
+		return http.StatusGone
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	default:
+		return http.StatusConflict
+	}
 }

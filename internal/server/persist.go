@@ -82,6 +82,11 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 			}
 		}
 		ge := &graphEntry{g: g, names: nameMap, byID: byID, seq: seq}
+		if _, epoch, err := st.GraphPos(name); err == nil {
+			// The persisted stream epoch survives restarts, so a restarted
+			// follower resumes tailing the same leader stream it left.
+			ge.epoch = epoch
+		}
 		s.mu.Lock()
 		s.graphs[name] = ge
 		s.mu.Unlock()
@@ -283,6 +288,17 @@ type MetricsSnapshot struct {
 	// BudgetRejections counts evaluations rejected by the configured
 	// memory budget (SetMemoryBudget); the HTTP layer answers them 413.
 	BudgetRejections int64 `json:"budget_rejections"`
+	// WALAppends/WALBytes/WALFsyncs mirror the attached store's WAL write
+	// counters (zero without a store): journaled batches, bytes written and
+	// fsyncs issued this session. Replication lag-in-bytes is measured
+	// against these on the leader.
+	WALAppends int64 `json:"wal_appends"`
+	WALBytes   int64 `json:"wal_bytes"`
+	WALFsyncs  int64 `json:"wal_fsyncs"`
+	// ReplicatedBatches/ReplicatedEdges count the leader's WAL stream
+	// applied locally (non-zero only on followers).
+	ReplicatedBatches int64 `json:"replicated_batches"`
+	ReplicatedEdges   int64 `json:"replicated_edges"`
 	// Strategies counts answered queries per planner strategy (full,
 	// source-frontier, target-frontier, cached-read), so plan selection is
 	// observable in production.
@@ -291,14 +307,16 @@ type MetricsSnapshot struct {
 
 // Metrics snapshots the service counters.
 func (s *Service) Metrics() MetricsSnapshot {
-	return MetricsSnapshot{
-		Queries:          s.metrics.queries.Load(),
-		IndexBuilds:      s.metrics.indexBuilds.Load(),
-		WarmStarts:       s.metrics.warmStarts.Load(),
-		Updates:          s.metrics.updates.Load(),
-		EdgesAdded:       s.metrics.edgesAdded.Load(),
-		PersistErrors:    s.metrics.persistErrors.Load(),
-		BudgetRejections: s.metrics.budgetRejections.Load(),
+	m := MetricsSnapshot{
+		Queries:           s.metrics.queries.Load(),
+		IndexBuilds:       s.metrics.indexBuilds.Load(),
+		WarmStarts:        s.metrics.warmStarts.Load(),
+		Updates:           s.metrics.updates.Load(),
+		EdgesAdded:        s.metrics.edgesAdded.Load(),
+		PersistErrors:     s.metrics.persistErrors.Load(),
+		BudgetRejections:  s.metrics.budgetRejections.Load(),
+		ReplicatedBatches: s.metrics.replBatches.Load(),
+		ReplicatedEdges:   s.metrics.replEdges.Load(),
 		Strategies: map[string]int64{
 			string(cfpq.StrategyFull):           s.metrics.stratFull.Load(),
 			string(cfpq.StrategySourceFrontier): s.metrics.stratSourceFrontier.Load(),
@@ -306,4 +324,8 @@ func (s *Service) Metrics() MetricsSnapshot {
 			string(cfpq.StrategyCachedRead):     s.metrics.stratCachedRead.Load(),
 		},
 	}
+	if s.store != nil {
+		m.WALAppends, m.WALBytes, m.WALFsyncs = s.store.WALCounters()
+	}
+	return m
 }

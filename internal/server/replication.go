@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"cfpq/internal/graph"
+	"cfpq/internal/replica"
+	"cfpq/internal/store"
+)
+
+// Replication wiring. A Service plays either side:
+//
+//   - Leader: any Service with an attached store. ReplicaManifest,
+//     ReplicaGraphSnapshot and ReplicaTail expose the store's WAL tail to
+//     followers (the HTTP layer serves them under /v1/replica/...).
+//   - Follower: a Service with the write gate on (SetReadOnly) whose
+//     replica.Replicator applies the leader's stream through the Applier
+//     methods below — the same write-ahead + incremental delta-patch path
+//     AddEdges uses, so a follower never runs a cold closure to absorb
+//     replicated writes.
+//
+// A durable follower re-journals every replicated frame into its own WAL
+// with the leader's record kind, which keeps its store byte-compatible
+// with the stream and makes followers chainable.
+
+// ErrSnapshotNeeded marks a tail request the leader cannot serve from its
+// WAL — the position was compacted away, overshoots the head, splits a
+// batch, or names a dead epoch. The HTTP layer maps it to 410 Gone and the
+// follower re-bootstraps from a fresh snapshot.
+var ErrSnapshotNeeded = errors.New("server: WAL tail unavailable; bootstrap from a fresh snapshot")
+
+// tailPageBytes caps one ReplicaTail response page. A lagging follower
+// pages through the backlog in chunks instead of receiving one giant
+// response; RemainingBytes tells it (and the staleness math) how much is
+// still pending.
+const tailPageBytes int64 = 4 << 20
+
+// ReplicationController is the follower-side handle the HTTP layer talks
+// to: *replica.Replicator implements it.
+type ReplicationController interface {
+	Status() replica.Status
+	Promote(ctx context.Context) error
+}
+
+// SetReplication attaches the follower's replicator handle so the HTTP
+// layer can serve /v1/replication/status, /readyz and /v1/promote.
+func (s *Service) SetReplication(rc ReplicationController) {
+	s.replMu.Lock()
+	s.replication = rc
+	s.replMu.Unlock()
+}
+
+func (s *Service) replicationController() ReplicationController {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	return s.replication
+}
+
+// SetReadinessMaxLag bounds the staleness (in records behind the leader)
+// up to which /readyz still reports this follower routable; 0 accepts any
+// finite lag as long as the stream is live.
+func (s *Service) SetReadinessMaxLag(records uint64) { s.readinessMaxLag.Store(records) }
+
+// Promote detaches this follower from its leader: the replication stream
+// drains and stops, the write gate opens, and the node serves writes as a
+// leader from its consistent prefix of the old leader's stream.
+func (s *Service) Promote(ctx context.Context) (replica.Status, error) {
+	rc := s.replicationController()
+	if rc == nil {
+		return replica.Status{}, errors.New("server: this node is not a follower")
+	}
+	if err := rc.Promote(ctx); err != nil {
+		return rc.Status(), err
+	}
+	s.SetReadOnly(false)
+	return rc.Status(), nil
+}
+
+// ReplicationStatus assembles the /v1/replication/status payload for
+// whichever role this node plays: a follower reports its stream status
+// (replica.Status), a leader its graphs' stream positions and attached
+// followers, a store-less standalone node just its role. A promoted
+// follower reports as a leader.
+func (s *Service) ReplicationStatus() any {
+	promoted := false
+	if rc := s.replicationController(); rc != nil {
+		st := rc.Status()
+		if st.State != replica.StatePromoted {
+			return st
+		}
+		promoted = true
+	}
+	out := map[string]any{"role": "standalone"}
+	if promoted {
+		out["promoted"] = true
+	}
+	st := s.store
+	if st == nil {
+		return out
+	}
+	out["role"] = "leader"
+	out["config_version"] = st.ConfigVersion()
+	graphs := []replica.GraphMeta{}
+	for _, name := range st.GraphNames() {
+		if seq, epoch, err := st.GraphPos(name); err == nil {
+			graphs = append(graphs, replica.GraphMeta{Name: name, Seq: seq, Epoch: epoch})
+		}
+	}
+	out["graphs"] = graphs
+	out["followers"] = st.TailReservations()
+	return out
+}
+
+// Ready is the /readyz predicate: leaders and standalone nodes are always
+// ready; a follower is ready while it is actively streaming within the
+// configured lag bound (SetReadinessMaxLag). Bootstrapping and degraded
+// (leader unreachable beyond StaleAfter) followers report unready so load
+// balancers stop routing to them.
+func (s *Service) Ready() (bool, map[string]any) {
+	rc := s.replicationController()
+	if rc == nil {
+		return true, map[string]any{"status": "ready"}
+	}
+	st := rc.Status()
+	if st.State == replica.StatePromoted {
+		return true, map[string]any{"status": "ready", "state": st.State}
+	}
+	maxLag := s.readinessMaxLag.Load()
+	if st.Ready(maxLag) {
+		return true, map[string]any{"status": "ready", "state": st.State, "lag_records": st.LagRecords}
+	}
+	detail := map[string]any{
+		"status": "unready", "state": st.State,
+		"lag_records": st.LagRecords, "max_lag": maxLag,
+	}
+	if st.Error != "" {
+		detail["error"] = st.Error
+	}
+	return false, detail
+}
+
+// --- leader side ------------------------------------------------------
+
+// leaderStore returns the attached store or an error explaining why this
+// node cannot serve replication.
+func (s *Service) leaderStore() (*store.Store, error) {
+	if s.store == nil {
+		return nil, errors.New("server: no store attached; start cfpqd with -data-dir to lead")
+	}
+	return s.store, nil
+}
+
+// ReplicaManifest describes this leader's registry for a follower's sync:
+// every grammar's text, every graph's stream position and epoch, and the
+// config version followers watch for registry drift.
+func (s *Service) ReplicaManifest() (*replica.Manifest, error) {
+	st, err := s.leaderStore()
+	if err != nil {
+		return nil, err
+	}
+	m := &replica.Manifest{ConfigVersion: st.ConfigVersion(), Grammars: map[string]string{}}
+	s.mu.Lock()
+	for name, e := range s.grammars {
+		m.Grammars[name] = e.src
+	}
+	s.mu.Unlock()
+	for _, name := range st.GraphNames() {
+		seq, epoch, err := st.GraphPos(name)
+		if err != nil {
+			continue // deleted between listing and lookup
+		}
+		m.Graphs = append(m.Graphs, replica.GraphMeta{Name: name, Seq: seq, Epoch: epoch})
+	}
+	return m, nil
+}
+
+// ReplicaGraphSnapshot serialises one graph's bootstrap payload at its
+// current stream position.
+func (s *Service) ReplicaGraphSnapshot(name string) (data []byte, seq, epoch uint64, err error) {
+	st, err := s.leaderStore()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	data, seq, epoch, err = st.ReplicaSnapshot(name)
+	if errors.Is(err, store.ErrNotFound) {
+		return nil, 0, 0, notFoundf("server: unknown graph %q", name)
+	}
+	return data, seq, epoch, err
+}
+
+// ReplicaTail serves one long-poll of a graph's WAL tail: batches after
+// seq `from` of stream `epoch`, waiting up to `wait` for new writes before
+// answering an empty page. Each poll refreshes the follower's tail
+// reservation, which holds background compaction away from the records it
+// still needs (Compact/Snapshot called explicitly ignore reservations and
+// lagging followers get ErrSnapshotNeeded instead). An unservable
+// position — compacted away, past the head, a dead epoch — returns
+// ErrSnapshotNeeded; an unknown graph returns ErrNotFound.
+func (s *Service) ReplicaTail(ctx context.Context, graphName, follower string, from, epoch uint64, wait time.Duration) (*replica.TailResponse, error) {
+	st, err := s.leaderStore()
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		// Grab the change channel BEFORE inspecting the tail: a write
+		// landing between the check and the park then wakes us instead of
+		// being missed for a full poll interval.
+		changed := st.Changed()
+		head, gotEpoch, err := st.GraphPos(graphName)
+		if err != nil {
+			return nil, notFoundf("server: unknown graph %q", graphName)
+		}
+		if gotEpoch != epoch {
+			return nil, fmt.Errorf("server: graph %q stream epoch is %d, not %d: %w",
+				graphName, gotEpoch, epoch, ErrSnapshotNeeded)
+		}
+		batches, head, remaining, ok := st.TailSince(graphName, from, tailPageBytes)
+		if !ok {
+			return nil, fmt.Errorf("server: graph %q has no tail at seq %d (head %d): %w",
+				graphName, from, head, ErrSnapshotNeeded)
+		}
+		st.ReserveTail(graphName, follower, from)
+		if len(batches) > 0 || wait <= 0 || !time.Now().Before(deadline) {
+			return &replica.TailResponse{
+				Graph:          graphName,
+				From:           from,
+				LeaderSeq:      head,
+				ConfigVersion:  st.ConfigVersion(),
+				RemainingBytes: remaining,
+				Batches:        replica.WireBatches(batches),
+			}, nil
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-changed:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+}
+
+// --- follower side: the replica.Applier implementation ----------------
+
+// ApplyGrammar installs a replicated grammar, bypassing the follower's
+// write gate. Re-applying the text already registered is a no-op, so a
+// manifest re-sync does not drop cached indexes built on it.
+func (s *Service) ApplyGrammar(name, text string) error {
+	s.mu.Lock()
+	e := s.grammars[name]
+	s.mu.Unlock()
+	if e != nil && e.src == text {
+		return nil
+	}
+	return s.registerGrammar(name, text)
+}
+
+// BootstrapGraph installs a replicated graph snapshot at the given stream
+// position and epoch, replacing any local copy and dropping every cached
+// index on it (their node-id namespace died with the old copy). On a
+// durable follower the snapshot is persisted via the same write-ahead
+// ordering RegisterGraph uses.
+func (s *Service) BootstrapGraph(name string, g *graph.Graph, names []string, seq, epoch uint64) error {
+	if name == "" {
+		return fmt.Errorf("server: empty graph name")
+	}
+	if g == nil {
+		return fmt.Errorf("server: nil graph")
+	}
+	byID := make([]string, g.Nodes())
+	copy(byID, names)
+	nameMap := make(map[string]int)
+	for id, n := range byID {
+		if n != "" {
+			nameMap[n] = id
+		}
+	}
+	ge := &graphEntry{g: g, names: nameMap, byID: byID, seq: seq, epoch: epoch}
+	// Same replacement protocol as RegisterGraph: hold the old entry's
+	// write lock across the store replacement and the registry swap so no
+	// replicated batch can journal into the new WAL while mutating the
+	// orphaned entry.
+	s.mu.Lock()
+	old := s.graphs[name]
+	s.mu.Unlock()
+	if old != nil {
+		old.mu.Lock()
+	}
+	if s.store != nil {
+		if err := s.store.CreateGraphAt(name, g, byID, seq, epoch); err != nil {
+			if old != nil {
+				old.mu.Unlock()
+			}
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.graphs[name] = ge
+	dropped := s.removeIndexesLocked(func(k IndexKey) bool { return k.Graph == name })
+	s.mu.Unlock()
+	if old != nil {
+		old.mu.Unlock()
+	}
+	markStale(dropped)
+	return nil
+}
+
+// GraphPos reports a graph's local stream position and epoch — the pair
+// the replicator resumes tailing from.
+func (s *Service) GraphPos(name string) (seq, epoch uint64, ok bool) {
+	s.mu.Lock()
+	ge := s.graphs[name]
+	s.mu.Unlock()
+	if ge == nil {
+		return 0, 0, false
+	}
+	ge.mu.RLock()
+	defer ge.mu.RUnlock()
+	return ge.seq, ge.epoch, true
+}
+
+// ApplyReplicatedEdges applies one WAL batch from the replication stream:
+// journaled write-ahead into the follower's own store (durable followers)
+// with the leader's record kind, folded into the in-memory graph with the
+// store-mirror interning rules, and patched into every cached index via
+// the incremental delta closure. endSeq is the leader's seq after the
+// batch; a position mismatch returns an error wrapping store.ErrSeqMismatch
+// and the replicator re-bootstraps instead of diverging.
+func (s *Service) ApplyReplicatedEdges(ctx context.Context, graphName string, kind store.RecordKind, recs []store.EdgeRecord, endSeq uint64) error {
+	if !kind.Valid() {
+		return fmt.Errorf("server: unknown WAL record kind %d", byte(kind))
+	}
+	if uint64(len(recs)) > endSeq {
+		return fmt.Errorf("server: batch of %d records cannot end at seq %d: %w",
+			len(recs), endSeq, store.ErrSeqMismatch)
+	}
+	start := endSeq - uint64(len(recs))
+	ge, err := s.graphEntry(graphName)
+	if err != nil {
+		return err
+	}
+
+	ge.mu.Lock()
+	s.mu.Lock()
+	current := s.graphs[graphName] == ge
+	s.mu.Unlock()
+	if !current {
+		ge.mu.Unlock()
+		return fmt.Errorf("server: graph %q was replaced during the apply; retry", graphName)
+	}
+	if ge.seq != start {
+		ge.mu.Unlock()
+		return fmt.Errorf("server: graph %q: replicated batch starts at seq %d but the local stream is at %d: %w",
+			graphName, start, ge.seq, store.ErrSeqMismatch)
+	}
+	for _, r := range recs {
+		if r.Label == "" || r.From == "" || r.To == "" {
+			ge.mu.Unlock()
+			return fmt.Errorf("server: replicated record %+v has an empty token", r)
+		}
+	}
+	if s.store != nil {
+		// Write-ahead, like AddEdges: the frame lands fsynced in the local
+		// WAL (with the leader's kind, so local replay reproduces the exact
+		// id assignment) before the first in-memory mutation.
+		if err := s.store.AppendReplicated(graphName, kind, recs, endSeq); err != nil {
+			ge.mu.Unlock()
+			return fmt.Errorf("server: journaling replicated batch: %w", err)
+		}
+	}
+	edges := make([]graph.Edge, 0, len(recs))
+	maxNode := -1
+	for _, r := range recs {
+		from := ge.internReplicated(r.From, kind)
+		to := ge.internReplicated(r.To, kind)
+		ge.g.AddEdge(from, r.Label, to)
+		edges = append(edges, graph.Edge{From: from, Label: r.Label, To: to})
+		if from > maxNode {
+			maxNode = from
+		}
+		if to > maxNode {
+			maxNode = to
+		}
+	}
+	ge.seq = endSeq
+	ge.version++
+	ge.mu.Unlock()
+	s.metrics.replBatches.Add(1)
+	s.metrics.replEdges.Add(int64(len(edges)))
+
+	var res UpdateResult
+	s.patchIndexes(ctx, graphName, ge, edges, maxNode, &res)
+	return nil
+}
+
+// internReplicated resolves one replicated endpoint token with the store
+// mirror's rules — names first, then numeric ids growing the node range,
+// then intern-as-new — so a follower's in-memory graph evolves exactly as
+// the leader's mirror (and its own WAL replay) does. RecordIDs tokens
+// resolve as canonical ids and never consult the name table. Callers hold
+// ge.mu for writing.
+func (ge *graphEntry) internReplicated(tok string, kind store.RecordKind) int {
+	if kind == store.RecordIDs {
+		id, _ := strconv.Atoi(tok)
+		ge.growNodes(id + 1)
+		return id
+	}
+	if id, ok := ge.names[tok]; ok {
+		return id
+	}
+	if id, err := strconv.Atoi(tok); err == nil && id >= 0 {
+		ge.growNodes(id + 1)
+		return id
+	}
+	id := ge.g.Nodes()
+	ge.growNodes(id + 1)
+	ge.byID[id] = tok
+	ge.names[tok] = id
+	return id
+}
+
+// growNodes extends the node range to at least n and pads the id→name
+// table to match. Callers hold ge.mu for writing.
+func (ge *graphEntry) growNodes(n int) {
+	if n > ge.g.Nodes() {
+		ge.g.EnsureNode(n - 1)
+	}
+	for len(ge.byID) < ge.g.Nodes() {
+		ge.byID = append(ge.byID, "")
+	}
+}

@@ -74,7 +74,40 @@ type Service struct {
 	// set after serving started.
 	budget atomic.Int64
 
+	// readOnly, when set, rejects every locally-originated mutation with
+	// ErrReadOnly — the follower gate. Replicated applies (ApplyGrammar,
+	// BootstrapGraph, ApplyReplicatedEdges) bypass it: they carry the
+	// leader's writes, which are the only writes a follower accepts.
+	readOnly atomic.Bool
+
+	// replication, when non-nil, is the follower's replicator handle
+	// (SetReplication); readinessMaxLag bounds /readyz staleness in
+	// records, 0 = any finite lag.
+	replMu          sync.Mutex
+	replication     ReplicationController
+	readinessMaxLag atomic.Uint64
+
 	metrics serviceMetrics
+}
+
+// ErrReadOnly marks mutations rejected because this node is a read-only
+// follower; the HTTP layer maps it to 403. Writes go to the leader.
+var ErrReadOnly = errors.New("server: node is a read-only follower; write to the leader")
+
+// SetReadOnly flips the follower write gate: when on, RegisterGraph,
+// RegisterGrammar and AddEdges reject with ErrReadOnly while the
+// replication apply path keeps working. Promote flips it back off.
+func (s *Service) SetReadOnly(on bool) { s.readOnly.Store(on) }
+
+// ReadOnly reports whether the follower write gate is on.
+func (s *Service) ReadOnly() bool { return s.readOnly.Load() }
+
+// writable is the gate every locally-originated mutation passes.
+func (s *Service) writable() error {
+	if s.readOnly.Load() {
+		return ErrReadOnly
+	}
+	return nil
 }
 
 // SetMemoryBudget bounds the estimated matrix bytes any single closure
@@ -108,6 +141,8 @@ type serviceMetrics struct {
 	warmStarts       atomic.Int64 // Prepared handles restored from the store without a closure
 	updates          atomic.Int64 // AddEdges calls
 	edgesAdded       atomic.Int64 // edges inserted across updates
+	replBatches      atomic.Int64 // replicated WAL batches applied (follower)
+	replEdges        atomic.Int64 // edges applied from the replication stream
 	persistErrors    atomic.Int64 // best-effort index persistence failures
 	budgetRejections atomic.Int64 // evaluations rejected by the memory budget (HTTP 413)
 
@@ -135,6 +170,7 @@ type graphEntry struct {
 	byID    []string       // node id → name, grown lazily with names
 	version int            // bumped on every successful mutation
 	seq     uint64         // durable edge-stream position (store attached)
+	epoch   uint64         // edge-stream identity (replication); 0 when untracked
 }
 
 type grammarEntry struct {
@@ -178,6 +214,9 @@ const DefaultBackend = "sparse"
 // names to ids and may be nil for graphs addressed by numeric id only.
 // Replacing a graph drops every cached index built on it.
 func (s *Service) RegisterGraph(name string, g *graph.Graph, names map[string]int) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
 	if name == "" {
 		return fmt.Errorf("server: empty graph name")
 	}
@@ -217,6 +256,11 @@ func (s *Service) RegisterGraph(name string, g *graph.Graph, names map[string]in
 				old.mu.Unlock()
 			}
 			return err
+		}
+		// Mirror the freshly minted stream epoch so followers attached to
+		// this node can pin their positions to it.
+		if _, epoch, err := s.store.GraphPos(name); err == nil {
+			ge.epoch = epoch
 		}
 	}
 	s.mu.Lock()
@@ -266,6 +310,15 @@ func (s *Service) LoadGraph(name, format string, r io.Reader) (graph.Stats, erro
 // registration time, not at first query. Replacing a grammar drops every
 // cached index built on it.
 func (s *Service) RegisterGrammar(name, text string) error {
+	if err := s.writable(); err != nil {
+		return err
+	}
+	return s.registerGrammar(name, text)
+}
+
+// registerGrammar is RegisterGrammar behind the write gate; the
+// replication apply path calls it directly.
+func (s *Service) registerGrammar(name, text string) error {
 	if name == "" {
 		return fmt.Errorf("server: empty grammar name")
 	}
@@ -779,6 +832,9 @@ type UpdateResult struct {
 // (Prepared.AddEdges); handles outgrown by new nodes are invalidated.
 func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSpec) (UpdateResult, error) {
 	var res UpdateResult
+	if err := s.writable(); err != nil {
+		return res, err
+	}
 	ge, err := s.graphEntry(graphName)
 	if err != nil {
 		return res, err
@@ -875,12 +931,20 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 	s.metrics.updates.Add(1)
 	s.metrics.edgesAdded.Add(int64(res.Added))
 
-	// Phase 2: walk the cache after the mutation (the ordering that,
-	// paired with index() registering entries before snapshotting the
-	// graph, excludes lost updates) and patch or invalidate each slot.
-	// Updates racing on the same handle serialise inside Prepared; the
-	// delta closure only ever adds bits and re-applying present edges is a
-	// no-op, so the closure is confluent.
+	// Phase 2 (shared with the replication apply path): bring every cached
+	// index on this graph up to date.
+	s.patchIndexes(ctx, graphName, ge, edges, maxNode, &res)
+	return res, nil
+}
+
+// patchIndexes walks the cache after a mutation (the ordering that, paired
+// with index() registering entries before snapshotting the graph, excludes
+// lost updates) and patches or invalidates each slot. Updates racing on
+// the same handle serialise inside Prepared; the delta closure only ever
+// adds bits and re-applying present edges is a no-op, so the closure is
+// confluent. Both AddEdges and the follower's replicated-apply path end
+// here — a follower never runs a cold closure to absorb the stream.
+func (s *Service) patchIndexes(ctx context.Context, graphName string, ge *graphEntry, edges []graph.Edge, maxNode int, res *UpdateResult) {
 	s.mu.Lock()
 	var entries []*indexEntry
 	for k, e := range s.indexes {
@@ -928,7 +992,6 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 			s.mu.Unlock()
 		}
 	}
-	return res, nil
 }
 
 // --- statistics -------------------------------------------------------

@@ -12,6 +12,7 @@ package store
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -38,8 +39,21 @@ func FuzzWALReplay(f *testing.F) {
 		walBatch{kind: recIDs, recs: []EdgeRecord{{From: "4", Label: "y", To: "17"}}},
 	))
 	f.Add(append(seed(walBatch{kind: recTokens, recs: []EdgeRecord{{From: "a", Label: "x", To: "b"}}}), 0xde, 0xad, 0xbe)) // torn tail
+	// collect adapts the streaming replay back to a slice for the
+	// invariant checks; production callers consume one batch at a time.
+	collect := func(data []byte) ([]walBatch, int64, error) {
+		var batches []walBatch
+		good, err := replayWAL(bytes.NewReader(data), func(b walBatch, frameBytes int64) error {
+			if frameBytes <= 0 {
+				return fmt.Errorf("frame of %d bytes", frameBytes)
+			}
+			batches = append(batches, b)
+			return nil
+		})
+		return batches, good, err
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		batches, good, err := replayWAL(bytes.NewReader(data))
+		batches, good, err := collect(data)
 		if err != nil {
 			t.Fatalf("in-memory replay reported I/O error: %v", err)
 		}
@@ -48,7 +62,7 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		// Idempotence: replaying the recovered prefix yields the same
 		// batches and consumes the whole prefix.
-		again, good2, err := replayWAL(bytes.NewReader(data[:good]))
+		again, good2, err := collect(data[:good])
 		if err != nil {
 			t.Fatal(err)
 		}

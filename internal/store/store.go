@@ -13,6 +13,7 @@
 //	    graphs/<name>/
 //	        snapshot                          graph + node names at baseSeq (CRC-trailed)
 //	        wal                               CRC-framed AddEdges batches after baseSeq
+//	        epoch                             edge-stream identity (minted at create/replace)
 //	        indexes/<grammar>@<backend>.idx   evaluated index at a seq watermark
 //
 // Registry names are escaped for the filesystem (see encodeName); every
@@ -44,6 +45,7 @@
 package store
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -87,9 +89,19 @@ type Options struct {
 	// default; negative disables background compaction (Compact can still
 	// be called explicitly).
 	CompactBytes int64
+	// RetainFor is how long a follower's tail reservation (ReserveTail)
+	// keeps the background compactor away from WAL records the follower
+	// has not streamed yet. 0 means the 30 s default; a follower that
+	// goes silent longer than this stops holding compaction back and
+	// re-bootstraps from the snapshot instead. Explicit Compact/Snapshot
+	// calls ignore reservations.
+	RetainFor time.Duration
 }
 
-const defaultCompactBytes = 4 << 20
+const (
+	defaultCompactBytes = 4 << 20
+	defaultRetainFor    = 30 * time.Second
+)
 
 // Store is an open on-disk store. It is safe for concurrent use; every
 // graph carries its own lock, so appends to different graphs proceed in
@@ -106,12 +118,36 @@ type Store struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// watchCh is the change-broadcast channel: closed and replaced on
+	// every append and registry change, so replication long-polls wake
+	// without busy-waiting. Guarded by watchMu.
+	watchMu sync.Mutex
+	watchCh chan struct{}
+
+	// reservations tracks follower tail positions per graph (graph name →
+	// follower id → reservation), so background compaction retains WAL
+	// tails an attached follower still needs. Guarded by resMu.
+	resMu        sync.Mutex
+	reservations map[string]map[string]reservation
+
+	// configVersion counts registry changes (graph created/replaced,
+	// grammar saved). Followers compare it across polls to detect that
+	// the leader's registry drifted and a manifest re-sync is due.
+	configVersion atomic.Uint64
+
 	appends     atomic.Int64
 	snapshots   atomic.Int64
 	compactions atomic.Int64
 	walWritten  atomic.Int64 // WAL bytes written this session
+	fsyncs      atomic.Int64 // WAL fsyncs issued this session
 	replayed    atomic.Int64 // WAL records replayed at Open
 	recovered   atomic.Int64 // bytes truncated from torn WAL tails at Open
+}
+
+// reservation is one follower's replication position on one graph.
+type reservation struct {
+	seq  uint64
+	seen time.Time
 }
 
 // graphLog is one graph's durable state: the open WAL plus an in-memory
@@ -130,9 +166,22 @@ type graphLog struct {
 
 	baseSeq  uint64       // seq covered by the on-disk snapshot
 	seq      uint64       // seq after the last record
+	epoch    uint64       // edge-stream identity; changes when the graph is replaced
 	pending  []graph.Edge // id-resolved edges of (baseSeq, seq]
+	tail     []TailBatch  // the WAL batches of (baseSeq, seq], original tokens kept for replication
 	walSize  int64
 	snapTime time.Time
+}
+
+// TailBatch is one WAL batch as the replication stream ships it: the
+// records of the seq range (Seq-len(Recs), Seq], the resolution kind a
+// follower's replay must use, and the frame's size in WAL bytes (the unit
+// replication lag-in-bytes is measured in).
+type TailBatch struct {
+	Seq   uint64
+	Kind  RecordKind
+	Recs  []EdgeRecord
+	Bytes int64
 }
 
 // Open opens (creating if needed) a store rooted at dir and recovers its
@@ -141,6 +190,9 @@ type graphLog struct {
 func Open(dir string, opts Options) (*Store, error) {
 	if opts.CompactBytes == 0 {
 		opts.CompactBytes = defaultCompactBytes
+	}
+	if opts.RetainFor == 0 {
+		opts.RetainFor = defaultRetainFor
 	}
 	for _, d := range []string{dir, filepath.Join(dir, grammarsDir), filepath.Join(dir, graphsDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -164,11 +216,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		graphs:    map[string]*graphLog{},
-		compactCh: make(chan string, 64),
-		closed:    make(chan struct{}),
+		dir:          dir,
+		opts:         opts,
+		graphs:       map[string]*graphLog{},
+		compactCh:    make(chan string, 64),
+		closed:       make(chan struct{}),
+		watchCh:      make(chan struct{}),
+		reservations: map[string]map[string]reservation{},
 	}
 	entries, err := os.ReadDir(filepath.Join(dir, graphsDir))
 	if err != nil {
@@ -209,6 +263,16 @@ func (s *Store) openGraphLog(name string) (*graphLog, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, ok := readEpochFile(gdir)
+	if !ok {
+		// Pre-epoch store layout (or a lost epoch file): mint one now. It
+		// persists from here on, so followers attached to this graph keep a
+		// stable stream identity across restarts.
+		epoch = mintEpoch()
+		if err := writeEpochFile(gdir, epoch, !s.opts.NoSync); err != nil {
+			return nil, err
+		}
+	}
 	gl := &graphLog{
 		name:     name,
 		dir:      gdir,
@@ -217,13 +281,21 @@ func (s *Store) openGraphLog(name string) (*graphLog, error) {
 		nameIDs:  invertNames(names),
 		baseSeq:  baseSeq,
 		seq:      baseSeq,
+		epoch:    epoch,
 		snapTime: st.ModTime(),
 	}
 	wal, err := os.OpenFile(filepath.Join(gdir, "wal"), os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	batches, goodBytes, err := replayWAL(wal)
+	// Streamed replay: each decoded batch is folded into the mirror as it
+	// is read, so opening a graph holds one batch in memory at a time, not
+	// the whole WAL.
+	goodBytes, err := replayWAL(wal, func(b walBatch, frameBytes int64) error {
+		gl.apply(b, frameBytes)
+		s.replayed.Add(int64(len(b.recs)))
+		return nil
+	})
 	if err != nil {
 		wal.Close()
 		return nil, err
@@ -252,10 +324,6 @@ func (s *Store) openGraphLog(name string) (*graphLog, error) {
 	}
 	gl.wal = wal
 	gl.walSize = goodBytes
-	for _, b := range batches {
-		gl.apply(b)
-		s.replayed.Add(int64(len(b.recs)))
-	}
 	return gl, nil
 }
 
@@ -312,8 +380,11 @@ func (gl *graphLog) syncNames() {
 	}
 }
 
-// apply folds one decoded frame into the mirror, advancing seq.
-func (gl *graphLog) apply(b walBatch) {
+// apply folds one decoded frame into the mirror, advancing seq, and keeps
+// the original tokens in the replication tail so followers can be served
+// the exact frame the leader journaled. frameBytes is the frame's on-disk
+// size (replication lag in bytes is computed from these).
+func (gl *graphLog) apply(b walBatch, frameBytes int64) {
 	resolve := gl.resolveToken
 	if b.kind == recIDs {
 		resolve = gl.resolveID
@@ -325,6 +396,7 @@ func (gl *graphLog) apply(b walBatch) {
 		gl.pending = append(gl.pending, graph.Edge{From: from, Label: r.Label, To: to})
 	}
 	gl.seq += uint64(len(b.recs))
+	gl.tail = append(gl.tail, TailBatch{Seq: gl.seq, Kind: RecordKind(b.kind), Recs: b.recs, Bytes: frameBytes})
 }
 
 // lookup returns the graphLog for a registered graph.
@@ -343,6 +415,16 @@ func (s *Store) lookup(name string) (*graphLog, error) {
 // snapshot, WAL and every saved index (their node-id namespace died with
 // the old graph). names maps node id → name and may be nil.
 func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
+	return s.CreateGraphAt(name, g, names, 0, 0)
+}
+
+// CreateGraphAt is CreateGraph with an explicit starting seq and stream
+// epoch: the snapshot records that its edges cover the stream's first seq
+// records. A follower bootstrapping from a leader snapshot passes the
+// leader's seq and epoch so its local edge-stream position and identity
+// line up with the leader's WAL; epoch 0 mints a fresh identity (the
+// leader/standalone case).
+func (s *Store) CreateGraphAt(name string, g *graph.Graph, names []string, seq, epoch uint64) error {
 	if name == "" {
 		return fmt.Errorf("store: empty graph name")
 	}
@@ -364,6 +446,9 @@ func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
 	if err := os.MkdirAll(gdir, 0o755); err != nil {
 		return err
 	}
+	if epoch == 0 {
+		epoch = mintEpoch()
+	}
 	mirror := g.Clone()
 	mnames := make([]string, mirror.Nodes())
 	copy(mnames, names)
@@ -373,11 +458,17 @@ func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
 		g:        mirror,
 		names:    mnames,
 		nameIDs:  invertNames(mnames),
+		baseSeq:  seq,
+		seq:      seq,
+		epoch:    epoch,
 		snapTime: time.Now(),
 	}
 	if err := writeFileAtomic(filepath.Join(gdir, "snapshot"), !s.opts.NoSync, func(w io.Writer) error {
-		return writeSnapshot(w, gl.g, gl.names, 0)
+		return writeSnapshot(w, gl.g, gl.names, seq)
 	}); err != nil {
+		return err
+	}
+	if err := writeEpochFile(gdir, epoch, !s.opts.NoSync); err != nil {
 		return err
 	}
 	wal, err := os.OpenFile(filepath.Join(gdir, "wal"), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -394,6 +485,8 @@ func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
 	s.graphs[name] = gl
 	s.mu.Unlock()
 	s.snapshots.Add(1)
+	s.configVersion.Add(1)
+	s.changed()
 	return nil
 }
 
@@ -403,10 +496,33 @@ func (s *Store) CreateGraph(name string, g *graph.Graph, names []string) error {
 // and the new seq is returned. Batches from concurrent callers serialise
 // per graph.
 func (s *Store) Append(name string, recs []EdgeRecord) (uint64, error) {
-	return s.append(name, recTokens, recs)
+	return s.append(name, recTokens, recs, -1)
 }
 
-func (s *Store) append(name string, kind byte, recs []EdgeRecord) (uint64, error) {
+// ErrSeqMismatch marks a replicated append whose batch does not start at
+// the graph's current edge-stream position — the local copy diverged from
+// the leader's stream and must re-bootstrap from a snapshot.
+var ErrSeqMismatch = errors.New("store: replicated batch out of sequence")
+
+// AppendReplicated journals one batch received from a replication stream,
+// preserving the leader's resolution kind. endSeq is the leader's seq
+// after the batch; the append is rejected with ErrSeqMismatch unless the
+// batch lands exactly at the graph's current position, so a follower can
+// never silently skip or double-apply records.
+func (s *Store) AppendReplicated(name string, kind RecordKind, recs []EdgeRecord, endSeq uint64) error {
+	if !kind.Valid() {
+		return fmt.Errorf("store: unknown WAL record kind %d", byte(kind))
+	}
+	if uint64(len(recs)) > endSeq {
+		return fmt.Errorf("store: batch of %d records cannot end at seq %d: %w", len(recs), endSeq, ErrSeqMismatch)
+	}
+	_, err := s.append(name, byte(kind), recs, int64(endSeq)-int64(len(recs)))
+	return err
+}
+
+// append journals one batch. expectStart ≥ 0 demands the batch start
+// exactly at that seq (the replicated-apply contract); -1 skips the check.
+func (s *Store) append(name string, kind byte, recs []EdgeRecord, expectStart int64) (uint64, error) {
 	gl, err := s.lookup(name)
 	if err != nil {
 		return 0, err
@@ -429,6 +545,10 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord) (uint64, error
 	if gl.wal == nil {
 		return 0, fmt.Errorf("store: graph %q: WAL unavailable (store closed or failed)", name)
 	}
+	if expectStart >= 0 && gl.seq != uint64(expectStart) {
+		return 0, fmt.Errorf("store: graph %q: batch starts at seq %d but the log is at %d: %w",
+			name, expectStart, gl.seq, ErrSeqMismatch)
+	}
 	n, err := appendFrame(gl.wal, kind, recs)
 	if err != nil {
 		gl.rewindOrFail()
@@ -442,9 +562,10 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord) (uint64, error
 			gl.rewindOrFail()
 			return 0, err
 		}
+		s.fsyncs.Add(1)
 	}
 	gl.walSize += n
-	gl.apply(walBatch{kind: kind, recs: recs})
+	gl.apply(walBatch{kind: kind, recs: recs}, n)
 	s.appends.Add(1)
 	s.walWritten.Add(n)
 	if s.opts.CompactBytes > 0 && gl.walSize > s.opts.CompactBytes {
@@ -453,7 +574,9 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord) (uint64, error
 		default:
 		}
 	}
-	return gl.seq, nil
+	seq := gl.seq
+	s.changed()
+	return seq, nil
 }
 
 // rewindOrFail discards a partially persisted frame by truncating the WAL
@@ -499,7 +622,7 @@ func (l *Log) AppendEdges(edges []graph.Edge) error {
 			To:    strconv.Itoa(e.To),
 		}
 	}
-	_, err := l.s.append(l.name, recIDs, recs)
+	_, err := l.s.append(l.name, recIDs, recs, -1)
 	return err
 }
 
@@ -549,9 +672,13 @@ func (s *Store) Snapshot(name string, indexes []IndexData) error {
 	}
 	gl.baseSeq = gl.seq
 	gl.pending = nil
+	gl.tail = nil
 	gl.walSize = 0
 	gl.snapTime = time.Now()
 	s.snapshots.Add(1)
+	// Followers parked on the truncated tail wake, see their position fall
+	// behind the new base and re-bootstrap from the fresh snapshot.
+	s.changed()
 	return nil
 }
 
@@ -574,20 +701,255 @@ func (s *Store) compactor() {
 		case <-s.closed:
 			return
 		case name := <-s.compactCh:
-			gl, err := s.lookup(name)
-			if err != nil {
-				continue
-			}
-			gl.mu.Lock()
-			oversized := gl.walSize > s.opts.CompactBytes
-			gl.mu.Unlock()
-			if oversized {
+			if s.compactEligible(name) {
 				// Best effort: a failed background compaction leaves the
 				// WAL long but the store correct; the next append re-arms.
 				_ = s.Compact(name)
 			}
 		}
 	}
+}
+
+// compactEligible reports whether the background compactor should fold a
+// graph's WAL now: the log is oversized AND no live follower reservation
+// still needs its tail. A follower that keeps up never blocks compaction
+// (its reservation sits at the head); one that stalls holds it back for at
+// most Options.RetainFor, after which the leader compacts anyway and the
+// follower re-bootstraps from the snapshot. Explicit Compact/Snapshot
+// calls skip this check entirely — they always signal "snapshot required"
+// to lagging followers rather than silently diverge.
+func (s *Store) compactEligible(name string) bool {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return false
+	}
+	gl.mu.Lock()
+	oversized := gl.walSize > s.opts.CompactBytes
+	seq := gl.seq
+	gl.mu.Unlock()
+	if !oversized {
+		return false
+	}
+	return !s.tailNeeded(name, seq, time.Now())
+}
+
+// tailNeeded reports whether a live reservation still trails the head of
+// the graph's stream; expired reservations are pruned as a side effect.
+func (s *Store) tailNeeded(name string, headSeq uint64, now time.Time) bool {
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	needed := false
+	for id, r := range s.reservations[name] {
+		if now.Sub(r.seen) > s.opts.RetainFor {
+			delete(s.reservations[name], id)
+			continue
+		}
+		if r.seq < headSeq {
+			needed = true
+		}
+	}
+	return needed
+}
+
+// ReserveTail records a follower's replication position on a graph. The
+// background compactor retains WAL records past seq while the reservation
+// is fresh (Options.RetainFor); followers refresh it with every poll.
+func (s *Store) ReserveTail(name, follower string, seq uint64) {
+	if follower == "" {
+		return
+	}
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	m := s.reservations[name]
+	if m == nil {
+		m = map[string]reservation{}
+		s.reservations[name] = m
+	}
+	m[follower] = reservation{seq: seq, seen: time.Now()}
+}
+
+// FollowerInfo is one follower's reservation, for replication status.
+type FollowerInfo struct {
+	ID         string  `json:"id"`
+	Graph      string  `json:"graph"`
+	AckedSeq   uint64  `json:"acked_seq"`
+	AgeSeconds float64 `json:"age_seconds"`
+}
+
+// TailReservations lists live follower reservations across all graphs,
+// sorted by (graph, follower id). Expired entries are pruned.
+func (s *Store) TailReservations() []FollowerInfo {
+	now := time.Now()
+	s.resMu.Lock()
+	defer s.resMu.Unlock()
+	var out []FollowerInfo
+	for name, m := range s.reservations {
+		for id, r := range m {
+			if now.Sub(r.seen) > s.opts.RetainFor {
+				delete(m, id)
+				continue
+			}
+			out = append(out, FollowerInfo{ID: id, Graph: name, AckedSeq: r.seq, AgeSeconds: now.Sub(r.seen).Seconds()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Graph != out[j].Graph {
+			return out[i].Graph < out[j].Graph
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// changed wakes everything parked on Changed().
+func (s *Store) changed() {
+	s.watchMu.Lock()
+	close(s.watchCh)
+	s.watchCh = make(chan struct{})
+	s.watchMu.Unlock()
+}
+
+// Changed returns a channel closed at the next store change — a WAL
+// append, snapshot, graph creation or grammar save. Long-poll handlers
+// park on it instead of busy-polling; after it fires, call again for the
+// next generation.
+func (s *Store) Changed() <-chan struct{} {
+	s.watchMu.Lock()
+	defer s.watchMu.Unlock()
+	return s.watchCh
+}
+
+// ConfigVersion counts registry changes (graphs created or replaced,
+// grammars saved) this session. Replication polls carry it so followers
+// notice registry drift and re-sync their manifest; it intentionally
+// resets across restarts — a spurious re-sync is idempotent and cheap.
+func (s *Store) ConfigVersion() uint64 { return s.configVersion.Load() }
+
+// GraphSeq returns a graph's current edge-stream position.
+func (s *Store) GraphSeq(name string) (uint64, error) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return gl.seq, nil
+}
+
+// GraphPos returns a graph's current edge-stream position together with
+// the stream's epoch — the pair replication positions are expressed in.
+func (s *Store) GraphPos(name string) (seq, epoch uint64, err error) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	return gl.seq, gl.epoch, nil
+}
+
+// mintEpoch produces a fresh edge-stream identity. Wall-clock nanoseconds
+// are unique enough here: two epochs only need to differ when one graph
+// replaces another, which cannot happen twice in the same nanosecond.
+func mintEpoch() uint64 { return uint64(time.Now().UnixNano()) }
+
+// readEpochFile loads a graph directory's persisted stream identity.
+func readEpochFile(gdir string) (uint64, bool) {
+	raw, err := os.ReadFile(filepath.Join(gdir, "epoch"))
+	if err != nil {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil || v == 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+func writeEpochFile(gdir string, epoch uint64, sync bool) error {
+	return writeFileAtomic(filepath.Join(gdir, "epoch"), sync, func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%d\n", epoch)
+		return err
+	})
+}
+
+// ReplicaSnapshot serialises a consistent snapshot of a graph's mirror at
+// its current seq — the bootstrap payload a leader serves to followers —
+// along with the stream position and epoch it captures. Unlike Snapshot it
+// does not touch the on-disk state or the WAL.
+func (s *Store) ReplicaSnapshot(name string) (data []byte, seq, epoch uint64, err error) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	var buf bytes.Buffer
+	if err := writeSnapshot(&buf, gl.g, gl.names, gl.seq); err != nil {
+		return nil, 0, 0, err
+	}
+	return buf.Bytes(), gl.seq, gl.epoch, nil
+}
+
+// DecodeSnapshot decodes a snapshot produced by ReplicaSnapshot (the same
+// CRC-trailed format the on-disk graph snapshots use) into the graph, its
+// id→name table and the seq the snapshot covers.
+func DecodeSnapshot(raw []byte) (*graph.Graph, []string, uint64, error) {
+	return readSnapshot(raw)
+}
+
+// TailSince returns up to maxBytes worth of WAL batches after seq, the
+// graph's current head seq, and the tail bytes remaining beyond the
+// returned batches. ok is false when the position cannot be served — seq
+// predates the snapshot base (compacted away), overshoots the head (the
+// graph was replaced), or splits a batch — and the caller must re-bootstrap
+// from a snapshot instead of silently diverging. maxBytes ≤ 0 means
+// unbounded; at least one batch is always returned when any is pending.
+func (s *Store) TailSince(name string, seq uint64, maxBytes int64) (batches []TailBatch, headSeq uint64, remainingBytes int64, ok bool) {
+	gl, err := s.lookup(name)
+	if err != nil {
+		return nil, 0, 0, false
+	}
+	gl.mu.Lock()
+	defer gl.mu.Unlock()
+	if seq < gl.baseSeq || seq > gl.seq {
+		return nil, gl.seq, 0, false
+	}
+	start := -1
+	for i, b := range gl.tail {
+		batchStart := b.Seq - uint64(len(b.Recs))
+		if batchStart == seq {
+			start = i
+			break
+		}
+		if batchStart > seq {
+			// seq falls inside a batch: frames are atomic, so this position
+			// was never a valid stream point.
+			return nil, gl.seq, 0, false
+		}
+	}
+	if start < 0 {
+		if seq != gl.seq {
+			return nil, gl.seq, 0, false
+		}
+		return nil, gl.seq, 0, true // caught up
+	}
+	var taken int64
+	i := start
+	for ; i < len(gl.tail); i++ {
+		b := gl.tail[i]
+		if len(batches) > 0 && maxBytes > 0 && taken+b.Bytes > maxBytes {
+			break // the stream is contiguous: nothing after the first cut ships
+		}
+		recs := make([]EdgeRecord, len(b.Recs))
+		copy(recs, b.Recs)
+		batches = append(batches, TailBatch{Seq: b.Seq, Kind: b.Kind, Recs: recs, Bytes: b.Bytes})
+		taken += b.Bytes
+	}
+	for ; i < len(gl.tail); i++ {
+		remainingBytes += gl.tail[i].Bytes
+	}
+	return batches, gl.seq, remainingBytes, true
 }
 
 // SaveIndex persists one evaluated index for (graph, grammar, backend):
@@ -650,10 +1012,15 @@ func (s *Store) SaveGrammar(name, text string) error {
 		return fmt.Errorf("store: empty grammar name")
 	}
 	path := filepath.Join(s.dir, grammarsDir, encodeName(name)+grammarExt)
-	return writeFileAtomic(path, !s.opts.NoSync, func(w io.Writer) error {
+	if err := writeFileAtomic(path, !s.opts.NoSync, func(w io.Writer) error {
 		_, err := io.WriteString(w, text)
 		return err
-	})
+	}); err != nil {
+		return err
+	}
+	s.configVersion.Add(1)
+	s.changed()
+	return nil
 }
 
 // Grammars returns every persisted grammar, name → source text.
@@ -834,10 +1201,12 @@ type Stats struct {
 	Graphs   []GraphStats `json:"graphs"`
 	Grammars int          `json:"grammars"`
 	// Appends counts WAL batches written this session; WALBytes the bytes
-	// across all live WALs; WALWritten the bytes written this session.
+	// across all live WALs; WALWritten the bytes written this session;
+	// WALFsyncs the fsyncs issued for WAL appends this session.
 	Appends    int64 `json:"appends"`
 	WALBytes   int64 `json:"wal_bytes"`
 	WALWritten int64 `json:"wal_written"`
+	WALFsyncs  int64 `json:"wal_fsyncs"`
 	// Snapshots and Compactions count snapshot writes this session
 	// (compactions are the background/threshold-triggered subset).
 	Snapshots   int64 `json:"snapshots"`
@@ -860,6 +1229,7 @@ func (s *Store) Stats() Stats {
 		Dir:             s.dir,
 		Appends:         s.appends.Load(),
 		WALWritten:      s.walWritten.Load(),
+		WALFsyncs:       s.fsyncs.Load(),
 		Snapshots:       s.snapshots.Load(),
 		Compactions:     s.compactions.Load(),
 		ReplayedRecords: s.replayed.Load(),
@@ -887,6 +1257,13 @@ func (s *Store) Stats() Stats {
 		st.Grammars = len(grams)
 	}
 	return st
+}
+
+// WALCounters returns the session's WAL write counters — appended
+// batches, bytes written, fsyncs issued — without touching any per-graph
+// lock or the filesystem, so metrics endpoints can poll them freely.
+func (s *Store) WALCounters() (appends, bytesWritten, fsyncs int64) {
+	return s.appends.Load(), s.walWritten.Load(), s.fsyncs.Load()
 }
 
 // Close stops the background compactor and closes every WAL. The store

@@ -46,6 +46,44 @@ const (
 	recIDs    byte = 2 // canonical decimal ids only, name table ignored
 )
 
+// RecordKind is the exported form of a frame's resolution kind, carried by
+// the replication tail so a follower re-journals each batch with the exact
+// resolution semantics the leader recorded.
+type RecordKind byte
+
+// The two record kinds, see the frame format above.
+const (
+	RecordTokens = RecordKind(recTokens)
+	RecordIDs    = RecordKind(recIDs)
+)
+
+// String renders the kind for the replication wire form.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordTokens:
+		return "tokens"
+	case RecordIDs:
+		return "ids"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// ParseRecordKind inverts RecordKind.String.
+func ParseRecordKind(s string) (RecordKind, error) {
+	switch s {
+	case "tokens":
+		return RecordTokens, nil
+	case "ids":
+		return RecordIDs, nil
+	default:
+		return 0, fmt.Errorf("store: unknown WAL record kind %q", s)
+	}
+}
+
+// Valid reports whether k is one of the two defined kinds.
+func (k RecordKind) Valid() bool { return k == RecordTokens || k == RecordIDs }
+
 // walBatch is one decoded frame.
 type walBatch struct {
 	kind byte
@@ -169,43 +207,47 @@ func decodeFrame(payload []byte) (walBatch, error) {
 	return walBatch{kind: kind, recs: recs}, nil
 }
 
-// replayWAL reads frames from r until EOF or the first torn/corrupt frame
-// and returns the decoded batches plus the byte offset of the end of the
-// last good frame. A short header, short payload, CRC mismatch or
+// replayWAL reads frames from r until EOF or the first torn/corrupt frame,
+// handing each decoded batch (with its on-disk frame size) to apply one at
+// a time — so replaying an arbitrarily long log holds a single batch in
+// memory, never the whole WAL — and returns the byte offset of the end of
+// the last good frame. A short header, short payload, CRC mismatch or
 // undecodable payload all end the replay at the preceding frame boundary —
 // that is the crash-recovery contract: everything before the tear
 // survives, the tear itself is discarded. Only an I/O failure (not
-// corruption) is reported as an error.
-func replayWAL(r io.Reader) (batches []walBatch, goodBytes int64, err error) {
+// corruption) or an apply error is reported as an error.
+func replayWAL(r io.Reader, apply func(b walBatch, frameBytes int64) error) (goodBytes int64, err error) {
 	br := bufio.NewReader(r)
 	for {
 		var head [8]byte
 		if _, err := io.ReadFull(br, head[:]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return batches, goodBytes, nil
+				return goodBytes, nil
 			}
-			return batches, goodBytes, err
+			return goodBytes, err
 		}
 		length := binary.LittleEndian.Uint32(head[0:4])
 		sum := binary.LittleEndian.Uint32(head[4:8])
 		if length > maxWALPayload {
-			return batches, goodBytes, nil
+			return goodBytes, nil
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(br, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return batches, goodBytes, nil
+				return goodBytes, nil
 			}
-			return batches, goodBytes, err
+			return goodBytes, err
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return batches, goodBytes, nil
+			return goodBytes, nil
 		}
 		b, err := decodeFrame(payload)
 		if err != nil {
-			return batches, goodBytes, nil
+			return goodBytes, nil
 		}
-		batches = append(batches, b)
+		if err := apply(b, 8+int64(length)); err != nil {
+			return goodBytes, err
+		}
 		goodBytes += 8 + int64(length)
 	}
 }
