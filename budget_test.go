@@ -263,3 +263,55 @@ func TestResultTruncated(t *testing.T) {
 		}
 	}
 }
+
+// TestResultTruncatedPaths is the paths-output mirror of
+// TestResultTruncated: a Limit that clips the path enumeration sets
+// Result.Truncated (the enumerator looks one path past the limit), on both
+// the planner's paths strategy and the cached-index read; a limit the
+// enumeration fits under does not.
+func TestResultTruncatedPaths(t *testing.T) {
+	ctx := context.Background()
+	// A diamond: exactly two witness paths 0→3 (via 1 and via 2).
+	g := cfpq.NewGraph(0)
+	g.AddEdge(0, "x", 1)
+	g.AddEdge(1, "x", 3)
+	g.AddEdge(0, "x", 2)
+	g.AddEdge(2, "x", 3)
+	gram := cfpq.MustParseGrammar("S -> x | x S")
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	p, err := eng.Prepare(ctx, g.Clone(), gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := map[string]func(cfpq.Request) (*cfpq.Result, error){
+		"Engine.Do": func(req cfpq.Request) (*cfpq.Result, error) {
+			req.Graph, req.Grammar = g, gram
+			return eng.Do(ctx, req)
+		},
+		"Prepared.Do": func(req cfpq.Request) (*cfpq.Result, error) { return p.Do(ctx, req) },
+	}
+	base := cfpq.Request{
+		Nonterminal: "S", Sources: []int{0}, Targets: []int{3}, Output: cfpq.OutputPaths,
+	}
+	for surface, run := range do {
+		req := base
+		req.Limit = 1
+		res, err := run(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 1 || !res.Truncated || len(res.AllPaths()) != 1 {
+			t.Errorf("%s limit 1 of 2 paths: count %d truncated %v, want a truncated single path",
+				surface, res.Count, res.Truncated)
+		}
+		req.Limit = 2
+		res, err = run(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != 2 || res.Truncated {
+			t.Errorf("%s limit == #paths: count %d truncated %v, want both paths unflagged",
+				surface, res.Count, res.Truncated)
+		}
+	}
+}

@@ -13,6 +13,8 @@
 //	cfpq-bench -warmstart -json BENCH_warmstart.json
 //	cfpq-bench -planner              # planner strategies (source/target frontier) vs all-pairs
 //	cfpq-bench -planner -json BENCH_planner.json
+//	cfpq-bench -livequery            # subscription delta push vs poll-and-diff
+//	cfpq-bench -livequery -json BENCH_livequery.json
 //	cfpq-bench -scale                # synthetic big-graph topologies, sparse vs dense
 //	cfpq-bench -scale -short         # CI smoke tier (2048 nodes, finishes in seconds)
 //	cfpq-bench -scale -json BENCH_scale.json
@@ -35,6 +37,7 @@ func main() {
 	single := flag.Bool("singlesource", false, "run the single-source vs all-pairs serving scenario")
 	warm := flag.Bool("warmstart", false, "run the cold-start vs warm-start (persisted index) scenario")
 	planner := flag.Bool("planner", false, "run the planner-strategy (source/target frontier) scenario")
+	livequery := flag.Bool("livequery", false, "run the live-query scenario: subscription delta push vs poll-and-diff")
 	scale := flag.Bool("scale", false, "run the scale-tier scenario: synthetic topologies, sparse vs dense")
 	short := flag.Bool("short", false, "shrink the scale tier to its CI smoke size")
 	nodes := flag.Int("nodes", 0, "matrix dimension for the scale scenario (0 = 10000)")
@@ -61,6 +64,21 @@ func main() {
 			os.Exit(1)
 		}
 		bench.FormatWarmStart(os.Stdout, rows)
+		if *jsonPath != "" {
+			writeJSON(*jsonPath, rows)
+		}
+		return
+	}
+	if *livequery {
+		rows, err := bench.RunLiveQuery(bench.LiveQueryConfig{
+			Repeats: *repeats,
+			Backend: *backend,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfpq-bench: %v\n", err)
+			os.Exit(1)
+		}
+		bench.FormatLiveQuery(os.Stdout, rows)
 		if *jsonPath != "" {
 			writeJSON(*jsonPath, rows)
 		}

@@ -87,6 +87,16 @@
 //	curl localhost:8080/v1/store/stats
 //	curl localhost:8080/healthz
 //	curl localhost:8080/debug/vars
+//
+// Live queries: POST /v1/subscribe holds the same JSON request open as a
+// Server-Sent Events stream, pushing one "pairs" event per edge batch that
+// derives new matching pairs (computed from the update's delta matrices,
+// never by re-running the query). Events carry sequence ids for
+// Last-Event-ID resume; followers serve the route too, fed by the
+// replicated-apply path:
+//
+//	curl -N -X POST -d '{"graph":"wine","grammar":"samegen","nonterminal":"S"}' \
+//	     localhost:8080/v1/subscribe
 package main
 
 import (

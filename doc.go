@@ -90,6 +90,32 @@
 //	for pair := range p.Pairs("S") { ... } // iter.Seq snapshot
 //	p.AddEdges(ctx, cfpq.Edge{From: 2, Label: "a", To: 7}) // patched, not rebuilt
 //
+// # Live queries
+//
+// A standing Request can be subscribed instead of polled:
+// Prepared.Subscribe registers it and returns a Subscription delivering
+// one PairBatch per AddEdges that derives new matching pairs — computed
+// from the incremental closure's own delta matrices (what UpdateInfo.Delta
+// exposes), never by diffing full results:
+//
+//	sub, _ := p.Subscribe(ctx, cfpq.Request{Nonterminal: "S", Targets: tgts})
+//	for batch := range sub.Batches() { ... } // batch.Pairs: just-derived pairs
+//
+// Deliveries start at the first update after registration, so to seed
+// state without a gap, Subscribe first, then run the same Request through
+// Do and union batches on top (an update racing the Do may appear in both
+// — a harmless duplicate under set semantics, never a hole). Slow
+// consumers never block AddEdges: each subscription
+// buffers a bounded number of batches, and one that falls behind has
+// batches dropped with the gap reported in-band (PairBatch.Resync) —
+// drop-with-resync, not backpressure. After a cancelled patch, the
+// repairing rebuild's new-minus-old difference is pushed, so across a
+// cancellation and its repair every pair arrives exactly once.
+// SubscribeFrom resumes after a known sequence number (the Last-Event-ID
+// contract of cfpqd's POST /v1/subscribe SSE route, which followers serve
+// too — fed by the replicated-apply path); Prepared.Close ends every
+// subscription so consumers learn their handle is gone.
+//
 // # Old → new call shapes
 //
 // Pre-planner methods map onto Requests one for one (all remain and are

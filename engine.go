@@ -196,7 +196,8 @@ func (e *Engine) QueryConjunctive(ctx context.Context, g *Graph, cg *Conjunctive
 // backend, so an index built with a parallel kernel keeps it. Edges that
 // grow the node set transparently resize the index in place first.
 func (e *Engine) Update(ctx context.Context, ix *Index, edges ...Edge) (Stats, error) {
-	return e.newCore(&config{}).UpdateContext(ctx, ix, edges...)
+	st, _, err := e.newCore(&config{}).UpdateContext(ctx, ix, edges...)
+	return st, err
 }
 
 // LoadIndex reads an index previously written by SaveIndex, materialised

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunLiveQuery(t *testing.T) {
+	rows, err := RunLiveQuery(LiveQueryConfig{
+		Datasets: []string{"skos"},
+		Repeats:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("%d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.Scenario != "livequery" || r.Dataset != "skos" || r.Grammar != "query1" || r.Backend != "sparse" {
+		t.Errorf("row identity: %+v", r)
+	}
+	if r.Updates == 0 || r.PushMS <= 0 || r.PollMS <= 0 {
+		t.Errorf("empty measurements: %+v", r)
+	}
+
+	var buf bytes.Buffer
+	FormatLiveQuery(&buf, rows)
+	if !strings.Contains(buf.String(), "skos") {
+		t.Errorf("table output:\n%s", buf.String())
+	}
+	var js bytes.Buffer
+	if err := WriteBenchJSON(&js, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"scenario": "livequery"`) {
+		t.Errorf("JSON output:\n%s", js.String())
+	}
+}
+
+func TestRunLiveQueryRejectsUnknowns(t *testing.T) {
+	if _, err := RunLiveQuery(LiveQueryConfig{Datasets: []string{"nope"}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := RunLiveQuery(LiveQueryConfig{Grammar: "nope"}); err == nil {
+		t.Error("unknown grammar accepted")
+	}
+	if _, err := RunLiveQuery(LiveQueryConfig{Backend: "nope"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}

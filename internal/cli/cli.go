@@ -186,7 +186,9 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 			Limit:       cfg.Limit,
 		}
 		if cfg.CountOnly {
-			req.Output = cfpq.OutputCount
+			// Counts are exact; -limit bounds streamed pairs only and a
+			// Request rejects the meaningless combination.
+			req.Output, req.Limit = cfpq.OutputCount, 0
 		}
 		if err := restrictRequest(&req, cfg, ids, g.Nodes()); err != nil {
 			return err
@@ -329,7 +331,7 @@ func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[s
 	}
 	req := cfpq.Request{Nonterminal: cfg.Start, Limit: cfg.Limit}
 	if cfg.CountOnly {
-		req.Output = cfpq.OutputCount
+		req.Output, req.Limit = cfpq.OutputCount, 0
 	}
 	if err := restrictRequest(&req, cfg, ids, g.Nodes()); err != nil {
 		return err

@@ -3,9 +3,92 @@ package core
 import (
 	"context"
 
+	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
 	"cfpq/internal/matrix"
 )
+
+// Delta is the per-nonterminal relation of newly derived pairs of one
+// index update: exactly the bits the update added that were not in the
+// index before. UpdateContext returns the union of its seed frontier and
+// every propagation pass; NewlyDerived synthesises the same shape from a
+// full rebuild by subtracting the old index. A Delta is immutable once
+// returned and safe to read concurrently.
+type Delta struct {
+	cnf  *grammar.CNF
+	n    int
+	mats []matrix.Bool // indexed like Index.mats; nil or empty = nothing new
+}
+
+// newDelta allocates an empty delta over the index's current shape.
+func newDelta(ix *Index) *Delta {
+	return &Delta{cnf: ix.cnf, n: ix.n, mats: make([]matrix.Bool, len(ix.mats))}
+}
+
+// Nodes returns the node range the delta's pairs index into.
+func (d *Delta) Nodes() int { return d.n }
+
+// Empty reports whether the update derived nothing new.
+func (d *Delta) Empty() bool {
+	for _, m := range d.mats {
+		if m != nil && m.Nnz() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs returns the newly derived pairs of one non-terminal in row-major
+// order; unknown non-terminals and untouched relations return nil.
+func (d *Delta) Pairs(nt string) []matrix.Pair {
+	a, ok := d.cnf.Index(nt)
+	if !ok || d.mats[a] == nil || d.mats[a].Nnz() == 0 {
+		return nil
+	}
+	return matrix.Pairs(d.mats[a])
+}
+
+// Nonterminals returns the names whose relations gained at least one pair,
+// in the grammar's nonterminal order.
+func (d *Delta) Nonterminals() []string {
+	var out []string
+	for a, m := range d.mats {
+		if m != nil && m.Nnz() > 0 {
+			out = append(out, d.cnf.Names[a])
+		}
+	}
+	return out
+}
+
+// or folds src into the accumulated delta, adopting src when the slot is
+// still empty (the caller hands over ownership of src).
+func (d *Delta) or(a int, src matrix.Bool) {
+	if src.Nnz() == 0 {
+		return
+	}
+	if d.mats[a] == nil {
+		d.mats[a] = src
+		return
+	}
+	d.mats[a].Or(src)
+}
+
+// NewlyDerived computes cur minus old per nonterminal — the delta a full
+// rebuild implies. Both indexes must share the grammar and node range (grow
+// old first); it is the repair-path substitute for an incremental delta,
+// so subscribers to an index that had to be rebuilt still see exactly the
+// pairs the rebuild added.
+func NewlyDerived(cur, old *Index) *Delta {
+	d := newDelta(cur)
+	for a := range cur.mats {
+		diff := cur.mats[a].Clone()
+		diff.AndNot(old.mats[a])
+		if diff.Nnz() > 0 {
+			d.mats[a] = diff
+		}
+	}
+	return d
+}
 
 // Update incorporates newly added graph edges into an already-closed index
 // without recomputing the closure from scratch (dynamic CFPQ). It is the
@@ -29,15 +112,21 @@ import (
 // Update returns closure statistics for the incremental run; zero
 // iterations of change means the edges added nothing new.
 func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
-	stats, _ := e.UpdateContext(context.Background(), ix, edges...)
+	stats, _, _ := e.UpdateContext(context.Background(), ix, edges...)
 	return stats
 }
 
 // UpdateContext is Update with cooperative cancellation between delta
-// passes. On cancellation the index is sound (every bit justified) but the
-// consequences of the new edges may be only partially propagated; callers
-// that must not serve such a state should rebuild.
-func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Edge) (Stats, error) {
+// passes, and it additionally returns the update's Delta: the union of
+// every newly derived pair — seed bits plus each propagation pass — which
+// is exactly what a live-query subscriber must be pushed. On cancellation
+// the index is sound (every bit justified) but the consequences of the new
+// edges may be only partially propagated; the returned Delta then covers
+// precisely the bits that did land in the index, so publishing it and later
+// publishing the repair's NewlyDerived delta delivers every pair exactly
+// once. Callers that must not serve a partially propagated state should
+// rebuild.
+func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Edge) (Stats, *Delta, error) {
 	be := ix.backend
 	if be == nil {
 		be = e.backend
@@ -56,6 +145,7 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 	}
 	n := ix.n
 	nn := len(ix.mats)
+	acc := newDelta(ix)
 	delta := make([]matrix.Bool, nn)
 	for a := range delta {
 		delta[a] = be.NewMatrix(n)
@@ -72,11 +162,16 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 	}
 	stats := Stats{}
 	if !seeded {
-		return stats, nil
+		return stats, acc, nil
+	}
+	for a := range delta {
+		// The seed matrices are consumed by the first pass's products and
+		// never reassigned, so the accumulator can adopt them in place.
+		acc.or(a, delta[a])
 	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return stats, acc, err
 		}
 		stats.Iterations++
 		next := make([]matrix.Bool, nn)
@@ -98,7 +193,15 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 		}
 		delta = next
 		if !changed {
-			return stats, nil
+			return stats, acc, nil
+		}
+		for a := range next {
+			// Fold this pass's genuinely-new bits into the returned delta.
+			// Or copies out of next, so the frontier matrices feeding the
+			// next pass's products are not aliased by the accumulator —
+			// except for adopted all-new slots, which the next pass only
+			// reads.
+			acc.or(a, next[a])
 		}
 	}
 }

@@ -34,6 +34,17 @@ import (
 //	                                     op is has | relation | count | counts (default relation);
 //	                                     sources=a,b,c / targets=a,b,c restrict relation/count to pairs
 //	                                     leaving / entering those nodes
+//	POST /v1/subscribe                   standing query, served as Server-Sent Events:
+//	                                     {"graph":..,"grammar":..,"backend":..,"nonterminal":..,
+//	                                     "sources":[..],"targets":[..]}; each index update that
+//	                                     derives new matching pairs pushes one "pairs" event
+//	                                     (id = update seq, data = {"seq","pairs","resync"?}),
+//	                                     computed from the incremental closure's delta. Heartbeat
+//	                                     comments keep idle streams alive; reconnecting with
+//	                                     Last-Event-ID resumes within a bounded window (a wider
+//	                                     gap answers one event with "resync":true); a terminal
+//	                                     "resync" event means the served index was invalidated —
+//	                                     re-query and reconnect. Followers push replicated writes
 //	POST /v1/query/batch                 evaluate many queries against one target from one cached
 //	                                     index build: {"graph":..,"grammar":..,"backend":..,
 //	                                     "queries":[{"op":..,"nonterminal":..,"from":..,"to":..,
@@ -58,6 +69,7 @@ import (
 //	GET  /readyz                         readiness: 503 while a follower bootstraps, has
 //	                                     lost its leader, or exceeds the -max-lag bound
 //	GET  /debug/vars                     expvar dump + cfpqd service/store/replication metrics
+//	                                     + per-subscription counters ("cfpqd_subscriptions")
 //
 // Errors are {"error": "..."} with a 4xx/5xx status. On a follower every
 // local mutation route answers 403; writes go to the leader.
@@ -215,6 +227,9 @@ func Handler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("unknown op %q (want has, relation, count or counts)", op))
 		}
+	})
+	mux.HandleFunc("POST /v1/subscribe", func(w http.ResponseWriter, r *http.Request) {
+		s.serveSubscribe(w, r)
 	})
 	mux.HandleFunc("POST /v1/query/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
@@ -383,6 +398,11 @@ func serveDebugVars(w http.ResponseWriter, s *Service) {
 			emit("cfpqd_replication", string(raw))
 		}
 	}
+	if subs := s.SubscriptionInfos(); len(subs) > 0 {
+		if raw, err := json.Marshal(subs); err == nil {
+			emit("cfpqd_subscriptions", string(raw))
+		}
+	}
 	fmt.Fprintf(w, "\n}\n")
 }
 
@@ -417,7 +437,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	// A structured request-validation error names its offending field;
+	// surface it so wire clients can programmatically blame the input.
+	var re *cfpq.RequestError
+	if errors.As(err, &re) {
+		body["field"] = re.Field
+	}
+	writeJSON(w, status, body)
 }
 
 // statusFor maps service errors to HTTP statuses: lookups of unregistered

@@ -303,6 +303,16 @@ type MetricsSnapshot struct {
 	// source-frontier, target-frontier, cached-read), so plan selection is
 	// observable in production.
 	Strategies map[string]int64 `json:"strategies"`
+	// Subscription counters (POST /v1/subscribe): registered ever, live
+	// now, pair batches and pairs delivered, deliveries carrying a resync
+	// marker, and batches dropped on slow consumers. Per-subscription
+	// detail lives under "cfpqd_subscriptions" in /debug/vars.
+	Subscriptions       int64 `json:"subscriptions"`
+	SubscriptionsActive int64 `json:"subscriptions_active"`
+	SubscriptionEvents  int64 `json:"subscription_events"`
+	SubscriptionPairs   int64 `json:"subscription_pairs"`
+	SubscriptionResyncs int64 `json:"subscription_resyncs"`
+	SubscriptionDrops   int64 `json:"subscription_drops"`
 }
 
 // Metrics snapshots the service counters.
@@ -324,6 +334,14 @@ func (s *Service) Metrics() MetricsSnapshot {
 			string(cfpq.StrategyCachedRead):     s.metrics.stratCachedRead.Load(),
 		},
 	}
+	m.Subscriptions = s.metrics.subsTotal.Load()
+	m.SubscriptionEvents = s.metrics.subEvents.Load()
+	m.SubscriptionPairs = s.metrics.subPairs.Load()
+	m.SubscriptionResyncs = s.metrics.subResyncs.Load()
+	m.SubscriptionDrops = s.metrics.subDrops.Load()
+	s.subMu.Lock()
+	m.SubscriptionsActive = int64(len(s.subsLive))
+	s.subMu.Unlock()
 	if s.store != nil {
 		m.WALAppends, m.WALBytes, m.WALFsyncs = s.store.WALCounters()
 	}

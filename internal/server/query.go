@@ -56,8 +56,9 @@ type QueryAnswer struct {
 	Count  *int         `json:"count,omitempty"`
 	Pairs  []NamedPair  `json:"pairs,omitempty"`
 	Paths  [][]PathStep `json:"paths,omitempty"`
-	// Truncated reports that limit clipped the pair list: the full
-	// relation has more than count pairs.
+	// Truncated reports that limit clipped the answer: the full relation
+	// has more than count pairs, or the path enumeration found more than
+	// count witnesses.
 	Truncated bool         `json:"truncated,omitempty"`
 	Explain   cfpq.Explain `json:"explain"`
 	Stats     cfpq.Stats   `json:"stats"`
@@ -210,6 +211,7 @@ func renderAnswer(ge *graphEntry, req QueryRequest, res *cfpq.Result) QueryAnswe
 	case cfpq.OutputPaths:
 		count := res.Count
 		ans.Count = &count
+		ans.Truncated = res.Truncated
 		paths := res.AllPaths()
 		ge.mu.RLock()
 		ans.Paths = make([][]PathStep, len(paths))

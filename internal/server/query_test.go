@@ -94,7 +94,9 @@ func TestHTTPDeclarativeQuery(t *testing.T) {
 
 // TestHTTPErrorEnvelope checks that every failure mode of the query
 // endpoints answers the same {"error": ...} JSON envelope with the right
-// status code.
+// status code; request-validation failures additionally carry a "field"
+// naming the offending request field (the structured cfpq.RequestError on
+// the wire).
 func TestHTTPErrorEnvelope(t *testing.T) {
 	srv := queryTestServer(t)
 
@@ -104,25 +106,27 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 		path   string
 		body   string
 		status int
+		field  string
 	}{
-		{"malformed body", http.MethodPost, "/v1/query", `{"graph":`, http.StatusBadRequest},
-		{"non-JSON body", http.MethodPost, "/v1/query", `garbage`, http.StatusBadRequest},
-		{"no graph", http.MethodPost, "/v1/query", `{"grammar":"reach","nonterminal":"S"}`, http.StatusBadRequest},
-		{"no language", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach"}`, http.StatusBadRequest},
-		{"two languages", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","expr":"a"}`, http.StatusBadRequest},
-		{"bad output", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","output":"nope"}`, http.StatusBadRequest},
-		{"negative limit", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","limit":-1}`, http.StatusBadRequest},
-		{"unknown graph", http.MethodPost, "/v1/query", `{"graph":"nope","grammar":"reach","nonterminal":"S"}`, http.StatusNotFound},
-		{"unknown grammar", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"nope","nonterminal":"S"}`, http.StatusNotFound},
-		{"unknown nonterminal", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"Nope"}`, http.StatusNotFound},
-		{"unknown node", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["nobody"]}`, http.StatusNotFound},
-		{"node id out of range", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["99"]}`, http.StatusBadRequest},
-		{"bad backend", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","backend":"gpu"}`, http.StatusBadRequest},
-		{"unknown expr graph", http.MethodPost, "/v1/query", `{"graph":"nope","expr":"knows+"}`, http.StatusNotFound},
-		{"bad expr", http.MethodPost, "/v1/query", `{"graph":"social","expr":"(("}`, http.StatusBadRequest},
-		{"GET unknown graph", http.MethodGet, "/v1/query?graph=nope&grammar=reach&nonterminal=S", "", http.StatusNotFound},
-		{"batch malformed body", http.MethodPost, "/v1/query/batch", `{"queries":`, http.StatusBadRequest},
-		{"snapshot without store", http.MethodPost, "/v1/snapshot", "", http.StatusConflict},
+		{"malformed body", http.MethodPost, "/v1/query", `{"graph":`, http.StatusBadRequest, ""},
+		{"non-JSON body", http.MethodPost, "/v1/query", `garbage`, http.StatusBadRequest, ""},
+		{"no graph", http.MethodPost, "/v1/query", `{"grammar":"reach","nonterminal":"S"}`, http.StatusBadRequest, ""},
+		{"no language", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach"}`, http.StatusBadRequest, ""},
+		{"two languages", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","expr":"a"}`, http.StatusBadRequest, ""},
+		{"bad output", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","output":"nope"}`, http.StatusBadRequest, "output"},
+		{"negative limit", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","limit":-1}`, http.StatusBadRequest, "limit"},
+		{"limited count", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","output":"count","limit":3}`, http.StatusBadRequest, "limit"},
+		{"unknown graph", http.MethodPost, "/v1/query", `{"graph":"nope","grammar":"reach","nonterminal":"S"}`, http.StatusNotFound, ""},
+		{"unknown grammar", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"nope","nonterminal":"S"}`, http.StatusNotFound, ""},
+		{"unknown nonterminal", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"Nope"}`, http.StatusNotFound, ""},
+		{"unknown node", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["nobody"]}`, http.StatusNotFound, ""},
+		{"node id out of range", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","sources":["99"]}`, http.StatusBadRequest, ""},
+		{"bad backend", http.MethodPost, "/v1/query", `{"graph":"social","grammar":"reach","nonterminal":"S","backend":"gpu"}`, http.StatusBadRequest, ""},
+		{"unknown expr graph", http.MethodPost, "/v1/query", `{"graph":"nope","expr":"knows+"}`, http.StatusNotFound, ""},
+		{"bad expr", http.MethodPost, "/v1/query", `{"graph":"social","expr":"(("}`, http.StatusBadRequest, ""},
+		{"GET unknown graph", http.MethodGet, "/v1/query?graph=nope&grammar=reach&nonterminal=S", "", http.StatusNotFound, ""},
+		{"batch malformed body", http.MethodPost, "/v1/query/batch", `{"queries":`, http.StatusBadRequest, ""},
+		{"snapshot without store", http.MethodPost, "/v1/snapshot", "", http.StatusConflict, ""},
 	}
 	for _, tc := range cases {
 		code, body := httpDo(t, srv, tc.method, tc.path, tc.body)
@@ -133,7 +137,14 @@ func TestHTTPErrorEnvelope(t *testing.T) {
 		if !ok || msg == "" {
 			t.Errorf("%s: missing error envelope: %v", tc.name, body)
 		}
-		if len(body) != 1 {
+		want := 1
+		if tc.field != "" {
+			want = 2
+			if body["field"] != tc.field {
+				t.Errorf("%s: field %v, want %q", tc.name, body["field"], tc.field)
+			}
+		}
+		if len(body) != want {
 			t.Errorf("%s: envelope carries extra fields: %v", tc.name, body)
 		}
 	}
@@ -319,6 +330,26 @@ func TestHTTPTruncatedFlag(t *testing.T) {
 		`{"graph":"social","expr":"knows+","limit":1}`)
 	if code != http.StatusOK || body["truncated"] != true {
 		t.Fatalf("expr truncation: %d %v", code, body)
+	}
+
+	// Paths output reports truncation on the wire too: a diamond graph has
+	// exactly two witness paths a→d, so limit 1 clips and limit 2 does not.
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/graphs/diamond?format=edgelist",
+		"a knows b\nb knows d\na knows c\nc knows d\n"); code != http.StatusOK {
+		t.Fatalf("PUT diamond: %d %v", code, body)
+	}
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"diamond","grammar":"reach","nonterminal":"S","output":"paths","sources":["a"],"targets":["d"],"limit":1}`)
+	if code != http.StatusOK || body["count"].(float64) != 1 || body["truncated"] != true {
+		t.Fatalf("limited paths: %d %v", code, body)
+	}
+	code, body = httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"diamond","grammar":"reach","nonterminal":"S","output":"paths","sources":["a"],"targets":["d"],"limit":2}`)
+	if code != http.StatusOK || body["count"].(float64) != 2 {
+		t.Fatalf("unclipped paths: %d %v", code, body)
+	}
+	if _, present := body["truncated"]; present {
+		t.Fatalf("unclipped paths answer carries truncated: %v", body)
 	}
 }
 

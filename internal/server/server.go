@@ -87,6 +87,14 @@ type Service struct {
 	replication     ReplicationController
 	readinessMaxLag atomic.Uint64
 
+	// Live-query state (subscribe.go): the registry of active
+	// subscriptions behind /debug/vars' "cfpqd_subscriptions", and the SSE
+	// heartbeat override.
+	subMu          sync.Mutex
+	subNextID      int64
+	subsLive       map[int64]*ServerSubscription
+	subHeartbeatNs atomic.Int64
+
 	metrics serviceMetrics
 }
 
@@ -145,6 +153,15 @@ type serviceMetrics struct {
 	replEdges        atomic.Int64 // edges applied from the replication stream
 	persistErrors    atomic.Int64 // best-effort index persistence failures
 	budgetRejections atomic.Int64 // evaluations rejected by the memory budget (HTTP 413)
+
+	// Live-query counters (subscribe.go): subscriptions ever registered,
+	// pair batches and pairs delivered, deliveries carrying a resync
+	// marker, and batches dropped on slow consumers.
+	subsTotal  atomic.Int64
+	subEvents  atomic.Int64
+	subPairs   atomic.Int64
+	subResyncs atomic.Int64
+	subDrops   atomic.Int64
 
 	// Per-strategy counters: which plan the library planner chose per
 	// answered query, so plan selection is observable in production.
@@ -375,7 +392,14 @@ func markStale(dropped []*indexEntry) {
 	for _, e := range dropped {
 		e.mu.Lock()
 		e.stale = true
+		p := e.p
 		e.mu.Unlock()
+		if p != nil {
+			// End the handle's subscriptions: nothing will ever publish to
+			// a dropped entry again, and a closed channel tells streaming
+			// clients to re-resolve instead of waiting forever.
+			p.Close()
+		}
 	}
 }
 
@@ -983,6 +1007,7 @@ func (s *Service) patchIndexes(ctx context.Context, graphName string, ge *graphE
 		}
 		stale := e.stale
 		key := e.key
+		p := e.p
 		e.mu.Unlock()
 		if stale {
 			s.mu.Lock()
@@ -990,6 +1015,13 @@ func (s *Service) patchIndexes(ctx context.Context, graphName string, ge *graphE
 				delete(s.indexes, key)
 			}
 			s.mu.Unlock()
+			if p != nil {
+				// Subscribers on an invalidated handle must not wait on a
+				// stream nothing will publish to: close it so they
+				// re-resolve (the SSE layer turns this into a terminal
+				// resync event).
+				p.Close()
+			}
 		}
 	}
 }

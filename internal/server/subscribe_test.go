@@ -1,0 +1,514 @@
+package server
+
+// Tests of the live-query serving layer: the service-level Subscribe
+// lifecycle and counters, the SSE wire protocol of POST /v1/subscribe
+// (prelude, pairs events, heartbeats, Last-Event-ID resume, the terminal
+// resync on handle invalidation), /debug/vars observability, and the
+// tentpole acceptance property on a follower — pairs pushed from the
+// replicated-apply path equal the relation growth, exactly once.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// subTestService is queryTestServer's service exposed directly: the SSE
+// tests need both the handler and the Service (to write edges and tune the
+// heartbeat).
+func subTestService(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	s := New()
+	if _, err := s.LoadGraph("social", "edgelist",
+		strings.NewReader("alice knows bob\nbob knows carol\ncarol knows dave\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterGrammar("reach", reachGrammar); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(s))
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func namedPairSet(pairs []NamedPair) map[NamedPair]bool {
+	out := make(map[NamedPair]bool, len(pairs))
+	for _, p := range pairs {
+		out[p] = true
+	}
+	return out
+}
+
+// TestServiceSubscribeLifecycle drives a subscription at the Go level: it
+// registers, receives exactly the newly derived pairs of a leader write,
+// shows up in SubscriptionInfos, and deregisters on Close.
+func TestServiceSubscribeLifecycle(t *testing.T) {
+	s, _ := subTestService(t)
+	ss, err := s.Subscribe(ctx, SubscribeRequest{
+		Graph: "social", Grammar: "reach", Nonterminal: "S",
+	}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	tgt := Target{Graph: "social", Grammar: "reach"}
+	before, err := s.Relation(ctx, tgt, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// dave→alice closes the cycle between existing nodes: every missing
+	// reachability pair appears at once.
+	if _, err := s.AddEdges(ctx, "social", []EdgeSpec{{From: "dave", Label: "knows", To: "alice"}}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Relation(ctx, tgt, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[NamedPair]bool{}
+	old := namedPairSet(before)
+	for _, p := range after {
+		if !old[p] {
+			want[p] = true
+		}
+	}
+
+	select {
+	case batch, ok := <-ss.Updates():
+		if !ok {
+			t.Fatal("subscription closed unexpectedly")
+		}
+		ss.note(batch)
+		got := namedPairSet(ss.render(batch).Pairs)
+		if len(got) != len(want) {
+			t.Fatalf("pushed %d pairs, relation grew by %d", len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Fatalf("pushed batch missing %v (got %v)", p, got)
+			}
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no batch pushed for the leader write")
+	}
+
+	infos := s.SubscriptionInfos()
+	if len(infos) != 1 {
+		t.Fatalf("SubscriptionInfos = %+v, want one entry", infos)
+	}
+	in := infos[0]
+	if in.Graph != "social" || in.Grammar != "reach" || in.Nonterminal != "S" ||
+		in.Events != 1 || in.Pairs != int64(len(want)) || in.LastSeq == 0 {
+		t.Fatalf("SubscriptionInfos[0] = %+v", in)
+	}
+	m := s.Metrics()
+	if m.Subscriptions != 1 || m.SubscriptionsActive != 1 || m.SubscriptionEvents != 1 ||
+		m.SubscriptionPairs != int64(len(want)) {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	ss.Close()
+	ss.Close() // idempotent
+	if infos := s.SubscriptionInfos(); len(infos) != 0 {
+		t.Fatalf("after Close: SubscriptionInfos = %+v, want none", infos)
+	}
+	if m := s.Metrics(); m.SubscriptionsActive != 0 || m.Subscriptions != 1 {
+		t.Fatalf("after Close: metrics = %+v", m)
+	}
+}
+
+// TestServiceSubscribeErrors pins the request validation of the service
+// layer: missing names, unknown registry entries, unknown non-terminals.
+func TestServiceSubscribeErrors(t *testing.T) {
+	s, _ := subTestService(t)
+	for name, req := range map[string]SubscribeRequest{
+		"no graph":        {Grammar: "reach", Nonterminal: "S"},
+		"no grammar":      {Graph: "social", Nonterminal: "S"},
+		"no nonterminal":  {Graph: "social", Grammar: "reach"},
+		"unknown graph":   {Graph: "nope", Grammar: "reach", Nonterminal: "S"},
+		"unknown grammar": {Graph: "social", Grammar: "nope", Nonterminal: "S"},
+		"unknown nt":      {Graph: "social", Grammar: "reach", Nonterminal: "Nope"},
+		"unknown node":    {Graph: "social", Grammar: "reach", Nonterminal: "S", Sources: []string{"nobody"}},
+	} {
+		if _, err := s.Subscribe(ctx, req, false, 0); err == nil {
+			t.Errorf("%s: Subscribe succeeded", name)
+		}
+	}
+	if n := len(s.SubscriptionInfos()); n != 0 {
+		t.Errorf("failed subscribes left %d registered", n)
+	}
+}
+
+// TestServiceSubscribeInvalidationCloses: a write that grows the node set
+// invalidates the cached index entry, and the registry closes the handle —
+// every subscription's channel closes, telling consumers to re-query.
+func TestServiceSubscribeInvalidationCloses(t *testing.T) {
+	s, _ := subTestService(t)
+	ss, err := s.Subscribe(ctx, SubscribeRequest{
+		Graph: "social", Grammar: "reach", Nonterminal: "S",
+	}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	if _, err := s.AddEdges(ctx, "social", []EdgeSpec{{From: "dave", Label: "knows", To: "eve"}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ss.Updates():
+		if ok {
+			t.Fatal("node-growing write pushed a batch instead of invalidating")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("subscription not closed by the invalidated handle")
+	}
+}
+
+// sseFrame is one parsed Server-Sent Events frame.
+type sseFrame struct {
+	id, event, data, comment string
+}
+
+// sseConn is a live POST /v1/subscribe stream under test.
+type sseConn struct {
+	t      *testing.T
+	resp   *http.Response
+	sc     *bufio.Scanner
+	cancel context.CancelFunc
+}
+
+func dialSSE(t *testing.T, srv *httptest.Server, body, lastEventID string) *sseConn {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/subscribe", strings.NewReader(body))
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		defer cancel()
+		t.Fatalf("POST /v1/subscribe: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("Content-Type = %q, want text/event-stream", ct)
+	}
+	c := &sseConn{t: t, resp: resp, sc: bufio.NewScanner(resp.Body), cancel: cancel}
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *sseConn) close() {
+	c.cancel()
+	c.resp.Body.Close()
+}
+
+// frame reads one SSE frame (a block of lines up to a blank separator).
+func (c *sseConn) frame() (sseFrame, bool) {
+	var f sseFrame
+	seen := false
+	for c.sc.Scan() {
+		line := c.sc.Text()
+		if line == "" {
+			if seen {
+				return f, true
+			}
+			continue
+		}
+		seen = true
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			f.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			f.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			f.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ": "):
+			f.comment = strings.TrimPrefix(line, ": ")
+		default:
+			c.t.Errorf("unparsed SSE line %q", line)
+		}
+	}
+	return f, false
+}
+
+// event reads frames until one carries an event (skipping comment-only
+// frames — the prelude and heartbeats).
+func (c *sseConn) event() (sseFrame, bool) {
+	for {
+		f, ok := c.frame()
+		if !ok || f.event != "" {
+			return f, ok
+		}
+	}
+}
+
+// TestHTTPSubscribeSSE is the wire protocol end to end: prelude, a pairs
+// event for a leader write (with id for resume and resolved node names),
+// heartbeat comments, per-subscription /debug/vars counters, and the
+// terminal resync event when the served handle is invalidated.
+func TestHTTPSubscribeSSE(t *testing.T) {
+	s, srv := subTestService(t)
+	s.SetSubscribeHeartbeat(25 * time.Millisecond)
+
+	c := dialSSE(t, srv, `{"graph":"social","grammar":"reach","nonterminal":"S","targets":["alice"]}`, "")
+	// The prelude comment commits the registration: everything written
+	// after it reaches this stream.
+	f, ok := c.frame()
+	if !ok || f.comment != "subscribed" {
+		t.Fatalf("prelude = %+v %v, want the subscribed comment", f, ok)
+	}
+
+	if _, err := s.AddEdges(ctx, "social", []EdgeSpec{{From: "dave", Label: "knows", To: "alice"}}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok = c.event()
+	if !ok || f.event != "pairs" || f.id == "" {
+		t.Fatalf("first event = %+v %v, want an id-stamped pairs event", f, ok)
+	}
+	var batch wirePairBatch
+	if err := json.Unmarshal([]byte(f.data), &batch); err != nil {
+		t.Fatalf("bad data payload %q: %v", f.data, err)
+	}
+	// Targets=["alice"]: of the six new pairs only the four *→alice ones
+	// stream, names resolved.
+	if batch.Resync || len(batch.Pairs) != 4 {
+		t.Fatalf("batch = %+v, want 4 un-resynced pairs into alice", batch)
+	}
+	for _, p := range batch.Pairs {
+		if p.To != "alice" {
+			t.Fatalf("restriction leaked pair %+v", p)
+		}
+	}
+	if fmt.Sprint(batch.Seq) != f.id {
+		t.Fatalf("id %q != payload seq %d", f.id, batch.Seq)
+	}
+
+	// Heartbeats keep the idle stream warm.
+	f, ok = c.frame()
+	if !ok || f.comment != "hb" {
+		t.Fatalf("idle frame = %+v %v, want a heartbeat comment", f, ok)
+	}
+
+	// The live subscription is observable.
+	_, dvars := httpDo(t, srv, http.MethodGet, "/debug/vars", "")
+	subs, ok := dvars["cfpqd_subscriptions"].([]any)
+	if !ok || len(subs) != 1 {
+		t.Fatalf("/debug/vars cfpqd_subscriptions = %v", dvars["cfpqd_subscriptions"])
+	}
+	info := subs[0].(map[string]any)
+	if info["graph"] != "social" || info["events"].(float64) != 1 || info["pairs"].(float64) != 4 {
+		t.Fatalf("subscription var = %v", info)
+	}
+
+	// A node-growing write invalidates the served handle: the stream ends
+	// with the terminal resync event.
+	if _, err := s.AddEdges(ctx, "social", []EdgeSpec{{From: "dave", Label: "knows", To: "eve"}}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok = c.event()
+	if !ok || f.event != "resync" {
+		t.Fatalf("after invalidation: %+v %v, want the resync event", f, ok)
+	}
+	if _, ok := c.frame(); ok {
+		t.Fatal("stream continued past the terminal resync")
+	}
+	// The handler's deferred Close deregisters the subscription.
+	waitFor(t, 5*time.Second, func() bool { return len(s.SubscriptionInfos()) == 0 },
+		"subscription deregistration")
+}
+
+// TestHTTPSubscribeResume: a reconnect with Last-Event-ID replays the
+// updates the client missed (within the retained window) before going
+// live; a malformed Last-Event-ID is a 400.
+func TestHTTPSubscribeResume(t *testing.T) {
+	s, srv := subTestService(t)
+	body := `{"graph":"social","grammar":"reach","nonterminal":"S"}`
+
+	c1 := dialSSE(t, srv, body, "")
+	if f, ok := c1.frame(); !ok || f.comment != "subscribed" {
+		t.Fatalf("prelude = %+v %v", f, ok)
+	}
+	if _, err := s.AddEdges(ctx, "social", []EdgeSpec{{From: "bob", Label: "knows", To: "alice"}}); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := c1.event()
+	if !ok || f.event != "pairs" {
+		t.Fatalf("first event = %+v %v", f, ok)
+	}
+	lastID := f.id
+	c1.close() // client drops
+
+	// Two more writes while disconnected — between existing nodes (so the
+	// cached handle and its resume window survive), each deriving new
+	// reachability pairs (so each consumes a sequence number).
+	for _, e := range []EdgeSpec{
+		{From: "carol", Label: "knows", To: "bob"},
+		{From: "dave", Label: "knows", To: "carol"},
+	} {
+		if _, err := s.AddEdges(ctx, "social", []EdgeSpec{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reconnect where we left off: the two missed updates replay in order,
+	// un-resynced, with increasing sequence numbers.
+	c2 := dialSSE(t, srv, body, lastID)
+	prev := uint64(0)
+	fmt.Sscan(lastID, &prev)
+	for i := 0; i < 2; i++ {
+		f, ok := c2.event()
+		if !ok || f.event != "pairs" {
+			t.Fatalf("replay %d = %+v %v", i, f, ok)
+		}
+		var batch wirePairBatch
+		if err := json.Unmarshal([]byte(f.data), &batch); err != nil {
+			t.Fatal(err)
+		}
+		if batch.Resync || batch.Seq != prev+1 || len(batch.Pairs) == 0 {
+			t.Fatalf("replay %d = %+v, want seq %d with pairs", i, batch, prev+1)
+		}
+		prev = batch.Seq
+	}
+
+	// A resume from outside the window (a made-up future id) is answered
+	// with a single resync marker, not a replay.
+	c3 := dialSSE(t, srv, body, "9999")
+	f, ok = c3.event()
+	if !ok || f.event != "pairs" {
+		t.Fatalf("gap resume = %+v %v", f, ok)
+	}
+	var batch wirePairBatch
+	if err := json.Unmarshal([]byte(f.data), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if !batch.Resync || len(batch.Pairs) != 0 {
+		t.Fatalf("gap resume batch = %+v, want an empty resync marker", batch)
+	}
+
+	// Malformed Last-Event-ID: 400 before any stream starts.
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/subscribe", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad Last-Event-ID: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFollowerSubscriptionPush is the tentpole acceptance property on a
+// replica: a subscription served by a follower fires from the
+// replicated-apply path. Leader writes (among existing nodes, in random
+// order) ship over the WAL; the union of the follower's pushed batches
+// must equal exactly the growth of its relation — every pair once, no
+// full-result diffing anywhere in the path.
+func TestFollowerSubscriptionPush(t *testing.T) {
+	leader, srv := leaderService(t)
+	f := startFollower(t, persistentService(t, t.TempDir()), srv.URL, "f1")
+	waitFor(t, 10*time.Second, func() bool { return caughtUp(f, leader, "social") }, "initial sync")
+
+	ss, err := f.svc.Subscribe(ctx, SubscribeRequest{
+		Graph: "social", Grammar: "reach", Nonterminal: "S",
+	}, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	tgt := Target{Graph: "social", Grammar: "reach"}
+	initial, err := f.svc.Relation(ctx, tgt, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every knows-edge over the existing nodes, in random order, one write
+	// per batch: the closure grows step by step on both nodes.
+	nodes := []string{"alice", "bob", "carol", "dora"}
+	var edges []EdgeSpec
+	for _, a := range nodes {
+		for _, b := range nodes {
+			edges = append(edges, EdgeSpec{From: a, Label: "knows", To: b})
+		}
+	}
+	rng := rand.New(rand.NewSource(29))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	for _, e := range edges {
+		if _, err := leader.AddEdges(ctx, "social", []EdgeSpec{e}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool { return caughtUp(f, leader, "social") }, "live tail")
+
+	final, err := f.svc.Relation(ctx, tgt, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := namedPairSet(initial)
+	want := map[NamedPair]bool{}
+	for _, p := range final {
+		if !old[p] {
+			want[p] = true
+		}
+	}
+
+	received := map[NamedPair]bool{}
+	for len(received) < len(want) {
+		select {
+		case b, ok := <-ss.Updates():
+			if !ok {
+				t.Fatal("follower subscription closed mid-stream")
+			}
+			if b.Resync {
+				t.Fatalf("follower consumer fell behind: %+v", b)
+			}
+			for _, p := range ss.render(b).Pairs {
+				if received[p] {
+					t.Fatalf("pair %+v pushed twice", p)
+				}
+				if !want[p] {
+					t.Fatalf("pushed pair %+v is not part of the relation growth", p)
+				}
+				received[p] = true
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("follower pushed %d of %d grown pairs", len(received), len(want))
+		}
+	}
+	// No trailing over-delivery.
+	select {
+	case b, ok := <-ss.Updates():
+		if ok && len(b.Pairs) > 0 {
+			t.Fatalf("extra batch after full delivery: %+v", b)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+	// And the follower agrees with the leader, as ever.
+	want2, err := leader.Relation(ctx, tgt, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want2) != len(final) {
+		t.Fatalf("follower relation %d pairs, leader %d", len(final), len(want2))
+	}
+}

@@ -165,14 +165,26 @@ func (e *Engine) doPaths(ctx context.Context, cfg *config, req Request, gram *Gr
 	if err != nil {
 		return nil, err
 	}
-	paths, err := ix.AllPathsContext(ctx, req.Graph, start, req.Sources[0], req.Targets[0],
-		AllPathsOptions{MaxLength: req.MaxPathLength, MaxPaths: req.Limit})
+	// Look one path past the limit so a clipped enumeration reports
+	// Truncated instead of passing for a complete answer (the pairs
+	// output's lookahead, applied to paths).
+	opts := AllPathsOptions{MaxLength: req.MaxPathLength, MaxPaths: req.Limit}
+	if req.Limit > 0 {
+		opts.MaxPaths++
+	}
+	paths, err := ix.AllPathsContext(ctx, req.Graph, start, req.Sources[0], req.Targets[0], opts)
 	if err != nil {
 		return nil, err
 	}
+	truncated := false
+	if req.Limit > 0 && len(paths) > req.Limit {
+		paths = paths[:req.Limit]
+		truncated = true
+	}
 	return &Result{
-		Count: len(paths),
-		Stats: stats,
+		Count:     len(paths),
+		Truncated: truncated,
+		Stats:     stats,
 		Explain: Explain{
 			Strategy: StrategyFull,
 			Reason:   "path enumeration reads the full closure index as its derivation oracle",

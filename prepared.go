@@ -7,6 +7,8 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+
+	"cfpq/internal/core"
 )
 
 // Prepared is a compiled grammar bound to a graph with a cached,
@@ -24,11 +26,12 @@ type Prepared struct {
 	mu      sync.RWMutex
 	g       *Graph // owned by the Prepared; mutate only through AddEdges
 	ix      *Index
-	wal     WAL   // journal AddEdges tees into before mutating; may be nil
-	build   Stats // the initial closure
-	update  Stats // accumulated incremental patches
-	updates int   // number of AddEdges calls that patched
-	dirty   bool  // a cancelled patch left consequences unpropagated
+	wal     WAL     // journal AddEdges tees into before mutating; may be nil
+	subs    *subHub // live-query fan-out; created on first Subscribe/Close
+	build   Stats   // the initial closure
+	update  Stats   // accumulated incremental patches
+	updates int     // number of AddEdges calls that patched
+	dirty   bool    // a cancelled patch left consequences unpropagated
 	queries atomic.Int64
 }
 
@@ -138,10 +141,21 @@ func (p *Prepared) doLocked(ctx context.Context, req Request) (*Result, error) {
 		if i >= n || j >= n {
 			return res, nil
 		}
-		paths, err := p.ix.AllPathsContext(ctx, p.g, nt, i, j,
-			AllPathsOptions{MaxLength: req.MaxPathLength, MaxPaths: req.Limit})
+		// Enumerate one path past the limit so a clipped answer reports
+		// Truncated — the same lookahead the pairs output uses. (Without a
+		// Limit the enumerator's own default cap applies; hitting it is
+		// not reported, matching Paths' documented contract.)
+		opts := AllPathsOptions{MaxLength: req.MaxPathLength, MaxPaths: req.Limit}
+		if req.Limit > 0 {
+			opts.MaxPaths++
+		}
+		paths, err := p.ix.AllPathsContext(ctx, p.g, nt, i, j, opts)
 		if err != nil {
 			return nil, err
+		}
+		if req.Limit > 0 && len(paths) > req.Limit {
+			paths = paths[:req.Limit]
+			res.Truncated = true
 		}
 		res.Count = len(paths)
 		res.paths = paths
@@ -368,6 +382,14 @@ type UpdateInfo struct {
 	// Stats is the incremental closure work of the patch (or of the full
 	// rebuild, when one was needed to repair a previously cancelled patch).
 	Stats Stats `json:"stats"`
+	// Delta is the per-nonterminal relation of pairs this call newly
+	// derived — the incremental closure's own frontier union, or, when the
+	// call repaired a cancelled patch by rebuilding, the rebuild's
+	// new-minus-old difference. A cancelled call reports the pairs that did
+	// land before cancellation; the repairing call reports exactly the
+	// rest, so the concatenation of Deltas is always the exact history of
+	// the relation. Nil only when the call errored before patching.
+	Delta *Delta `json:"-"`
 }
 
 // AddEdges inserts edges into the bound graph and brings the cached index
@@ -415,7 +437,11 @@ func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, err
 	}
 	if p.dirty {
 		// Repair: a cancelled patch left unpropagated consequences that a
-		// delta seeded only with the new edges would never recover.
+		// delta seeded only with the new edges would never recover. Grow
+		// the stale index first so the rebuild can be diffed against it:
+		// subscribers must still see exactly the pairs the repair adds.
+		p.ix.Grow(p.g.Nodes())
+		old := p.ix
 		ix, build, err := p.eng.newCore(&config{}).RunContext(ctx, p.g, p.cnf)
 		if err != nil {
 			return info, err
@@ -424,13 +450,21 @@ func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, err
 		p.update.Add(build)
 		p.updates++
 		info.Stats = build
+		info.Delta = core.NewlyDerived(ix, old)
+		p.publishLocked(info.Delta)
 		return info, nil
 	}
 	p.ix.Grow(p.g.Nodes())
-	st, err := p.eng.newCore(&config{}).UpdateContext(ctx, p.ix, fresh...)
+	st, delta, err := p.eng.newCore(&config{}).UpdateContext(ctx, p.ix, fresh...)
 	p.update.Add(st)
 	p.updates++
 	info.Stats = st
+	info.Delta = delta
+	// Publish even on cancellation: the partial delta's pairs are in the
+	// index (the update is sound, just unfinished), and the repair's
+	// new-minus-old delta will exclude them — so subscribers see every
+	// pair exactly once across the cancelled patch and its repair.
+	p.publishLocked(delta)
 	if err != nil {
 		p.dirty = true
 		return info, err

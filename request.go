@@ -55,7 +55,8 @@ type Request struct {
 	Output Output `json:"output,omitempty"`
 	// Limit bounds the number of pairs (OutputPairs) or paths
 	// (OutputPaths) returned; 0 means no pair limit and the default path
-	// cap (1024).
+	// cap (1024). A clipped answer sets Result.Truncated. OutputCount is
+	// exact and rejects a Limit (Validate); OutputExists ignores it.
 	Limit int `json:"limit,omitempty"`
 	// MaxPathLength bounds the length of enumerated paths (OutputPaths);
 	// 0 selects a generous default derived from the instance size.
@@ -140,6 +141,11 @@ func (r *Request) Validate() error {
 	}
 	if r.Limit < 0 {
 		return reqErr("limit", "must be non-negative, got %d", r.Limit)
+	}
+	if r.Limit > 0 && r.Output == OutputCount {
+		// A count is exact by definition; silently capping it would make
+		// two different questions answer alike. Rejecting beats ignoring.
+		return reqErr("limit", "count output is exact and ignores no limit; drop the limit or ask for pairs")
 	}
 	if r.MaxPathLength < 0 {
 		return reqErr("max_path_length", "must be non-negative, got %d", r.MaxPathLength)

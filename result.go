@@ -58,10 +58,12 @@ type Result struct {
 	// Count answers OutputCount; for OutputPairs and OutputPaths it is the
 	// number of elements the result streams (after Limit).
 	Count int `json:"count"`
-	// Truncated reports that Limit clipped an OutputPairs relation: the
-	// full relation has more than Count pairs. Without it, a limited
-	// request cannot distinguish "exactly Limit pairs exist" from "at
-	// least Limit pairs exist".
+	// Truncated reports that Limit clipped the answer: an OutputPairs
+	// relation with more than Count pairs, or an OutputPaths enumeration
+	// with more than Count witnesses within MaxPathLength. Without it, a
+	// limited request cannot distinguish "exactly Limit exist" from "at
+	// least Limit exist". (OutputPaths without a Limit runs under the
+	// enumerator's default cap, which is not reported here.)
 	Truncated bool `json:"truncated,omitempty"`
 	// Stats is the closure work performed by this evaluation.
 	Stats Stats `json:"stats"`

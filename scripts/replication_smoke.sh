@@ -59,11 +59,25 @@ ask() { curl -sf -X POST -d "$query" "$1/v1/query"; }
 
 [ "$(ask "$LEADER")" = "$(ask "$FOLLOWER")" ] || die "bootstrap answers differ"
 
+echo "opening a live subscription on the follower..."
+curl -sNf -X POST -d "$query" "$FOLLOWER/v1/subscribe" >"$workdir/sse.log" 2>&1 &
+pids+=($!)
+wait_until 15 grep -q 'subscribed' "$workdir/sse.log"
+
 echo "writing on the leader, waiting for the follower to converge..."
 curl -sf -X POST -d '{"edges":[{"from":"dora","label":"knows","to":"alice"}]}' \
   "$LEADER/v1/graphs/social/edges" >/dev/null
 converged() { [ "$(ask "$LEADER")" = "$(ask "$FOLLOWER")" ]; }
 wait_until 15 converged
+
+echo "checking the leader write reached the follower subscription..."
+# The edge ships over the WAL, the follower's replicated apply patches its
+# cached index, and the subscription pushes the patch's delta as an SSE
+# pairs event — no polling, no full-result diffing.
+sse_pushed() { grep -q 'event: pairs' "$workdir/sse.log" && grep -q '"from":"dora","to":"alice"' "$workdir/sse.log"; }
+wait_until 15 sse_pushed
+curl -sf "$FOLLOWER/debug/vars" | grep -q 'cfpqd_subscriptions' ||
+  die "follower /debug/vars missing cfpqd_subscriptions"
 
 echo "checking the follower's write gate and status..."
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
