@@ -13,9 +13,11 @@
 package cfpq_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"cfpq"
 	"cfpq/internal/bench"
 	"cfpq/internal/dataset"
 )
@@ -49,3 +51,50 @@ func BenchmarkTable1(b *testing.B) { benchTable(b, 1) }
 // BenchmarkTable2 regenerates Table 2: Query 2 (adjacent layers, Figure 11
 // grammar) over the same graphs and implementations.
 func BenchmarkTable2(b *testing.B) { benchTable(b, 2) }
+
+// benchTraceGraph builds a chain graph whose closure takes several passes,
+// so the per-pass trace overhead (or its absence) is measurable.
+func benchTraceGraph() (*cfpq.Graph, *cfpq.Grammar) {
+	n := 256
+	g := cfpq.NewGraph(n)
+	for v := 0; v+1 < n; v++ {
+		g.AddEdge(v, "a", v+1)
+		g.AddEdge(v+1, "b", v)
+	}
+	return g, cfpq.MustParseGrammar("S -> a S b | a b")
+}
+
+// BenchmarkEvaluateTraceOff is the untraced baseline for the pair below.
+// Compare allocs/op against BenchmarkEvaluateTraceOn: the disabled trace
+// path must add no allocations to the evaluation.
+func BenchmarkEvaluateTraceOff(b *testing.B) {
+	g, gram := benchTraceGraph()
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S", Output: cfpq.OutputCount}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateTraceOn runs the same evaluation with a per-pass trace
+// collecting events, to price the enabled path.
+func BenchmarkEvaluateTraceOn(b *testing.B) {
+	g, gram := benchTraceGraph()
+	events := 0
+	eng := cfpq.NewEngine(cfpq.Sparse, cfpq.WithTracer(cfpq.Trace{Pass: func(cfpq.PassEvent) { events++ }}))
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Do(ctx, cfpq.Request{Graph: g, Grammar: gram, Nonterminal: "S", Output: cfpq.OutputCount}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if b.N > 0 && events == 0 {
+		b.Fatal("tracer fired no events")
+	}
+}

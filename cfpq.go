@@ -29,10 +29,19 @@ type (
 	Index = core.Index
 	// PathIndex supports the single-path query semantics.
 	PathIndex = core.PathIndex
-	// Stats reports closure work (passes and matrix products).
+	// Stats reports closure work (passes, matrix products, wall time,
+	// peak estimated matrix bytes).
 	Stats = core.Stats
 	// AllPathsOptions bounds all-path enumeration.
 	AllPathsOptions = core.AllPathsOptions
+	// Trace is a set of per-evaluation hooks in the style of
+	// httptrace.ClientTrace; install one with WithTracer or attach it to a
+	// context with WithTraceContext.
+	Trace = core.Trace
+	// PassEvent describes one closure pass delivered to a Trace.
+	PassEvent = core.PassEvent
+	// NNZ is one non-terminal's relation size before/after a pass.
+	NNZ = core.NNZ
 )
 
 // NewGraph returns an empty graph with n nodes; AddEdge grows it on demand.
@@ -135,6 +144,31 @@ func WithDeltaIteration() Option {
 // must not retain or mutate the index.
 func WithTrace(fn func(iteration int, ix *Index)) Option {
 	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithTrace(fn)) }
+}
+
+// WithTracer installs a Trace whose hooks fire with one PassEvent per
+// closure pass — pass index, products, per-nonterminal nnz before/after,
+// frontier saturation, estimated bytes, wall time. Passed to NewEngine it
+// observes every evaluation the engine runs; passed per call (via
+// Request.Options or a query method's opts) it observes that evaluation
+// only. A disabled trace costs evaluations one pointer test and no
+// allocations. For a collected per-pass table instead of callbacks, set
+// Request.Trace and read Result.Explain.Passes.
+func WithTracer(t Trace) Option {
+	return func(c *config) { c.engineOpts = append(c.engineOpts, core.WithTracer(&t)) }
+}
+
+// WithTraceContext returns a context carrying the trace: every evaluation
+// run under the returned context fires its hooks, whichever engine or
+// Prepared handle runs it — the httptrace.ClientTrace idiom.
+func WithTraceContext(ctx context.Context, t *Trace) context.Context {
+	return core.WithTraceContext(ctx, t)
+}
+
+// ContextTrace returns the trace attached to ctx by WithTraceContext, or
+// nil.
+func ContextTrace(ctx context.Context) *Trace {
+	return core.ContextTrace(ctx)
 }
 
 // MemoryBudgetError reports that an evaluation was abandoned because its

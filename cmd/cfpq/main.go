@@ -16,12 +16,15 @@
 //	cfpq -graph wine.nt -query samegen.g -start S -sources n1,n2 # pairs leaving n1/n2
 //	cfpq -graph wine.nt -query samegen.g -start S -targets n3    # pairs entering n3
 //	cfpq -graph wine.nt -query samegen.g -start S -explain       # print the chosen plan
+//	cfpq -graph wine.nt -query samegen.g -start S -trace         # print the per-pass table
 //	cfpq -graph wine.nt -query samegen.g -save-index samegen.idx # persist the closure
 //	cfpq -graph wine.nt -query samegen.g -load-index samegen.idx # answer without re-running it
 //
 // Every query flows through the library's planner (cfpq.Request →
 // Engine.Do/Prepared.Do), which picks full, source-frontier,
-// target-frontier or cached-read evaluation; -explain shows the choice.
+// target-frontier or cached-read evaluation; -explain shows the choice and
+// -trace prints one leading comment line per closure pass (phase, products,
+// nnz delta, frontier saturation, matrix bytes, wall time).
 package main
 
 import (

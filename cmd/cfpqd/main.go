@@ -97,6 +97,29 @@
 //
 //	curl -N -X POST -d '{"graph":"wine","grammar":"samegen","nonterminal":"S"}' \
 //	     localhost:8080/v1/subscribe
+//
+// # Observability
+//
+// GET /metrics serves Prometheus text format: request-latency histograms
+// labeled by (route, strategy, backend, status), WAL fsync / index build /
+// warm start latency histograms, replication lag gauges (records, bytes,
+// age), subscription buffer depth and drop counters, store sizes, and a
+// build_info gauge. GET /healthz and /readyz report build version/revision
+// and uptime. Every request is logged one structured line to stderr (slog)
+// with an X-Request-ID that is echoed from the client or freshly minted,
+// and set on the response either way.
+//
+//	cfpqd -pprof                     # also mount /debug/pprof/ (off by default)
+//	cfpqd -slow-query 250ms          # log any query slower than 250ms, with its
+//	                                 # full request and per-pass closure trace
+//
+// The -slow-query log captures the evaluation's per-pass trace (pass index,
+// products, per-nonterminal nnz deltas, frontier saturation, wall time) even
+// when the client did not ask for one, so a one-off stall is diagnosable
+// after the fact. Query responses carry "stats" (iterations, products,
+// duration_ns, peak_bytes) on every path, cached reads included; adding
+// "trace": true to a POST /v1/query body returns the per-pass table as
+// explain.passes.
 package main
 
 import (
@@ -104,6 +127,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -137,6 +161,8 @@ func main() {
 	follow := flag.String("follow", "", "leader URL to replicate from; this node serves reads only until promoted")
 	maxLag := flag.Uint64("max-lag", 0, "follower staleness (records behind the leader) beyond which /readyz answers 503 (0 = any finite lag)")
 	followerID := flag.String("follower-id", "", "identity reported to the leader's WAL retention (default hostname-pid)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof profiling handlers under /debug/pprof/")
+	slowQuery := flag.Duration("slow-query", 0, "log queries slower than this threshold with their request and per-pass trace (0 = off)")
 	var graphs, grammars namedFiles
 	flag.Var(&graphs, "graph", "preload a graph as name=path (repeatable)")
 	flag.Var(&grammars, "grammar", "preload a grammar as name=path (repeatable)")
@@ -147,8 +173,12 @@ func main() {
 		log.Fatalf("cfpqd: -graph/-grammar preloads cannot be combined with -follow; load data on the leader")
 	}
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	svc := server.New()
 	svc.SetMemoryBudget(*memoryBudget)
+	if *slowQuery > 0 {
+		svc.SetSlowQueryLog(*slowQuery, logger)
+	}
 	var st *store.Store
 	if *dataDir != "" {
 		var err error
@@ -208,9 +238,14 @@ func main() {
 
 	log.Printf("cfpqd: listening on %s (%d graphs, %d grammars preloaded)",
 		*addr, len(graphs), len(grammars))
+	handlerOpts := []server.HandlerOption{server.WithRequestLog(logger)}
+	if *pprofOn {
+		handlerOpts = append(handlerOpts, server.WithPprof())
+		log.Printf("cfpqd: pprof profiling mounted at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.Handler(svc),
+		Handler: server.Handler(svc, handlerOpts...),
 		// Slow-client protection: the service accepts large uploads, so
 		// unbounded header/body stalls must not pin goroutines forever.
 		ReadHeaderTimeout: 10 * time.Second,

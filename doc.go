@@ -135,6 +135,23 @@
 // The free functions (Query, Evaluate, SinglePath, RPQ, Update, …) predate
 // Engine and remain as deprecated wrappers over a default sparse engine.
 //
+// # Observability
+//
+// Every evaluation can narrate itself, in the style of
+// httptrace.ClientTrace: WithTracer installs a Trace whose Pass hook
+// fires one PassEvent per closure pass — phase, pass index, Boolean
+// products, each non-terminal's relation size before/after (the deltas
+// telescope to exactly the pairs the evaluation derived), frontier
+// saturation, estimated matrix bytes and wall time. WithTraceContext
+// attaches a Trace to one call instead of the whole engine; setting
+// Request.Trace collects the events onto Result.Explain.Passes. A
+// disabled trace costs the closure loop one nil test per pass and no
+// allocations. Result.Stats reports Duration and PeakBytes on every
+// path, cached reads included. cmd/cfpq prints the pass table with
+// -trace; cmd/cfpqd serves Prometheus metrics at GET /metrics, tags
+// every request with an X-Request-ID, and dumps slow queries — request
+// plus pass trace — past a -slow-query threshold.
+//
 // # Memory budgets
 //
 // WithMemoryBudget bounds the estimated matrix footprint of a closure —

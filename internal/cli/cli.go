@@ -14,6 +14,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"cfpq"
 	"cfpq/internal/graph"
@@ -29,6 +30,7 @@ type Config struct {
 	Sources    string
 	Targets    string
 	Explain    bool
+	Trace      bool
 	Limit      int
 	CountOnly  bool
 	EmptyPaths bool
@@ -64,6 +66,10 @@ func ParseArgs(args []string, stderr io.Writer) (*Config, error) {
 	fs.BoolVar(&cfg.Explain, "explain", false,
 		"print the planner's chosen strategy as a leading '# plan:' line\n"+
 			"(relational semantics only)")
+	fs.BoolVar(&cfg.Trace, "trace", false,
+		"print the evaluation's per-pass trace as a leading '# trace' table:\n"+
+			"pass index, products, nnz delta, frontier saturation, bytes, wall\n"+
+			"time per closure pass (relational semantics only)")
 	fs.IntVar(&cfg.Limit, "limit", 0,
 		"print at most this many pairs; a clipped list is flagged on the\n"+
 			"-explain line (relational semantics only)")
@@ -162,8 +168,8 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 		nodeName = func(v int) string { return table[v] }
 	}
 	eng := cfpq.NewEngine(backend)
-	if (cfg.Sources != "" || cfg.Targets != "" || cfg.Explain || cfg.Limit != 0) && cfg.Semantics != "relational" {
-		return fmt.Errorf("cfpq: -sources/-targets/-explain/-limit support only -semantics=relational")
+	if (cfg.Sources != "" || cfg.Targets != "" || cfg.Explain || cfg.Trace || cfg.Limit != 0) && cfg.Semantics != "relational" {
+		return fmt.Errorf("cfpq: -sources/-targets/-explain/-trace/-limit support only -semantics=relational")
 	}
 	if cfg.SaveIndex != "" || cfg.LoadIndex != "" {
 		if cfg.Semantics != "relational" {
@@ -184,6 +190,7 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 			Nonterminal: cfg.Start,
 			EmptyPaths:  cfg.EmptyPaths,
 			Limit:       cfg.Limit,
+			Trace:       cfg.Trace,
 		}
 		if cfg.CountOnly {
 			// Counts are exact; -limit bounds streamed pairs only and a
@@ -198,6 +205,7 @@ func Execute(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[string]int
 			return err
 		}
 		printExplain(cfg, out, res)
+		printTrace(cfg, out, res)
 		return printRelational(cfg, out, res, nodeName)
 	case "single-path":
 		cnf, err := cfpq.ToCNF(gram)
@@ -272,6 +280,30 @@ func printExplain(cfg *Config, out io.Writer, res *cfpq.Result) {
 	}
 }
 
+// printTrace renders the evaluation's per-pass trace as leading comment
+// lines when -trace is set. Pass 0 is the seeding step; the frontier
+// column shows saturation only for source/target-restricted passes.
+func printTrace(cfg *Config, out io.Writer, res *cfpq.Result) {
+	if !cfg.Trace {
+		return
+	}
+	if len(res.Explain.Passes) == 0 {
+		fmt.Fprintln(out, "# trace: no passes (cached read)")
+		return
+	}
+	fmt.Fprintf(out, "# trace: %-8s %4s %8s %8s %10s %12s %10s\n",
+		"phase", "pass", "products", "delta", "frontier", "bytes", "time")
+	for _, ev := range res.Explain.Passes {
+		frontier := "-"
+		if ev.Phase == "frontier" {
+			frontier = fmt.Sprintf("%.3f", ev.Saturation())
+		}
+		fmt.Fprintf(out, "# trace: %-8s %4d %8d %8d %10s %12d %10s\n",
+			ev.Phase, ev.Pass, ev.Products, ev.TotalDelta(), frontier, ev.Bytes,
+			ev.Duration.Round(time.Microsecond))
+	}
+}
+
 // printRelational writes a relational Result: the count under -count,
 // otherwise one name-resolved pair per line.
 func printRelational(cfg *Config, out io.Writer, res *cfpq.Result, nodeName func(int) string) error {
@@ -329,7 +361,7 @@ func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[s
 	if err != nil {
 		return err
 	}
-	req := cfpq.Request{Nonterminal: cfg.Start, Limit: cfg.Limit}
+	req := cfpq.Request{Nonterminal: cfg.Start, Limit: cfg.Limit, Trace: cfg.Trace}
 	if cfg.CountOnly {
 		req.Output, req.Limit = cfpq.OutputCount, 0
 	}
@@ -341,5 +373,6 @@ func executeWithIndex(ctx context.Context, cfg *Config, g *cfpq.Graph, ids map[s
 		return err
 	}
 	printExplain(cfg, out, res)
+	printTrace(cfg, out, res)
 	return printRelational(cfg, out, res, nodeName)
 }

@@ -473,3 +473,57 @@ func TestRunLimitTruncation(t *testing.T) {
 		t.Error("-limit accepted under single-path semantics")
 	}
 }
+
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := &Config{
+		GraphPath: writeFile(t, dir, "g.nt", sampleNT),
+		QueryPath: writeFile(t, dir, "q.g", sampleGrammar),
+		Start:     "S",
+		Backend:   "sparse",
+		Semantics: "relational",
+		Trace:     true,
+	}
+	var out bytes.Buffer
+	if err := Run(ctx, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "# trace: phase") {
+		t.Errorf("missing trace header:\n%s", got)
+	}
+	// The table reports at least the seeding step and one fixpoint pass,
+	// then the pairs follow uncommented.
+	if n := strings.Count(got, "# trace:"); n < 3 {
+		t.Errorf("trace has %d lines, want header + >=2 passes:\n%s", n, got)
+	}
+	if !strings.Contains(got, "0\t1\n") {
+		t.Errorf("pairs missing after trace:\n%s", got)
+	}
+
+	// A cached read through -load-index runs no passes and says so.
+	idx := filepath.Join(dir, "g.idx")
+	cfg.Trace = false
+	cfg.SaveIndex = idx
+	out.Reset()
+	if err := Run(ctx, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	cfg.SaveIndex = ""
+	cfg.LoadIndex = idx
+	cfg.Trace = true
+	out.Reset()
+	if err := Run(ctx, cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# trace: no passes (cached read)") {
+		t.Errorf("cached read trace note missing:\n%s", out.String())
+	}
+
+	// -trace is relational-only, like the other planner flags.
+	cfg.LoadIndex = ""
+	cfg.Semantics = "single-path"
+	if err := Run(ctx, cfg, &out); err == nil {
+		t.Error("-trace accepted under single-path semantics")
+	}
+}

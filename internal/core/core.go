@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
@@ -136,14 +137,36 @@ type Stats struct {
 	Iterations int `json:"iterations"`
 	// Products is the number of Boolean matrix multiplications performed.
 	Products int `json:"products"`
+	// Duration is the wall time of the evaluation. The context-taking
+	// evaluation paths populate it on success and on error; serving
+	// layers also stamp it on cached reads, so a warm read reports its
+	// real latency rather than a zero-work closure.
+	Duration time.Duration `json:"duration_ns,omitempty"`
+	// PeakBytes is the largest estimated matrix working set the
+	// evaluation held between passes (index matrices plus any
+	// schedule-dependent clones or frontiers) — the same estimate the
+	// memory budget is enforced against.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 }
 
 // Add accumulates another run's statistics, for callers (such as a serving
 // layer) that track total closure work across an initial build and any
-// number of incremental updates.
+// number of incremental updates. Counters and durations sum; PeakBytes
+// takes the maximum, the peak of the combined history.
 func (s *Stats) Add(o Stats) {
 	s.Iterations += o.Iterations
 	s.Products += o.Products
+	s.Duration += o.Duration
+	if o.PeakBytes > s.PeakBytes {
+		s.PeakBytes = o.PeakBytes
+	}
+}
+
+// observePeak raises PeakBytes to the given working-set estimate.
+func (s *Stats) observePeak(bytes int64) {
+	if bytes > s.PeakBytes {
+		s.PeakBytes = bytes
+	}
 }
 
 // Engine evaluates CFPQs by matrix multiplication.
@@ -164,6 +187,9 @@ type Engine struct {
 	// (see WithMemoryBudget); ≤ 0 means unlimited.
 	budget int64
 	trace  func(iteration int, ix *Index)
+	// tracer is the engine-wide per-pass event trace (WithTracer); a
+	// context-attached Trace (WithTraceContext) fires alongside it.
+	tracer *Trace
 }
 
 // Option configures an Engine.
@@ -236,13 +262,44 @@ func (e *Engine) CloseContext(ctx context.Context, ix *Index) (Stats, error) {
 	if e.naive && e.delta {
 		panic("core: WithNaiveIteration and WithDeltaIteration are mutually exclusive")
 	}
-	if e.delta {
-		return e.closeDelta(ctx, ix)
+	pt := e.newPassTracer(ctx, e.closePhase(), ix)
+	return e.closeTraced(ctx, ix, pt)
+}
+
+// closePhase names the schedule CloseContext will run under.
+func (e *Engine) closePhase() string {
+	switch {
+	case e.naive:
+		return "naive"
+	case e.delta:
+		return "delta"
+	default:
+		return "full"
 	}
+}
+
+// closeTraced is CloseContext under an already-resolved pass tracer, so a
+// schedule taking over mid-evaluation (frontier saturation fallback) keeps
+// one event chain. pt may be nil (tracing disabled).
+func (e *Engine) closeTraced(ctx context.Context, ix *Index, pt *passTracer) (stats Stats, err error) {
+	pt.setPhase(e.closePhase())
+	if !pt.started() {
+		// The entry state is this evaluation's seeding step: CloseContext
+		// runs on a freshly initialised index.
+		pt.beginPass()
+		pt.endPass(0, 0)
+	}
+	if e.delta {
+		return e.closeDelta(ctx, ix, pt)
+	}
+	start := time.Now()
+	defer func() {
+		stats.Duration = time.Since(start)
+		stats.observePeak(ix.Bytes())
+	}()
 	if e.trace != nil {
 		e.trace(0, ix)
 	}
-	stats := Stats{}
 	for {
 		if err := ctx.Err(); err != nil {
 			return stats, err
@@ -251,10 +308,12 @@ func (e *Engine) CloseContext(ctx context.Context, ix *Index) (Stats, error) {
 		if e.naive {
 			est *= 2 // snapshot semantics clone every matrix
 		}
+		stats.observePeak(est)
 		if err := e.checkBudget(est); err != nil {
 			return stats, err
 		}
 		stats.Iterations++
+		pt.beginPass()
 		changed := false
 		if e.naive {
 			// Snapshot semantics: all products read the previous state.
@@ -276,6 +335,7 @@ func (e *Engine) CloseContext(ctx context.Context, ix *Index) (Stats, error) {
 				}
 			}
 		}
+		pt.endPass(len(ix.cnf.Binary), 0)
 		if e.trace != nil {
 			e.trace(stats.Iterations, ix)
 		}
@@ -300,8 +360,10 @@ func (e *Engine) RunContext(ctx context.Context, g *graph.Graph, cnf *grammar.CN
 	if err := e.checkBudget(int64(cnf.NonterminalCount()) * e.backend.EmptyBytes(g.Nodes())); err != nil {
 		return nil, Stats{}, err
 	}
+	start := time.Now()
 	ix := e.Init(g, cnf)
 	stats, err := e.CloseContext(ctx, ix)
+	stats.Duration = time.Since(start) // fold the Init time in
 	if err != nil {
 		return nil, stats, err
 	}

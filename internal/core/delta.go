@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"cfpq/internal/matrix"
 )
@@ -25,12 +26,17 @@ func WithDeltaIteration() Option {
 }
 
 // closeDelta runs the semi-naive fixpoint. The initial frontier is the
-// whole initialised index.
-func (e *Engine) closeDelta(ctx context.Context, ix *Index) (Stats, error) {
+// whole initialised index. pt (may be nil) is the evaluation's pass tracer,
+// already past its seeding event.
+func (e *Engine) closeDelta(ctx context.Context, ix *Index, pt *passTracer) (stats Stats, err error) {
+	start := time.Now()
+	defer func() {
+		stats.Duration = time.Since(start)
+		stats.observePeak(ix.Bytes())
+	}()
 	if e.trace != nil {
 		e.trace(0, ix)
 	}
-	stats := Stats{}
 	n := ix.n
 	nn := len(ix.mats)
 	delta := make([]matrix.Bool, nn)
@@ -43,10 +49,13 @@ func (e *Engine) closeDelta(ctx context.Context, ix *Index) (Stats, error) {
 		}
 		// Working set of the coming pass: index + current frontier + the
 		// empty next-frontier matrices about to be allocated.
-		if err := e.checkBudget(ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)); err != nil {
+		est := ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)
+		stats.observePeak(est)
+		if err := e.checkBudget(est); err != nil {
 			return stats, err
 		}
 		stats.Iterations++
+		pt.beginPass()
 		next := make([]matrix.Bool, nn)
 		for a := range next {
 			next[a] = e.backend.NewMatrix(n)
@@ -65,6 +74,7 @@ func (e *Engine) closeDelta(ctx context.Context, ix *Index) (Stats, error) {
 			}
 		}
 		delta = next
+		pt.endPass(2*len(ix.cnf.Binary), 0)
 		if e.trace != nil {
 			e.trace(stats.Iterations, ix)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
@@ -126,7 +127,9 @@ func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
 // publishing the repair's NewlyDerived delta delivers every pair exactly
 // once. Callers that must not serve a partially propagated state should
 // rebuild.
-func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Edge) (Stats, *Delta, error) {
+func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Edge) (stats Stats, _ *Delta, _ error) {
+	start := time.Now()
+	defer func() { stats.Duration = time.Since(start) }()
 	be := ix.backend
 	if be == nil {
 		be = e.backend
@@ -146,10 +149,15 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 	n := ix.n
 	nn := len(ix.mats)
 	acc := newDelta(ix)
+	// The update's event chain starts from the pre-update index, so its
+	// per-pass deltas telescope to exactly the bits this update added.
+	pt := e.newPassTracer(ctx, "update", ix)
+	pt.snapshot()
 	delta := make([]matrix.Bool, nn)
 	for a := range delta {
 		delta[a] = be.NewMatrix(n)
 	}
+	pt.beginPass()
 	seeded := false
 	for _, edge := range edges {
 		for _, a := range ix.cnf.TermRules[edge.Label] {
@@ -160,10 +168,10 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 			}
 		}
 	}
-	stats := Stats{}
 	if !seeded {
 		return stats, acc, nil
 	}
+	pt.endPass(0, 0)
 	for a := range delta {
 		// The seed matrices are consumed by the first pass's products and
 		// never reassigned, so the accumulator can adopt them in place.
@@ -173,7 +181,9 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 		if err := ctx.Err(); err != nil {
 			return stats, acc, err
 		}
+		stats.observePeak(ix.Bytes() + matsBytes(delta) + int64(nn)*be.EmptyBytes(n))
 		stats.Iterations++
+		pt.beginPass()
 		next := make([]matrix.Bool, nn)
 		for a := range next {
 			next[a] = be.NewMatrix(n)
@@ -192,6 +202,7 @@ func (e *Engine) UpdateContext(ctx context.Context, ix *Index, edges ...graph.Ed
 			}
 		}
 		delta = next
+		pt.endPass(2*len(ix.cnf.Binary), 0)
 		if !changed {
 			return stats, acc, nil
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cfpq/internal/grammar"
 	"cfpq/internal/graph"
@@ -59,7 +60,7 @@ type FromStats struct {
 // The engine's naive/delta schedule options do not apply to the restricted
 // closure (they concern the all-pairs fixpoint only) except after
 // saturation, where the closure finishes under the engine's schedule.
-func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF, sources []int) (*Index, FromStats, error) {
+func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *grammar.CNF, sources []int) (_ *Index, fs FromStats, _ error) {
 	n := g.Nodes()
 	for _, s := range sources {
 		if s < 0 || s >= n {
@@ -72,14 +73,17 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 	if err := e.checkBudget(2 * int64(nn) * e.backend.EmptyBytes(n)); err != nil {
 		return nil, FromStats{}, err
 	}
+	start := time.Now()
+	defer func() { fs.Duration = time.Since(start) }()
 	ix := &Index{cnf: cnf, n: n, backend: e.backend, mats: make([]matrix.Bool, nn)}
 	for a := range ix.mats {
 		ix.mats[a] = e.backend.NewMatrix(n)
 	}
-	fs := FromStats{}
+	fs.observePeak(2 * ix.Bytes())
 	if len(sources) == 0 || n == 0 {
 		return ix, fs, nil
 	}
+	pt := e.newPassTracer(ctx, "frontier", ix)
 
 	// Per-row seeds: for every node, the terminal-rule bits its out-edges
 	// contribute (Algorithm 1's initialisation, indexed by row). Built
@@ -124,15 +128,20 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 		}
 	}
 	// fallback activates and seeds every remaining row and finishes with
-	// the plain all-pairs closure from the current (sound) state.
+	// the plain all-pairs closure from the current (sound) state. The pass
+	// tracer is handed through, so the event chain continues across the
+	// schedule switch (the fallback's seeding rows are one more "frontier"
+	// event, then events carry the all-pairs phase).
 	fallback := func(delta []matrix.Bool) (*Index, FromStats, error) {
+		pt.beginPass()
 		for i := 0; i < n; i++ {
 			activate(i)
 		}
 		drain(delta)
+		pt.endPass(0, count)
 		fs.Frontier = n
 		fs.Saturated = true
-		st, err := e.CloseContext(ctx, ix)
+		st, err := e.closeTraced(ctx, ix, pt)
 		fs.Stats.Add(st)
 		if err != nil {
 			return nil, fs, err
@@ -145,10 +154,12 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 	for a := range delta {
 		delta[a] = e.backend.NewMatrix(n)
 	}
+	pt.beginPass()
 	for _, s := range sources {
 		activate(s)
 	}
 	drain(delta)
+	pt.endPass(0, count)
 	if saturated() {
 		return fallback(delta)
 	}
@@ -157,7 +168,9 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 		if err := ctx.Err(); err != nil {
 			return nil, fs, err
 		}
-		if err := e.checkBudget(ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)); err != nil {
+		est := ix.Bytes() + matsBytes(delta) + int64(nn)*e.backend.EmptyBytes(n)
+		fs.observePeak(est)
+		if err := e.checkBudget(est); err != nil {
 			return nil, fs, err
 		}
 		empty := true
@@ -172,6 +185,7 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 			return ix, fs, nil
 		}
 		fs.Iterations++
+		pt.beginPass()
 		next := make([]matrix.Bool, nn)
 		for a := range next {
 			next[a] = e.backend.NewMatrix(n)
@@ -194,6 +208,7 @@ func (e *Engine) RunFromContext(ctx context.Context, g *graph.Graph, cnf *gramma
 		// Seed the rows those columns activated; seeded bits join next so
 		// they multiply in the coming pass.
 		drain(next)
+		pt.endPass(2*len(ix.cnf.Binary), count)
 		if saturated() {
 			return fallback(next)
 		}

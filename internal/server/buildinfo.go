@@ -1,0 +1,38 @@
+package server
+
+import (
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+var (
+	buildInfoOnce               sync.Once
+	buildVersion, buildRevision string
+)
+
+// buildInfo reports the binary's module version and VCS revision, read once
+// from the embedded build info. Both fall back to "unknown" (test binaries
+// and `go run` builds carry no VCS stamp).
+func buildInfo() (version, revision string) {
+	buildInfoOnce.Do(func() {
+		buildVersion, buildRevision = "unknown", "unknown"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			buildVersion = bi.Main.Version
+		}
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" && st.Value != "" {
+				buildRevision = st.Value
+			}
+		}
+	})
+	return buildVersion, buildRevision
+}
+
+// Uptime is how long this Service has existed — the /healthz and /metrics
+// uptime source.
+func (s *Service) Uptime() time.Duration { return time.Since(s.started) }

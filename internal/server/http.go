@@ -6,7 +6,9 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strconv"
 	"strings"
@@ -14,6 +16,27 @@ import (
 
 	"cfpq"
 )
+
+// HandlerOption configures the HTTP handler returned by Handler.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	pprof  bool
+	logger *slog.Logger
+}
+
+// WithPprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/. Off by default: profiling endpoints expose goroutine
+// stacks and heap contents, so exposure is an explicit operator decision.
+func WithPprof() HandlerOption {
+	return func(hc *handlerConfig) { hc.pprof = true }
+}
+
+// WithRequestLog emits one structured log line per request (id, method,
+// route, status, duration) to the given logger.
+func WithRequestLog(logger *slog.Logger) HandlerOption {
+	return func(hc *handlerConfig) { hc.logger = logger }
+}
 
 // Handler exposes a Service over HTTP/JSON. Routes (all responses JSON):
 //
@@ -65,15 +88,29 @@ import (
 //	                                     leader's graphs and attached followers
 //	POST /v1/promote                     follower: detach from the leader and open the
 //	                                     write gate
-//	GET  /healthz                        liveness probe, {"status":"ok"}
+//	GET  /healthz                        liveness probe: {"status":"ok"} plus build
+//	                                     version/revision and process uptime
 //	GET  /readyz                         readiness: 503 while a follower bootstraps, has
-//	                                     lost its leader, or exceeds the -max-lag bound
+//	                                     lost its leader, or exceeds the -max-lag bound;
+//	                                     detail carries build info and uptime
+//	GET  /metrics                        Prometheus text format: request-latency
+//	                                     histograms by (route, strategy, backend, status),
+//	                                     replication lag gauges, subscription and WAL
+//	                                     counters, build info
 //	GET  /debug/vars                     expvar dump + cfpqd service/store/replication metrics
 //	                                     + per-subscription counters ("cfpqd_subscriptions")
+//	GET  /debug/pprof/                   runtime profiles (only with WithPprof / -pprof)
 //
-// Errors are {"error": "..."} with a 4xx/5xx status. On a follower every
-// local mutation route answers 403; writes go to the leader.
-func Handler(s *Service) http.Handler {
+// Every response carries an X-Request-ID header — echoed from the request
+// when the client sent one, freshly minted otherwise — and every request is
+// recorded in the /metrics latency histogram. Errors are {"error": "..."}
+// with a 4xx/5xx status. On a follower every local mutation route answers
+// 403; writes go to the leader.
+func Handler(s *Service, opts ...HandlerOption) http.Handler {
+	var hc handlerConfig
+	for _, opt := range opts {
+		opt(&hc)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/graphs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"graphs": s.Graphs()})
@@ -348,7 +385,13 @@ func Handler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "replication": st})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		version, revision := buildInfo()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"version":        version,
+			"revision":       revision,
+			"uptime_seconds": s.Uptime().Seconds(),
+		})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		ready, detail := s.Ready()
@@ -356,12 +399,24 @@ func Handler(s *Service) http.Handler {
 		if !ready {
 			code = http.StatusServiceUnavailable
 		}
+		version, revision := buildInfo()
+		detail["version"] = version
+		detail["revision"] = revision
+		detail["uptime_seconds"] = s.Uptime().Seconds()
 		writeJSON(w, code, detail)
 	})
+	mux.Handle("GET /metrics", s.MetricsRegistry())
 	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		serveDebugVars(w, s)
 	})
-	return mux
+	if hc.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return instrument(s, mux, hc.logger)
 }
 
 // serveDebugVars renders the expvar universe — every published global

@@ -1,0 +1,169 @@
+// This file is the service's Prometheus-style instrument set, served at
+// GET /metrics. Every Service owns its own obs.Registry (the same
+// rationale as /debug/vars' per-handler injection: nothing package-global,
+// so two Services — or two tests — in one process cannot collide).
+// Counters that already exist as serviceMetrics atomics are bridged with
+// collect-on-scrape CounterFuncs rather than double-counted; replication
+// lag, store size and subscription depth are GaugeFuncs computed at scrape
+// time from the structures that own them.
+
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"cfpq/internal/obs"
+)
+
+// obsMetrics bundles one Service's scrapeable instruments. The obs package
+// validates every name at registration (snake_case, unit suffix), so a
+// misnamed metric panics in New rather than surfacing at the first scrape.
+type obsMetrics struct {
+	reg *obs.Registry
+
+	// httpRequests is the per-route latency histogram behind every HTTP
+	// request: route is the mux pattern, strategy/backend are filled by the
+	// query paths (empty for non-query routes), status the response code.
+	httpRequests *obs.HistogramVec
+
+	// walFsync observes append-path WAL fsync latency (fed through
+	// store.SetFsyncObserver when a store is attached).
+	walFsync *obs.Histogram
+
+	// indexBuild/warmStart observe full closure builds and store-restored
+	// index loads, the two ways a cache slot comes to life.
+	indexBuild *obs.Histogram
+	warmStart  *obs.Histogram
+}
+
+// fsyncBuckets spans the realistic WAL fsync range: fast NVMe commits sit
+// near 100µs, a contended spinning disk near 100ms.
+var fsyncBuckets = []float64{.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, 1}
+
+// newObsMetrics builds the Service's registry. The GaugeFunc/CounterFunc
+// closures read s at scrape time, so they must only touch fields that are
+// safe without s.mu (atomics, subMu-guarded maps, the store pointer).
+func newObsMetrics(s *Service) *obsMetrics {
+	reg := obs.NewRegistry()
+	m := &obsMetrics{
+		reg: reg,
+		httpRequests: reg.HistogramVec("cfpqd_http_request_duration_seconds",
+			"HTTP request latency by route, planner strategy, matrix backend and status code",
+			obs.DefLatencyBuckets, "route", "strategy", "backend", "status"),
+		walFsync: reg.Histogram("cfpqd_wal_fsync_duration_seconds",
+			"append-path WAL fsync latency", fsyncBuckets),
+		indexBuild: reg.Histogram("cfpqd_index_build_duration_seconds",
+			"full closure index build latency", obs.DefLatencyBuckets),
+		warmStart: reg.Histogram("cfpqd_warm_start_duration_seconds",
+			"latency of restoring one saved index as a live handle at startup", obs.DefLatencyBuckets),
+	}
+
+	version, revision := buildInfo()
+	reg.GaugeVec("cfpqd_build_info",
+		"always 1, labeled with the binary's module version and VCS revision",
+		"version", "revision").With(version, revision).Set(1)
+	reg.GaugeFunc("cfpqd_process_uptime_seconds",
+		"seconds since the service was constructed",
+		func() float64 { return time.Since(s.started).Seconds() })
+
+	// Replication lag, from the follower's replicator status (all zero on
+	// leaders and standalone nodes).
+	replStatus := func(pick func(records uint64, bytes int64, age float64) float64) func() float64 {
+		return func() float64 {
+			rc := s.replicationController()
+			if rc == nil {
+				return 0
+			}
+			st := rc.Status()
+			return pick(st.LagRecords, st.LagBytes, st.LagAgeSeconds)
+		}
+	}
+	reg.GaugeFunc("cfpqd_replication_lag_records",
+		"records behind the leader, worst graph (0 on leaders)",
+		replStatus(func(r uint64, _ int64, _ float64) float64 { return float64(r) }))
+	reg.GaugeFunc("cfpqd_replication_lag_bytes",
+		"WAL bytes behind the leader, worst graph",
+		replStatus(func(_ uint64, b int64, _ float64) float64 { return float64(b) }))
+	reg.GaugeFunc("cfpqd_replication_lag_age_seconds",
+		"how long the worst graph has been behind the leader",
+		replStatus(func(_ uint64, _ int64, a float64) float64 { return a }))
+
+	// Subscriptions: live count, buffered-but-unconsumed deliveries, and
+	// drops (closed subscriptions' drops are folded into the service
+	// counter at Close, so the live+folded sum stays monotone).
+	reg.GaugeFunc("cfpqd_subscriptions_active_entries",
+		"live standing queries", func() float64 {
+			s.subMu.Lock()
+			defer s.subMu.Unlock()
+			return float64(len(s.subsLive))
+		})
+	reg.GaugeFunc("cfpqd_subscription_buffer_entries",
+		"delivered-but-unconsumed pair batches across live subscriptions",
+		func() float64 {
+			s.subMu.Lock()
+			defer s.subMu.Unlock()
+			depth := 0
+			for _, ss := range s.subsLive {
+				depth += len(ss.Updates())
+			}
+			return float64(depth)
+		})
+	reg.CounterFunc("cfpqd_subscription_dropped_total",
+		"pair batches discarded on slow subscribers", func() float64 {
+			total := s.metrics.subDrops.Load()
+			s.subMu.Lock()
+			for _, ss := range s.subsLive {
+				total += ss.sub.Dropped()
+			}
+			s.subMu.Unlock()
+			return float64(total)
+		})
+
+	// Bridges over the pre-existing serviceMetrics atomics.
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("cfpqd_queries_total", "query operations answered (batch = one per spec)", &s.metrics.queries)
+	counter("cfpqd_index_builds_total", "full closure index builds", &s.metrics.indexBuilds)
+	counter("cfpqd_warm_starts_total", "indexes restored from the store without a closure", &s.metrics.warmStarts)
+	counter("cfpqd_updates_total", "AddEdges calls", &s.metrics.updates)
+	counter("cfpqd_edges_added_total", "edges inserted across updates", &s.metrics.edgesAdded)
+	counter("cfpqd_budget_rejections_total", "evaluations rejected by the memory budget (HTTP 413)", &s.metrics.budgetRejections)
+	counter("cfpqd_persist_errors_total", "best-effort index persistence failures", &s.metrics.persistErrors)
+	counter("cfpqd_replicated_batches_total", "replicated WAL batches applied (follower)", &s.metrics.replBatches)
+	counter("cfpqd_replicated_edges_total", "edges applied from the replication stream", &s.metrics.replEdges)
+	counter("cfpqd_subscriptions_total", "standing queries ever registered", &s.metrics.subsTotal)
+	counter("cfpqd_subscription_events_total", "pair batches consumed by subscribers", &s.metrics.subEvents)
+
+	// Store size and WAL write counters (zero without an attached store;
+	// the store pointer is written once before serving).
+	reg.GaugeFunc("cfpqd_store_wal_bytes",
+		"bytes across all live WALs", func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Stats().WALBytes)
+		})
+	reg.CounterFunc("cfpqd_wal_fsyncs_total",
+		"WAL fsyncs issued this session", func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			_, _, fsyncs := s.store.WALCounters()
+			return float64(fsyncs)
+		})
+	reg.CounterFunc("cfpqd_wal_written_bytes_total",
+		"WAL bytes written this session", func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			_, written, _ := s.store.WALCounters()
+			return float64(written)
+		})
+	return m
+}
+
+// MetricsRegistry exposes the service's obs registry — the Handler mounts
+// it at GET /metrics; embedding processes can add their own instruments.
+func (s *Service) MetricsRegistry() *obs.Registry { return s.obs.reg }

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cfpq/internal/obs"
+)
+
+// parseBucketLine splits one histogram bucket sample into its series key
+// (family + labels minus le), the le bound, and the cumulative count.
+func parseBucketLine(line string) (key, le string, count uint64, ok bool) {
+	open := strings.Index(line, "_bucket{")
+	end := strings.LastIndex(line, "} ")
+	if open < 0 || end < open {
+		return "", "", 0, false
+	}
+	labels := line[open+len("_bucket{") : end]
+	leAt := strings.LastIndex(labels, `le="`)
+	if leAt < 0 {
+		return "", "", 0, false
+	}
+	le = strings.TrimSuffix(labels[leAt+len(`le="`):], `"`)
+	rest := strings.TrimSuffix(labels[:leAt], ",")
+	n, err := strconv.ParseUint(strings.TrimSpace(line[end+2:]), 10, 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return line[:open] + "{" + rest + "}", le, n, true
+}
+
+// assertScrapeWellFormed checks every histogram in one /metrics body:
+// within each series, cumulative bucket counts never decrease as le grows
+// (the exposition writes buckets in ascending-le order), and the +Inf
+// bucket equals the series _count.
+func assertScrapeWellFormed(t *testing.T, body string) {
+	t.Helper()
+	lastCount := map[string]uint64{}
+	infCount := map[string]uint64{}
+	for _, line := range strings.Split(body, "\n") {
+		key, le, n, ok := parseBucketLine(line)
+		if !ok {
+			continue
+		}
+		if prev, seen := lastCount[key]; seen && n < prev {
+			t.Fatalf("bucket counts not monotone for %s: %d after %d (le=%s)", key, n, prev, le)
+		}
+		lastCount[key] = n
+		if le == "+Inf" {
+			infCount[key] = n
+		}
+	}
+	for _, line := range strings.Split(body, "\n") {
+		name, rest, found := strings.Cut(line, "_count{")
+		if !found || strings.HasPrefix(line, "#") {
+			continue
+		}
+		labels, val, found := strings.Cut(rest, "} ")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			continue
+		}
+		key := name + "{" + labels + "}"
+		if inf, seen := infCount[key]; seen && inf != n {
+			t.Fatalf("+Inf bucket %d != count %d for %s", inf, n, key)
+		}
+	}
+}
+
+func scrape(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	return readAll(t, resp)
+}
+
+func TestMetricsEndpointUnderConcurrentQueries(t *testing.T) {
+	svc := New()
+	srv := httptest.NewServer(Handler(svc))
+	defer srv.Close()
+
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/graphs/g?format=edgelist",
+		"a knows b\nb knows c\nc knows d\n"); code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/grammars/r",
+		"S -> knows | knows S"); code != http.StatusOK {
+		t.Fatalf("PUT grammar: %d %v", code, body)
+	}
+
+	// Queries race metric scrapes: every scrape observed mid-flight must
+	// still be well-formed (monotone cumulative buckets, +Inf == count).
+	// Goroutines only collect; the test goroutine asserts.
+	var wg sync.WaitGroup
+	const queriers, scrapers, rounds = 4, 2, 25
+	errs := make(chan error, queriers*rounds)
+	for q := 0; q < queriers; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := srv.Client().Post(srv.URL+"/v1/query", "application/json",
+					strings.NewReader(`{"graph":"g","grammar":"r","nonterminal":"S","sources":["a"]}`))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	bodies := make([][]string, scrapers)
+	for sc := 0; sc < scrapers; sc++ {
+		wg.Add(1)
+		go func(sc int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := srv.Client().Get(srv.URL + "/metrics")
+				if err != nil {
+					errs <- err
+					return
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				bodies[sc] = append(bodies[sc], string(raw))
+			}
+		}(sc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, got := range bodies {
+		for _, body := range got {
+			assertScrapeWellFormed(t, body)
+		}
+	}
+
+	final := scrape(t, srv)
+	assertScrapeWellFormed(t, final)
+	// The query route's latency series carries the planner's strategy and
+	// the resolved backend as labels (grammar queries against a cached
+	// index answer as cached reads).
+	wantSeries := `cfpqd_http_request_duration_seconds_bucket{route="POST /v1/query",strategy="cached-read",backend="` + DefaultBackend + `",status="200"`
+	if !strings.Contains(final, wantSeries) {
+		t.Errorf("scrape missing query latency series %q", wantSeries)
+	}
+	for _, want := range []string{
+		"cfpqd_build_info{",
+		"cfpqd_process_uptime_seconds",
+		"cfpqd_queries_total",
+		"cfpqd_index_build_duration_seconds_bucket{",
+		"cfpqd_subscription_dropped_total",
+		"cfpqd_replication_lag_records",
+	} {
+		if !strings.Contains(final, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+func TestMetricNamesAreVetted(t *testing.T) {
+	// Registration already panics on a malformed name; this walk keeps the
+	// whole catalogue honest against the naming rules (snake_case, _total
+	// counters, unit suffixes elsewhere) as metrics are added.
+	svc := New()
+	for _, name := range svc.MetricsRegistry().Names() {
+		kind := obs.KindGauge
+		if strings.HasSuffix(name, "_total") {
+			kind = obs.KindCounter
+		}
+		if err := obs.CheckName(kind, name); err != nil {
+			t.Errorf("metric %s: %v", name, err)
+		}
+	}
+}
+
+func TestHealthzCarriesBuildInfoAndRequestID(t *testing.T) {
+	srv := httptest.NewServer(Handler(New()))
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "test-id-42")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != "test-id-42" {
+		t.Errorf("X-Request-ID = %q, want echoed test-id-42", got)
+	}
+	for _, want := range []string{`"status":"ok"`, `"version":`, `"revision":`, `"uptime_seconds":`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz missing %s in %s", want, body)
+		}
+	}
+
+	// A request without the header gets a freshly minted id.
+	resp2, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp2)
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Error("no X-Request-ID minted")
+	}
+}
+
+func TestQueryStatsDurationOverTheWire(t *testing.T) {
+	srv := httptest.NewServer(Handler(New()))
+	defer srv.Close()
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/graphs/g?format=edgelist",
+		"a knows b\n"); code != http.StatusOK {
+		t.Fatalf("PUT graph: %d %v", code, body)
+	}
+	if code, body := httpDo(t, srv, http.MethodPut, "/v1/grammars/r",
+		"S -> knows"); code != http.StatusOK {
+		t.Fatalf("PUT grammar: %d %v", code, body)
+	}
+	for i := 0; i < 2; i++ {
+		// The second round is a pure cached read; it must still report a
+		// positive duration.
+		code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+			`{"graph":"g","grammar":"r","nonterminal":"S"}`)
+		if code != http.StatusOK {
+			t.Fatalf("query %d: %d %v", i, code, body)
+		}
+		stats, ok := body["stats"].(map[string]any)
+		if !ok {
+			t.Fatalf("query %d: no stats in %v", i, body)
+		}
+		if d, _ := stats["duration_ns"].(float64); d <= 0 {
+			t.Errorf("query %d: stats.duration_ns = %v, want > 0", i, stats["duration_ns"])
+		}
+	}
+
+	// trace:true returns the per-pass table for a real evaluation — an RPQ
+	// expression always evaluates fresh (grammar queries against a cached
+	// index are pass-less cached reads).
+	code, body := httpDo(t, srv, http.MethodPost, "/v1/query",
+		`{"graph":"g","expr":"knows+","trace":true}`)
+	if code != http.StatusOK {
+		t.Fatalf("traced query: %d %v", code, body)
+	}
+	explain, _ := body["explain"].(map[string]any)
+	if passes, _ := explain["passes"].([]any); len(passes) == 0 {
+		t.Errorf("traced query returned no passes: %v", body)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -1,0 +1,124 @@
+// This file is the HTTP observability layer Handler wraps around the route
+// mux: per-request latency recorded into the service's histogram labeled
+// (route, strategy, backend, status), structured slog request logging, and
+// X-Request-ID propagation. The strategy/backend labels travel backwards —
+// the middleware plants a QueryLabels carrier in the request context and
+// Service.Do fills it in — so one wrapper instruments every route without
+// each handler knowing about metrics.
+
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// QueryLabels carries the planner's strategy and the resolved backend from
+// Service.Do back to the HTTP middleware's latency labels. Non-query
+// routes leave it empty.
+type QueryLabels struct {
+	strategy string
+	backend  string
+}
+
+// Set records the labels; the last query of a batch-style handler wins.
+func (ql *QueryLabels) Set(strategy, backend string) {
+	if ql == nil {
+		return
+	}
+	ql.strategy, ql.backend = strategy, backend
+}
+
+type queryLabelsKey struct{}
+
+// QueryLabelsFromContext returns the middleware's label carrier, or nil
+// when the call did not arrive through the instrumented handler.
+func QueryLabelsFromContext(ctx context.Context) *QueryLabels {
+	ql, _ := ctx.Value(queryLabelsKey{}).(*QueryLabels)
+	return ql
+}
+
+// statusWriter records the response status for the latency labels and the
+// request log. Flush is forwarded so the SSE subscribe route still streams
+// through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// newRequestID mints a 16-hex-char request id when the client sent none.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// instrument wraps the route mux with the observability layer. logger may
+// be nil (no request log); the latency histogram always records.
+func instrument(s *Service, mux *http.ServeMux, logger *slog.Logger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// Resolve the route pattern without serving, so the histogram's
+		// route label has bounded cardinality (never the raw path).
+		_, route := mux.Handler(r)
+		if route == "" {
+			route = "unmatched"
+		}
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		ql := &QueryLabels{}
+		r = r.WithContext(context.WithValue(r.Context(), queryLabelsKey{}, ql))
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			// Nothing was written (e.g. a hijacked or abandoned stream);
+			// report what the client saw.
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.obs.httpRequests.
+			With(route, ql.strategy, ql.backend, strconv.Itoa(sw.status)).
+			Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.Info("request",
+				"id", reqID,
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"duration", elapsed,
+				"remote", r.RemoteAddr,
+			)
+		}
+	})
+}

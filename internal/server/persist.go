@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cfpq"
 	"cfpq/internal/matrix"
@@ -102,6 +103,11 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 	s.mu.Lock()
 	s.store = st
 	s.mu.Unlock()
+	// From here every AddEdges fsync feeds the latency histogram behind
+	// GET /metrics.
+	st.SetFsyncObserver(func(d time.Duration) {
+		s.obs.walFsync.Observe(d.Seconds())
+	})
 	return nil
 }
 
@@ -109,6 +115,7 @@ func (s *Service) AttachStore(ctx context.Context, st *store.Store) error {
 // patching it forward to the graph's recovered seq when the file's
 // watermark is behind. Failures are silent skips (see AttachStore).
 func (s *Service) warmStartIndex(ctx context.Context, st *store.Store, ge *graphEntry, info store.IndexInfo) {
+	warmStart := time.Now()
 	s.mu.Lock()
 	re := s.grammars[info.Grammar]
 	s.mu.Unlock()
@@ -160,6 +167,7 @@ func (s *Service) warmStartIndex(ctx context.Context, st *store.Store, ge *graph
 	s.indexes[key] = e
 	s.mu.Unlock()
 	s.metrics.warmStarts.Add(1)
+	s.obs.warmStart.Observe(time.Since(warmStart).Seconds())
 }
 
 // persistIndex saves a freshly built index to the attached store, best

@@ -10,7 +10,9 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"time"
 
 	"cfpq"
 )
@@ -38,6 +40,11 @@ type QueryRequest struct {
 	Output        string `json:"output,omitempty"`
 	Limit         int    `json:"limit,omitempty"`
 	MaxPathLength int    `json:"max_path_length,omitempty"`
+
+	// Trace asks the evaluation to collect its per-pass trace; the answer
+	// carries it as explain.passes (empty for cached reads, which run no
+	// closure passes).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // PathStep is one edge of a returned witness path, node names resolved.
@@ -79,8 +86,52 @@ func (s *Service) countStrategy(strategy cfpq.Strategy, n int64) {
 }
 
 // Do answers one declarative query — the single evaluation path every
-// endpoint and legacy service method funnels through.
+// endpoint and legacy service method funnels through. Around the dispatch
+// it hangs the cross-cutting observability: the planner's strategy and the
+// resolved backend are reported to the HTTP middleware's latency labels
+// (QueryLabelsFromContext), and evaluations slower than the configured
+// slow-query threshold are dumped — request, strategy, pass trace — to the
+// slow-query log.
 func (s *Service) Do(ctx context.Context, req QueryRequest) (QueryAnswer, error) {
+	slow := time.Duration(s.slowQueryNs.Load())
+	forcedTrace := false
+	if slow > 0 && !req.Trace {
+		// Collect the trace unconditionally while the slow-query log is on:
+		// whether a query was slow is only known after it ran.
+		req.Trace, forcedTrace = true, true
+	}
+	start := time.Now()
+	ans, err := s.dispatch(ctx, req)
+	if err != nil {
+		return ans, err
+	}
+	if ql := QueryLabelsFromContext(ctx); ql != nil {
+		be := req.Backend
+		if be == "" {
+			be = DefaultBackend
+		}
+		ql.Set(string(ans.Explain.Strategy), be)
+	}
+	if elapsed := time.Since(start); slow > 0 && elapsed >= slow {
+		reqJSON, _ := json.Marshal(req)
+		passJSON, _ := json.Marshal(ans.Explain.Passes)
+		s.slowQueryLogger().Warn("slow query",
+			"duration", elapsed,
+			"threshold", slow,
+			"strategy", string(ans.Explain.Strategy),
+			"request", string(reqJSON),
+			"passes", string(passJSON),
+		)
+	}
+	if forcedTrace {
+		// The trace was collected for the log only; the caller did not ask.
+		ans.Explain.Passes = nil
+	}
+	return ans, nil
+}
+
+// dispatch validates and routes one query to its evaluation path.
+func (s *Service) dispatch(ctx context.Context, req QueryRequest) (QueryAnswer, error) {
 	if req.Graph == "" {
 		return QueryAnswer{}, errors.New("server: graph is required")
 	}
@@ -123,6 +174,7 @@ func (s *Service) Do(ctx context.Context, req QueryRequest) (QueryAnswer, error)
 		Output:        cfpq.Output(req.Output),
 		Limit:         req.Limit,
 		MaxPathLength: req.MaxPathLength,
+		Trace:         req.Trace,
 	})
 	if err != nil {
 		return QueryAnswer{}, s.noteErr(err)
@@ -168,6 +220,7 @@ func (s *Service) doExpr(ctx context.Context, req QueryRequest) (QueryAnswer, er
 		Output:        cfpq.Output(req.Output),
 		Limit:         req.Limit,
 		MaxPathLength: req.MaxPathLength,
+		Trace:         req.Trace,
 	})
 	if err != nil {
 		return QueryAnswer{}, s.noteErr(err)

@@ -35,10 +35,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cfpq"
 	"cfpq/internal/graph"
@@ -96,6 +98,18 @@ type Service struct {
 	subHeartbeatNs atomic.Int64
 
 	metrics serviceMetrics
+
+	// obs is the Prometheus-style instrument set behind GET /metrics
+	// (metrics.go); started anchors the uptime gauge and /healthz.
+	obs     *obsMetrics
+	started time.Time
+
+	// Slow-query log (SetSlowQueryLog): queries slower than slowQueryNs
+	// are dumped — request, strategy and collected pass trace — to
+	// slowLogger. 0 disables; collection is forced only while enabled.
+	slowQueryNs atomic.Int64
+	slowMu      sync.Mutex
+	slowLogger  *slog.Logger
 }
 
 // ErrReadOnly marks mutations rejected because this node is a read-only
@@ -173,11 +187,39 @@ type serviceMetrics struct {
 
 // New returns an empty service.
 func New() *Service {
-	return &Service{
+	s := &Service{
 		graphs:   map[string]*graphEntry{},
 		grammars: map[string]*grammarEntry{},
 		indexes:  map[IndexKey]*indexEntry{},
+		started:  time.Now(),
 	}
+	s.obs = newObsMetrics(s)
+	return s
+}
+
+// SetSlowQueryLog enables the slow-query log: every Do slower than
+// threshold is dumped to logger — the request, the chosen strategy, the
+// wall time, and the evaluation's per-pass trace (collection is forced
+// while the log is enabled, so the trace is there even when the caller did
+// not ask for one). threshold <= 0 disables; a nil logger uses
+// slog.Default.
+func (s *Service) SetSlowQueryLog(threshold time.Duration, logger *slog.Logger) {
+	if threshold < 0 {
+		threshold = 0
+	}
+	s.slowMu.Lock()
+	s.slowLogger = logger
+	s.slowMu.Unlock()
+	s.slowQueryNs.Store(int64(threshold))
+}
+
+func (s *Service) slowQueryLogger() *slog.Logger {
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	if s.slowLogger != nil {
+		return s.slowLogger
+	}
+	return slog.Default()
 }
 
 type graphEntry struct {
@@ -530,10 +572,12 @@ func (s *Service) index(ctx context.Context, t Target) (*indexEntry, *cfpq.Prepa
 		snapshot := e.ge.g.Clone()
 		seq := e.ge.seq
 		e.ge.mu.RUnlock()
+		buildStart := time.Now()
 		p, err := e.eng.PrepareCNF(ctx, snapshot, re.cnf)
 		if err != nil {
 			return nil, nil, s.noteErr(err)
 		}
+		s.obs.indexBuild.Observe(time.Since(buildStart).Seconds())
 		e.p = p
 		e.built = true
 		s.metrics.indexBuilds.Add(1)

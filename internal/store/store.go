@@ -142,6 +142,22 @@ type Store struct {
 	fsyncs      atomic.Int64 // WAL fsyncs issued this session
 	replayed    atomic.Int64 // WAL records replayed at Open
 	recovered   atomic.Int64 // bytes truncated from torn WAL tails at Open
+
+	// fsyncObs, when set, observes every append-path WAL fsync's latency —
+	// the serving layer's fsync-latency histogram hook (SetFsyncObserver).
+	fsyncObs atomic.Pointer[func(time.Duration)]
+}
+
+// SetFsyncObserver installs a callback invoked with the wall time of every
+// WAL fsync issued on the append path. The serving layer feeds its fsync
+// latency histogram through it; nil removes the observer. Safe to call
+// while the store is serving.
+func (s *Store) SetFsyncObserver(fn func(d time.Duration)) {
+	if fn == nil {
+		s.fsyncObs.Store(nil)
+		return
+	}
+	s.fsyncObs.Store(&fn)
 }
 
 // reservation is one follower's replication position on one graph.
@@ -555,6 +571,7 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord, expectStart in
 		return 0, err
 	}
 	if !s.opts.NoSync {
+		syncStart := time.Now()
 		if err := gl.wal.Sync(); err != nil {
 			// The frame's bytes may or may not have reached disk; either
 			// way the caller is told the batch failed, so the frame must
@@ -563,6 +580,9 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord, expectStart in
 			return 0, err
 		}
 		s.fsyncs.Add(1)
+		if obs := s.fsyncObs.Load(); obs != nil {
+			(*obs)(time.Since(syncStart))
+		}
 	}
 	gl.walSize += n
 	gl.apply(walBatch{kind: kind, recs: recs}, n)

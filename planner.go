@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cfpq/internal/conjunctive"
 	"cfpq/internal/core"
@@ -53,8 +54,25 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 		cfg.emptyPaths = true
 	}
 
+	// Request.Trace: collect the evaluation's per-pass events through a
+	// context-attached trace and hand them back on Result.Explain.Passes.
+	var passes []PassEvent
+	finish := func(res *Result, err error) (*Result, error) {
+		if res != nil {
+			res.Explain.Passes = passes
+		}
+		return res, err
+	}
+	if req.Trace {
+		ctx = core.WithTraceContext(ctx, &core.Trace{Pass: func(ev core.PassEvent) {
+			// Events' slices are only valid during the hook; copy.
+			ev.NNZ = append([]core.NNZ(nil), ev.NNZ...)
+			passes = append(passes, ev)
+		}})
+	}
+
 	if req.Conjunctive != nil {
-		return e.doConjunctive(ctx, cfg, req)
+		return finish(e.doConjunctive(ctx, cfg, req))
 	}
 
 	gram, start := req.Grammar, req.Nonterminal
@@ -77,7 +95,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 	}
 
 	if req.normOutput() == OutputPaths {
-		return e.doPaths(ctx, cfg, req, gram, start)
+		return finish(e.doPaths(ctx, cfg, req, gram, start))
 	}
 
 	pairs, ex, stats, err := e.planRelational(ctx, cfg, req.Graph, gram, start, req.Sources, req.Targets)
@@ -85,7 +103,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 	ex.Reason = rpqPrefix + ex.Reason
-	return shapePairs(req, pairs, ex, stats), nil
+	return finish(shapePairs(req, pairs, ex, stats), nil)
 }
 
 // planRelational runs the strategy selection for exists/count/pairs
@@ -197,6 +215,7 @@ func (e *Engine) doPaths(ctx context.Context, cfg *config, req Request, gram *Gr
 // evaluation has no restricted variant, so the plan is always the full
 // closure with post-hoc filtering.
 func (e *Engine) doConjunctive(ctx context.Context, cfg *config, req Request) (*Result, error) {
+	start := time.Now()
 	res, err := conjunctive.EvaluateContext(ctx, req.Graph, req.Conjunctive, e.resolveBackend(cfg).mat())
 	if err != nil {
 		return nil, err
@@ -206,7 +225,7 @@ func (e *Engine) doConjunctive(ctx context.Context, cfg *config, req Request) (*
 		Strategy: StrategyFull,
 		Reason:   "conjunctive grammars evaluate only under the full closure; restrictions filter the result",
 	}
-	return shapePairs(req, pairs, ex, Stats{}), nil
+	return shapePairs(req, pairs, ex, Stats{Duration: time.Since(start)}), nil
 }
 
 // degenerateRPQ answers an expression whose language is empty or {ε} —

@@ -7,6 +7,7 @@ import (
 	"iter"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cfpq/internal/core"
 )
@@ -88,10 +89,17 @@ func (p *Prepared) Do(ctx context.Context, req Request) (*Result, error) {
 	if err := p.checkRequest(req); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	p.queries.Add(1)
-	return p.doLocked(ctx, req)
+	res, err := p.doLocked(ctx, req)
+	if res != nil {
+		// A cached read runs no closure, but it still took time (lock wait
+		// plus scan); stamp it so warm reads report their real latency.
+		res.Stats.Duration = time.Since(start)
+	}
+	return res, err
 }
 
 // checkRequest validates a request against what a cached-index read can

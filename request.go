@@ -66,6 +66,12 @@ type Request struct {
 	// Engine.Do only; a cached index holds the closure relation and
 	// Prepared.Do rejects it.
 	EmptyPaths bool `json:"empty_paths,omitempty"`
+	// Trace asks the evaluation to collect its per-pass trace into
+	// Result.Explain.Passes — one PassEvent per closure pass, the table
+	// `cfpq -trace` prints. Cached reads run no passes and return an empty
+	// table. Collection costs allocations proportional to passes ×
+	// non-terminals; leave it off on hot paths.
+	Trace bool `json:"trace,omitempty"`
 
 	// Options are per-call evaluation options (iteration schedule, trace,
 	// deprecated backend overrides) applied by Engine.Do.

@@ -45,6 +45,11 @@ type Explain struct {
 	// Saturated reports that a frontier strategy outgrew the saturation
 	// threshold and fell back to the full closure mid-evaluation.
 	Saturated bool `json:"saturated,omitempty"`
+	// Passes is the evaluation's per-pass trace, collected only when the
+	// Request set Trace: one event per closure pass carrying products,
+	// per-nonterminal nnz before/after, frontier saturation, estimated
+	// bytes and wall time. Empty for cached reads (no closure ran).
+	Passes []PassEvent `json:"passes,omitempty"`
 }
 
 // Result is the answer to one Request. Exactly the fields of the request's

@@ -55,7 +55,9 @@ pids+=($!)
 wait_until 15 curl -sf "$FOLLOWER/readyz"
 
 query='{"graph":"social","grammar":"reach","nonterminal":"S"}'
-ask() { curl -sf -X POST -d "$query" "$1/v1/query"; }
+# Strip the stats object before comparing: duration_ns is wall time and
+# legitimately differs between nodes answering the same query.
+ask() { curl -sf -X POST -d "$query" "$1/v1/query" | sed 's/"stats":{[^}]*}//'; }
 
 [ "$(ask "$LEADER")" = "$(ask "$FOLLOWER")" ] || die "bootstrap answers differ"
 
@@ -78,6 +80,24 @@ sse_pushed() { grep -q 'event: pairs' "$workdir/sse.log" && grep -q '"from":"dor
 wait_until 15 sse_pushed
 curl -sf "$FOLLOWER/debug/vars" | grep -q 'cfpqd_subscriptions' ||
   die "follower /debug/vars missing cfpqd_subscriptions"
+
+echo "scraping /metrics on both nodes..."
+# The leader has served queries, so its scrape must carry the request
+# latency histogram; the converged follower's replication lag gauge must
+# read 0 records behind. Scrapes land in files first: under pipefail,
+# `curl | grep -q` can fail spuriously when grep closes the pipe early.
+curl -sf "$LEADER/metrics" >"$workdir/leader_metrics"
+grep -q '^cfpqd_http_request_duration_seconds_bucket{' "$workdir/leader_metrics" ||
+  die "leader /metrics missing request latency histogram"
+grep -q '^cfpqd_build_info{' "$workdir/leader_metrics" ||
+  die "leader /metrics missing build_info"
+lag_zero() {
+  curl -sf "$FOLLOWER/metrics" >"$workdir/follower_metrics" &&
+    grep -q '^cfpqd_replication_lag_records 0$' "$workdir/follower_metrics"
+}
+wait_until 15 lag_zero
+grep -q '^cfpqd_subscription_dropped_total' "$workdir/follower_metrics" ||
+  die "follower /metrics missing subscription drop counter"
 
 echo "checking the follower's write gate and status..."
 code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \

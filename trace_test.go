@@ -1,0 +1,241 @@
+package cfpq_test
+
+// Property tests for the per-pass trace at the public API. The trace's
+// load-bearing invariant is that per-nonterminal nnz deltas telescope:
+// each pass's Before counts equal the previous pass's After counts — even
+// across a mid-evaluation schedule switch (frontier saturation fallback)
+// — so the summed deltas of the start nonterminal equal the bits the
+// evaluation added to its relation. For a fresh unrestricted run that sum
+// is exactly the final relation size; for an incremental update it is
+// exactly the pairs the update derived.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"cfpq"
+	"cfpq/internal/grammar"
+	"cfpq/internal/graph"
+)
+
+// startDelta sums the per-pass nnz deltas of one nonterminal.
+func startDelta(passes []cfpq.PassEvent, nt string) int {
+	total := 0
+	for _, ev := range passes {
+		for _, z := range ev.NNZ {
+			if z.Nonterminal == nt {
+				total += z.Delta()
+			}
+		}
+	}
+	return total
+}
+
+// checkChained fails unless consecutive events chain per nonterminal
+// (Before of pass k == After of pass k-1) and pass numbers ascend from 0.
+func checkChained(t *testing.T, passes []cfpq.PassEvent) {
+	t.Helper()
+	prev := map[string]int{}
+	for k, ev := range passes {
+		if ev.Pass != k {
+			t.Fatalf("pass %d numbered %d", k, ev.Pass)
+		}
+		for _, z := range ev.NNZ {
+			if k > 0 && z.Before != prev[z.Nonterminal] {
+				t.Fatalf("pass %d %s: before=%d, previous after=%d (phase %s)",
+					k, z.Nonterminal, z.Before, prev[z.Nonterminal], ev.Phase)
+			}
+			if z.After < z.Before {
+				t.Fatalf("pass %d %s: nnz shrank %d -> %d", k, z.Nonterminal, z.Before, z.After)
+			}
+			prev[z.Nonterminal] = z.After
+		}
+	}
+}
+
+func TestTraceDeltasEqualRelationSizeProperty(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	cfg := grammar.DefaultRandomConfig()
+	trials := 10
+	if testing.Short() {
+		trials = 3
+	}
+	for _, be := range cfpq.Backends() {
+		eng := cfpq.NewEngine(be)
+		for trial := 0; trial < trials; trial++ {
+			gram := grammar.RandomGrammar(rng, cfg)
+			nts := gram.Nonterminals()
+			start := nts[rng.Intn(len(nts))]
+			labels := gram.Terminals()
+			if len(labels) == 0 {
+				continue
+			}
+			n := 4 + rng.Intn(16)
+			g := graph.Random(rng, n, 2+rng.Intn(3*n), labels)
+
+			res, err := eng.Do(ctx, cfpq.Request{
+				Graph: g, Grammar: gram, Nonterminal: start,
+				Output: cfpq.OutputCount, Trace: true,
+			})
+			if err != nil {
+				continue // e.g. a grammar the CNF conversion rejects
+			}
+			passes := res.Explain.Passes
+			if len(passes) == 0 {
+				t.Fatalf("%s trial %d: traced run returned no passes", be, trial)
+			}
+			checkChained(t, passes)
+			if got := startDelta(passes, start); got != res.Count {
+				t.Errorf("%s trial %d: summed %s deltas = %d, relation size = %d",
+					be, trial, start, got, res.Count)
+			}
+			for _, ev := range passes {
+				if ev.Nodes != g.Nodes() {
+					t.Errorf("%s trial %d: pass %d nodes = %d, graph has %d",
+						be, trial, ev.Pass, ev.Nodes, g.Nodes())
+				}
+				if ev.Bytes <= 0 {
+					t.Errorf("%s trial %d: pass %d bytes = %d", be, trial, ev.Pass, ev.Bytes)
+				}
+			}
+			if res.Stats.Duration <= 0 {
+				t.Errorf("%s trial %d: stats.Duration = %v", be, trial, res.Stats.Duration)
+			}
+		}
+	}
+}
+
+func TestTraceChainsAcrossFrontierFallback(t *testing.T) {
+	// A long chain queried from its head keeps the frontier strategy; a
+	// dense source set saturates and falls back to the full schedule. In
+	// both cases — and especially across the fallback's phase switch —
+	// events must chain so the summed deltas stay meaningful.
+	ctx := context.Background()
+	gram := cfpq.MustParseGrammar("S -> a S | a")
+	for _, be := range cfpq.Backends() {
+		eng := cfpq.NewEngine(be)
+		n := 24
+		g := cfpq.NewGraph(n)
+		for v := 0; v+1 < n; v++ {
+			g.AddEdge(v, "a", v+1)
+		}
+		sources := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			sources = append(sources, v)
+		}
+		res, err := eng.Do(ctx, cfpq.Request{
+			Graph: g, Grammar: gram, Nonterminal: "S",
+			Sources: sources, Output: cfpq.OutputCount, Trace: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		if len(res.Explain.Passes) == 0 {
+			t.Fatalf("%s: no passes", be)
+		}
+		checkChained(t, res.Explain.Passes)
+		// The relation is all (i,j) with i<j: summed start deltas must
+		// equal its size regardless of which schedule(s) ran.
+		want := n * (n - 1) / 2
+		if got := startDelta(res.Explain.Passes, "S"); got != want {
+			t.Errorf("%s: summed deltas = %d, want %d", be, got, want)
+		}
+		sawFrontier := false
+		for _, ev := range res.Explain.Passes {
+			if ev.Phase == "frontier" {
+				sawFrontier = true
+				if s := ev.Saturation(); s < 0 || s > 1 {
+					t.Errorf("%s: saturation %f out of range", be, s)
+				}
+			}
+		}
+		if res.Explain.Strategy == cfpq.StrategySourceFrontier && !sawFrontier {
+			t.Errorf("%s: source-frontier plan but no frontier-phase events", be)
+		}
+	}
+}
+
+func TestTraceUpdateDeltasEqualDerivedPairs(t *testing.T) {
+	// Incremental updates re-base the trace on the pre-update index, so the
+	// summed start-nonterminal deltas of the update's events are exactly
+	// the pairs the update derived. The engine-wide tracer (WithTracer)
+	// observes them; Prepared.AddEdges has no Request to set Trace on.
+	ctx := context.Background()
+	gram := cfpq.MustParseGrammar("S -> a S b | a b")
+	for _, be := range cfpq.Backends() {
+		var events []cfpq.PassEvent
+		eng := cfpq.NewEngine(be, cfpq.WithTracer(cfpq.Trace{
+			Pass: func(ev cfpq.PassEvent) {
+				// Copy: the hook's slices are not retained by contract.
+				cp := ev
+				cp.NNZ = append([]cfpq.NNZ(nil), ev.NNZ...)
+				events = append(events, cp)
+			},
+		}))
+		g := cfpq.NewGraph(8)
+		g.AddEdge(0, "a", 1)
+		g.AddEdge(1, "b", 2)
+		p, err := eng.Prepare(ctx, g, gram)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		before, err := p.Do(ctx, cfpq.Request{Nonterminal: "S", Output: cfpq.OutputCount})
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		events = events[:0]
+		if _, err := p.AddEdges(ctx,
+			cfpq.Edge{From: 1, Label: "a", To: 3},
+			cfpq.Edge{From: 3, Label: "b", To: 4},
+			cfpq.Edge{From: 4, Label: "b", To: 5},
+		); err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		after, err := p.Do(ctx, cfpq.Request{Nonterminal: "S", Output: cfpq.OutputCount})
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		if len(events) == 0 {
+			t.Fatalf("%s: update fired no trace events", be)
+		}
+		for _, ev := range events {
+			if ev.Phase != "update" {
+				t.Errorf("%s: update event in phase %q", be, ev.Phase)
+			}
+		}
+		if got, want := startDelta(events, "S"), after.Count-before.Count; got != want {
+			t.Errorf("%s: summed update deltas = %d, derived pairs = %d", be, got, want)
+		}
+		if after.Count <= before.Count {
+			t.Fatalf("%s: update derived nothing (%d -> %d)", be, before.Count, after.Count)
+		}
+	}
+}
+
+func TestCachedReadReportsDurationAndNoPasses(t *testing.T) {
+	ctx := context.Background()
+	gram := cfpq.MustParseGrammar("S -> a b")
+	g := cfpq.NewGraph(3)
+	g.AddEdge(0, "a", 1)
+	g.AddEdge(1, "b", 2)
+	eng := cfpq.NewEngine(cfpq.Sparse)
+	p, err := eng.Prepare(ctx, g, gram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Do(ctx, cfpq.Request{Nonterminal: "S", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Explain.Strategy != cfpq.StrategyCachedRead {
+		t.Fatalf("strategy = %s, want cached read", res.Explain.Strategy)
+	}
+	if len(res.Explain.Passes) != 0 {
+		t.Errorf("cached read reported %d passes", len(res.Explain.Passes))
+	}
+	if res.Stats.Duration <= 0 {
+		t.Errorf("cached read stats.Duration = %v, want > 0", res.Stats.Duration)
+	}
+}
