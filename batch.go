@@ -85,6 +85,10 @@ func (p *Prepared) QueryBatch(ctx context.Context, reqs []Request) []BatchResult
 			}
 		}()
 	}
+	// The workers answer from the locked snapshot and hold no lock of
+	// their own, so the wait is bounded by this batch's own work and
+	// cannot deadlock; writers queue behind one batch, by design.
+	//lint:allow cfpqlint/lockscope waiting on own read-only workers under the read lock keeps the batch a point-in-time snapshot
 	wg.Wait()
 	return results
 }

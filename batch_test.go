@@ -53,29 +53,29 @@ func TestPreparedQueryBatchMatchesSingleQueries(t *testing.T) {
 				t.Fatalf("%s: request %d: strategy %q, want %q", be, i, got, want)
 			}
 		}
-		if got, want := res[0].Result.Exists, p.Has("S", 1, 3); got != want {
+		if got, want := res[0].Result.Exists, p.Has(context.Background(), "S", 1, 3); got != want {
 			t.Errorf("%s: exists(1,3) = %v, want %v", be, got, want)
 		}
-		if got, want := res[1].Result.Exists, p.Has("S", 0, 3); got != want {
+		if got, want := res[1].Result.Exists, p.Has(context.Background(), "S", 0, 3); got != want {
 			t.Errorf("%s: exists(0,3) = %v, want %v", be, got, want)
 		}
 		if res[2].Result.Exists {
 			t.Errorf("%s: out-of-range exists answered true", be)
 		}
-		if got, want := res[3].Result.Count, p.Count("S"); got != want {
+		if got, want := res[3].Result.Count, p.Count(context.Background(), "S"); got != want {
 			t.Errorf("%s: count = %d, want %d", be, got, want)
 		}
-		if !slices.Equal(res[4].Result.AllPairs(), p.Relation("S")) {
-			t.Errorf("%s: pairs = %v, want %v", be, res[4].Result.AllPairs(), p.Relation("S"))
+		if !slices.Equal(res[4].Result.AllPairs(), p.Relation(context.Background(), "S")) {
+			t.Errorf("%s: pairs = %v, want %v", be, res[4].Result.AllPairs(), p.Relation(context.Background(), "S"))
 		}
-		if !slices.Equal(res[5].Result.AllPairs(), p.Relation("S")) {
-			t.Errorf("%s: default-output pairs = %v, want %v", be, res[5].Result.AllPairs(), p.Relation("S"))
+		if !slices.Equal(res[5].Result.AllPairs(), p.Relation(context.Background(), "S")) {
+			t.Errorf("%s: default-output pairs = %v, want %v", be, res[5].Result.AllPairs(), p.Relation(context.Background(), "S"))
 		}
-		if got, want := res[6].Result.Count, p.CountFrom("S", []int{0}); got != want {
+		if got, want := res[6].Result.Count, p.CountFrom(context.Background(), "S", []int{0}); got != want {
 			t.Errorf("%s: restricted count = %d, want %d", be, got, want)
 		}
-		if !slices.Equal(res[7].Result.AllPairs(), p.RelationFrom("S", []int{0, 1})) {
-			t.Errorf("%s: restricted pairs = %v, want %v", be, res[7].Result.AllPairs(), p.RelationFrom("S", []int{0, 1}))
+		if !slices.Equal(res[7].Result.AllPairs(), p.RelationFrom(context.Background(), "S", []int{0, 1})) {
+			t.Errorf("%s: restricted pairs = %v, want %v", be, res[7].Result.AllPairs(), p.RelationFrom(context.Background(), "S", []int{0, 1}))
 		}
 	}
 }
@@ -149,7 +149,7 @@ func TestEngineQueryBatchOneShot(t *testing.T) {
 func TestPreparedSourceFilteredReads(t *testing.T) {
 	for _, be := range cfpq.Backends() {
 		p := testPrepared(t, be)
-		full := p.Relation("S")
+		full := p.Relation(context.Background(), "S")
 		if len(full) == 0 {
 			t.Fatalf("%s: empty relation, test graph broken", be)
 		}
@@ -161,20 +161,20 @@ func TestPreparedSourceFilteredReads(t *testing.T) {
 				want = append(want, pr)
 			}
 		}
-		if got := p.RelationFrom("S", sources); !slices.Equal(got, want) {
+		if got := p.RelationFrom(context.Background(), "S", sources); !slices.Equal(got, want) {
 			t.Errorf("%s: RelationFrom = %v, want %v", be, got, want)
 		}
-		if got := p.CountFrom("S", sources); got != len(want) {
+		if got := p.CountFrom(context.Background(), "S", sources); got != len(want) {
 			t.Errorf("%s: CountFrom = %d, want %d", be, got, len(want))
 		}
 		var streamed []cfpq.Pair
-		for pr := range p.PairsFrom("S", sources) {
+		for pr := range p.PairsFrom(context.Background(), "S", sources) {
 			streamed = append(streamed, pr)
 		}
 		if !slices.Equal(streamed, want) {
 			t.Errorf("%s: PairsFrom = %v, want %v", be, streamed, want)
 		}
-		if got := p.RelationFrom("Nope", sources); got != nil {
+		if got := p.RelationFrom(context.Background(), "Nope", sources); got != nil {
 			t.Errorf("%s: unknown non-terminal RelationFrom = %v, want nil", be, got)
 		}
 	}
@@ -185,7 +185,7 @@ func TestPreparedSourceFilteredReads(t *testing.T) {
 func TestPreparedPairsFromEarlyBreak(t *testing.T) {
 	p := testPrepared(t, cfpq.Sparse)
 	count := 0
-	for range p.PairsFrom("S", []int{0, 1, 2, 3, 4}) {
+	for range p.PairsFrom(context.Background(), "S", []int{0, 1, 2, 3, 4}) {
 		count++
 		break
 	}

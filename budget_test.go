@@ -65,8 +65,8 @@ func TestMemoryBudgetRejects(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Prepare under 64MiB budget: %v", err)
 			}
-			if p.Count("S") != 3 {
-				t.Fatalf("budgeted Prepare count = %d, want 3", p.Count("S"))
+			if p.Count(context.Background(), "S") != 3 {
+				t.Fatalf("budgeted Prepare count = %d, want 3", p.Count(context.Background(), "S"))
 			}
 		})
 	}

@@ -209,6 +209,7 @@ func buildConfig(opts []Option) *config {
 // Deprecated: use NewEngine(backend).Do with Request{Graph: g, Grammar:
 // gram, Nonterminal: start} (or the Query sugar) with a context.
 func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error) {
+	//lint:allow cfpqlint/ctxflow deprecated ctx-less wrapper: no caller context exists; the Engine method is the ctx-aware path
 	return NewEngine(Sparse).Query(context.Background(), g, gram, start, opts...)
 }
 
@@ -221,6 +222,7 @@ func Query(g *Graph, gram *Grammar, start string, opts ...Option) ([]Pair, error
 //
 // Deprecated: use NewEngine(backend).Evaluate with a context.
 func Evaluate(g *Graph, cnf *CNF, opts ...Option) (*Index, Stats) {
+	//lint:allow cfpqlint/ctxflow deprecated ctx-less wrapper: no caller context exists; the Engine method is the ctx-aware path
 	ix, stats, _ := NewEngine(Sparse).Evaluate(context.Background(), g, cnf, opts...)
 	return ix, stats
 }
@@ -231,6 +233,7 @@ func Evaluate(g *Graph, cnf *CNF, opts ...Option) (*Index, Stats) {
 //
 // Deprecated: use NewEngine(backend).SinglePath with a context.
 func SinglePath(g *Graph, cnf *CNF) *PathIndex {
+	//lint:allow cfpqlint/ctxflow deprecated ctx-less wrapper: no caller context exists; the Engine method is the ctx-aware path
 	px, _ := NewEngine(Sparse).SinglePath(context.Background(), g, cnf)
 	return px
 }
@@ -241,5 +244,6 @@ func SinglePath(g *Graph, cnf *CNF) *PathIndex {
 // Deprecated: use NewEngine(backend).AllPaths with a context, or the
 // streaming Prepared.Paths.
 func AllPaths(g *Graph, ix *Index, start string, i, j int, opts AllPathsOptions) ([][]Edge, error) {
+	//lint:allow cfpqlint/ctxflow deprecated ctx-less wrapper: no caller context exists; the Engine method is the ctx-aware path
 	return NewEngine(Sparse).AllPaths(context.Background(), g, ix, start, i, j, opts)
 }

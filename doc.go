@@ -223,6 +223,21 @@
 // follower bootstraps, loses its leader, or lags beyond -max-lag, and
 // POST /v1/promote detaches it into a writable leader.
 //
+// # Static analysis
+//
+// The engine's cross-cutting invariants — no blocking work under a
+// guarded mutex, caller contexts threaded end to end, write-ahead
+// journaling before in-memory mutation, compile-time metric-name
+// hygiene, an allocation-free nil-tracer fast path — are enforced by
+// five custom analyzers in internal/lint, packaged as the cmd/cfpqlint
+// multichecker and run in CI:
+//
+//	go run ./cmd/cfpqlint ./...
+//
+// Deliberate exceptions carry an in-source justification via
+// `//lint:allow cfpqlint/<name> <why>`; the README's "Static analysis"
+// section documents each analyzer and the directive's scope.
+//
 // Subpackages under internal/ implement the machinery: grammars and CNF
 // (internal/grammar), graphs, N-Triples and edge lists (internal/graph),
 // Boolean matrix kernels (internal/matrix), the closure engine and path

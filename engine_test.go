@@ -156,7 +156,7 @@ func TestUpdatePreservesParallelBackend(t *testing.T) {
 		}
 		// The deprecated free Update must also keep the kernel: it takes
 		// the backend from the index, not from its own default engine.
-		Update(ix, Edge{From: 1, Label: "b", To: 2})
+		Update(context.Background(), ix, Edge{From: 1, Label: "b", To: 2})
 		if got := ix.Backend().Name(); got != be.Name() {
 			t.Errorf("after Update: index backend = %q, want %q", got, be.Name())
 		}

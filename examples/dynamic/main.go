@@ -73,7 +73,7 @@ func run(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "\nPrepared closure: %d pairs in %d passes\n",
-		prep.Count("Dep"), prep.Stats().Build.Iterations)
+		prep.Count(ctx, "Dep"), prep.Stats().Build.Iterations)
 
 	// 3. Dynamic update: db starts importing vuln; only the consequences
 	// of the new edge are propagated — no full re-evaluation. The edge
@@ -86,7 +86,7 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "Incremental update: %d passes, %d matrix products\n",
 		info.Stats.Iterations, info.Stats.Products)
 	fmt.Fprintln(w, "Modules now depending on vuln (streamed):")
-	for p := range prep.Pairs("Dep") {
+	for p := range prep.Pairs(ctx, "Dep") {
 		if mods[p.J] == "vuln" {
 			fmt.Fprintf(w, "  %s\n", mods[p.I])
 		}

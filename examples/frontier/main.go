@@ -124,7 +124,7 @@ func run(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "\nafter mail -> auth is added, billing reaches:\n")
-	for p := range prep.PairsFrom("Reach", []int{id["billing"]}) {
+	for p := range prep.PairsFrom(ctx, "Reach", []int{id["billing"]}) {
 		fmt.Fprintf(w, "  %s\n", services[p.J])
 	}
 	return nil

@@ -75,7 +75,7 @@ func run(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "Session 1: closure over %d modules: %d Dep pairs in %d passes\n",
-		len(mods), prep.Count("Dep"), prep.Stats().Build.Iterations)
+		len(mods), prep.Count(ctx, "Dep"), prep.Stats().Build.Iterations)
 
 	// Persist the evaluated index at the current WAL position (seq 0: no
 	// edges journaled yet).
@@ -95,7 +95,7 @@ func run(w io.Writer) error {
 	if _, err := prep.AddEdges(ctx, cfpq.Edge{From: id["db"], Label: "imports", To: id["vuln"]}); err != nil {
 		return err
 	}
-	for p := range prep.Pairs("Dep") {
+	for p := range prep.Pairs(ctx, "Dep") {
 		if mods[p.J] == "vuln" {
 			fmt.Fprintf(w, "  %s now depends on vuln\n", mods[p.I])
 		}
@@ -140,6 +140,6 @@ func run(w io.Writer) error {
 	fmt.Fprintf(w, "Patched %d WAL edge(s) in %d passes; warm handle ran %d closure passes\n",
 		len(tail), stats.Iterations, warm.Stats().Build.Iterations)
 	fmt.Fprintf(w, "After restart, Has(app -> vuln) = %v (name table intact: node %d = %q)\n",
-		warm.Has("Dep", id["app"], id["vuln"]), id["vuln"], names[id["vuln"]])
+		warm.Has(ctx, "Dep", id["app"], id["vuln"]), id["vuln"], names[id["vuln"]])
 	return nil
 }

@@ -39,8 +39,8 @@ func ParseConjunctive(text string) (*ConjunctiveGrammar, error) {
 // Deprecated: use NewEngine(backend).Do with Request{Graph: g, Expr:
 // expr} (or the RPQ sugar) — the planner then also serves restricted
 // forms via the frontier strategies.
-func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
-	return NewEngine(Sparse).RPQ(context.Background(), g, expr, opts...)
+func RPQ(ctx context.Context, g *Graph, expr string, opts ...Option) ([]Pair, error) {
+	return NewEngine(Sparse).RPQ(ctx, g, expr, opts...)
 }
 
 // QueryConjunctive evaluates a conjunctive path query (see
@@ -48,16 +48,17 @@ func RPQ(g *Graph, expr string, opts ...Option) ([]Pair, error) {
 //
 // Deprecated: use NewEngine(backend).Do with Request{Graph: g,
 // Conjunctive: cg, Nonterminal: start} (or the QueryConjunctive sugar).
-func QueryConjunctive(g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
-	return NewEngine(Sparse).QueryConjunctive(context.Background(), g, cg, start, opts...)
+func QueryConjunctive(ctx context.Context, g *Graph, cg *ConjunctiveGrammar, start string, opts ...Option) ([]Pair, error) {
+	return NewEngine(Sparse).QueryConjunctive(ctx, g, cg, start, opts...)
 }
 
 // ShortestPath is SinglePath with minimal witness lengths; see
-// Engine.ShortestPath.
+// Engine.ShortestPath. A cancelled ctx returns nil.
 //
-// Deprecated: use NewEngine(backend).ShortestPath with a context.
-func ShortestPath(g *Graph, cnf *CNF) *PathIndex {
-	px, _ := NewEngine(Sparse).ShortestPath(context.Background(), g, cnf)
+// Deprecated: use NewEngine(backend).ShortestPath, which reports the
+// cancellation error this wrapper drops.
+func ShortestPath(ctx context.Context, g *Graph, cnf *CNF) *PathIndex {
+	px, _ := NewEngine(Sparse).ShortestPath(ctx, g, cnf)
 	return px
 }
 
@@ -67,10 +68,11 @@ func ShortestPath(g *Graph, cnf *CNF) *PathIndex {
 // included — and edges that grow the node set transparently resize the
 // index in place.
 //
-// Deprecated: use NewEngine(backend).Update with a context, or a Prepared
-// handle, which also keeps the graph in sync.
-func Update(ix *Index, edges ...Edge) Stats {
-	stats, _ := NewEngine(Sparse).Update(context.Background(), ix, edges...)
+// Deprecated: use NewEngine(backend).Update, which reports the
+// cancellation error this wrapper drops, or a Prepared handle, which also
+// keeps the graph in sync.
+func Update(ctx context.Context, ix *Index, edges ...Edge) Stats {
+	stats, _ := NewEngine(Sparse).Update(ctx, ix, edges...)
 	return stats
 }
 

@@ -1,6 +1,7 @@
 package cfpq
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -10,7 +11,7 @@ func TestRPQFacade(t *testing.T) {
 	g.AddEdge(0, "a", 1)
 	g.AddEdge(1, "a", 2)
 	g.AddEdge(2, "b", 3)
-	pairs, err := RPQ(g, "a* b")
+	pairs, err := RPQ(context.Background(), g, "a* b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,14 +20,14 @@ func TestRPQFacade(t *testing.T) {
 		t.Errorf("pairs = %v, want %v", pairs, want)
 	}
 	// Backend option is honoured (same result).
-	dense, err := RPQ(g, "a* b", WithDenseParallel(2))
+	dense, err := RPQ(context.Background(), g, "a* b", WithDenseParallel(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(dense, want) {
 		t.Errorf("dense pairs = %v, want %v", dense, want)
 	}
-	if _, err := RPQ(g, "a* ("); err == nil {
+	if _, err := RPQ(context.Background(), g, "a* ("); err == nil {
 		t.Error("bad expression should error")
 	}
 }
@@ -34,7 +35,7 @@ func TestRPQFacade(t *testing.T) {
 func TestRPQEmptyPathsFacade(t *testing.T) {
 	g := NewGraph(2)
 	g.AddEdge(0, "a", 1)
-	pairs, err := RPQ(g, "a*", WithEmptyPaths())
+	pairs, err := RPQ(context.Background(), g, "a*", WithEmptyPaths())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestConjunctiveFacade(t *testing.T) {
 	for i, l := range labels {
 		g.AddEdge(i, l, i+1)
 	}
-	pairs, err := QueryConjunctive(g, cg, "S")
+	pairs, err := QueryConjunctive(context.Background(), g, cg, "S")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestShortestPathFacade(t *testing.T) {
 	g.AddEdge(0, "a", 1)
 	g.AddEdge(1, "b", 2)
 	cnf, _ := ToCNF(MustParseGrammar("S -> a S b | a b"))
-	px := ShortestPath(g, cnf)
+	px := ShortestPath(context.Background(), g, cnf)
 	if l, ok := px.Length("S", 0, 2); !ok || l != 2 {
 		t.Errorf("Length = %d, %v", l, ok)
 	}
@@ -98,7 +99,7 @@ func TestUpdateFacade(t *testing.T) {
 			t.Fatal("premature pair")
 		}
 		g.AddEdge(1, "b", 2)
-		Update(ix, Edge{From: 1, Label: "b", To: 2})
+		Update(context.Background(), ix, Edge{From: 1, Label: "b", To: 2})
 		if !ix.Has("S", 0, 2) {
 			t.Error("(0,2) missing after Update")
 		}

@@ -1,3 +1,5 @@
+//lint:file-allow cfpqlint/ctxflow bench harness: standalone CLI tooling with no caller context; runs on its own root context by design
+
 // Package bench is the harness that regenerates the paper's evaluation:
 // Table 1 (Query 1) and Table 2 (Query 2) over the 14 dataset graphs, for
 // the four implementations the paper compares —

@@ -1,3 +1,4 @@
+//lint:file-allow cfpqlint/ctxflow bench harness: standalone CLI tooling with no caller context; runs on its own root context by design
 package bench
 
 import (
@@ -164,12 +165,12 @@ func RunLiveQuery(cfg LiveQueryConfig) ([]LiveQueryRow, error) {
 			}
 			pollPairs := 0
 			startPoll := time.Now()
-			prev := pairSet(pollP.Relation("S"))
+			prev := pairSet(pollP.Relation(ctx, "S"))
 			for _, batch := range batches {
 				if _, err := pollP.AddEdges(ctx, batch...); err != nil {
 					return rows, err
 				}
-				cur := pollP.Relation("S")
+				cur := pollP.Relation(ctx, "S")
 				for _, p := range cur {
 					if !prev[p] {
 						pollPairs++

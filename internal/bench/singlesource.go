@@ -1,3 +1,4 @@
+//lint:file-allow cfpqlint/ctxflow bench harness: standalone CLI tooling with no caller context; runs on its own root context by design
 package bench
 
 import (

@@ -1,3 +1,4 @@
+//lint:file-allow cfpqlint/ctxflow bench harness: standalone CLI tooling with no caller context; runs on its own root context by design
 package bench
 
 import (
@@ -112,7 +113,7 @@ func RunWarmStart(cfg WarmStartConfig) ([]WarmStartRow, error) {
 			if err != nil {
 				return rows, err
 			}
-			coldCount = p.Count("S")
+			coldCount = p.Count(ctx, "S")
 			if dt := time.Since(start); bestCold == 0 || dt < bestCold {
 				bestCold = dt
 			}
@@ -185,7 +186,7 @@ func RunWarmStart(cfg WarmStartConfig) ([]WarmStartRow, error) {
 				st.Close()
 				return rows, err
 			}
-			warmCount = p.Count("S")
+			warmCount = p.Count(ctx, "S")
 			if err := st.Close(); err != nil {
 				return rows, err
 			}

@@ -296,6 +296,7 @@ func (r *Result) Has(nt string, i, j int) bool {
 // backend (nil selects the serial sparse backend). Per fixpoint pass, each
 // conjunctive rule contributes the intersection of its conjunct products.
 func Evaluate(g *graph.Graph, cg *Grammar, be matrix.Backend) (*Result, error) {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; EvaluateContext is the ctx-aware path
 	return EvaluateContext(context.Background(), g, cg, be)
 }
 

@@ -52,6 +52,7 @@ func pathKey(p []graph.Edge) string {
 // grammars; an internal work budget proportional to MaxPaths keeps calls
 // bounded, at the price of possible incompleteness on adversarial inputs.
 func (ix *Index) AllPaths(g *graph.Graph, nt string, i, j int, opts AllPathsOptions) [][]graph.Edge {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; AllPathsContext is the ctx-aware path
 	paths, _ := ix.AllPathsContext(context.Background(), g, nt, i, j, opts)
 	return paths
 }

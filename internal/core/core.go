@@ -250,6 +250,7 @@ func (e *Engine) Init(g *graph.Graph, cnf *grammar.CNF) *Index {
 // adds bits and the total bit count is bounded by |V|²·|N| (paper
 // Theorem 3).
 func (e *Engine) Close(ix *Index) Stats {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; CloseContext is the ctx-aware path
 	stats, _ := e.CloseContext(context.Background(), ix)
 	return stats
 }
@@ -383,6 +384,7 @@ type QueryOptions struct {
 // returns the sorted pair list. It is the one-call convenience API; use
 // Run/Index for repeated queries over the same closure.
 func (e *Engine) Query(g *graph.Graph, gram *grammar.Grammar, start string, opts QueryOptions) ([]matrix.Pair, error) {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; QueryContext is the ctx-aware path
 	return e.QueryContext(context.Background(), g, gram, start, opts)
 }
 

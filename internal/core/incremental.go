@@ -113,6 +113,7 @@ func NewlyDerived(cur, old *Index) *Delta {
 // Update returns closure statistics for the incremental run; zero
 // iterations of change means the edges added nothing new.
 func (e *Engine) Update(ix *Index, edges ...graph.Edge) Stats {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; UpdateContext is the ctx-aware path
 	stats, _, _ := e.UpdateContext(context.Background(), ix, edges...)
 	return stats
 }

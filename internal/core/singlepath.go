@@ -32,6 +32,7 @@ type PathIndex struct {
 // replaced by length bookkeeping. Lengths are fixed at first derivation, as
 // in the paper.
 func NewPathIndex(g *graph.Graph, cnf *grammar.CNF) *PathIndex {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; newPathIndex threads the caller ctx
 	p, _ := newPathIndex(context.Background(), g, cnf, false)
 	return p
 }
@@ -55,6 +56,7 @@ func NewShortestPathIndexContext(ctx context.Context, g *graph.Graph, cnf *gramm
 // minimal, at the cost of more fixpoint work). Path extraction works
 // unchanged and returns a shortest witness.
 func NewShortestPathIndex(g *graph.Graph, cnf *grammar.CNF) *PathIndex {
+	//lint:allow cfpqlint/ctxflow ctx-less convenience API kept for the paper-faithful surface; newPathIndex threads the caller ctx
 	p, _ := newPathIndex(context.Background(), g, cnf, true)
 	return p
 }

@@ -1,0 +1,14 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"cfpq/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("linttest builds export data for the whole module")
+	}
+	linttest.Run(t, Analyzer, "testdata/src/ctxflow")
+}

@@ -1,0 +1,28 @@
+// Suppression-scope cases: a //lint:allow directive silences its own
+// line and the next line, nothing further.
+package fixture
+
+import "context"
+
+// Allowed carries a trailing suppression: silenced.
+func Allowed() error {
+	return helper(context.Background()) //lint:allow cfpqlint/ctxflow fixture: deliberate detached context
+}
+
+// AllowedAbove is silenced by a directive on the preceding line.
+func AllowedAbove() error {
+	//lint:allow cfpqlint/ctxflow fixture: deliberate detached context
+	return helper(context.Background())
+}
+
+// NotAllowed is outside both directives' reach: still flagged.
+func NotAllowed() error {
+	return helper(context.Background()) // want `context\.Background\(\)`
+}
+
+// WrongAnalyzer's directive names a different analyzer, so ctxflow still
+// fires on the line it covers.
+func WrongAnalyzer() error {
+	//lint:allow cfpqlint/lockscope fixture: names the wrong analyzer
+	return helper(context.Background()) // want `context\.Background\(\)`
+}

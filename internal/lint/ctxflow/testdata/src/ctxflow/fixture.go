@@ -1,0 +1,34 @@
+// Fixture for the ctxflow analyzer: root contexts manufactured in
+// library code and exported functions that drop their ctx parameter.
+package fixture
+
+import "context"
+
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// Query manufactures a root context in library code: flagged.
+func Query() error {
+	return helper(context.Background()) // want `context\.Background\(\) in library code`
+}
+
+// Todo is the TODO variant: flagged.
+func Todo() error {
+	return helper(context.TODO()) // want `context\.TODO\(\) in library code`
+}
+
+// Drops accepts a context it never threads: flagged at the name.
+func Drops(ctx context.Context, n int) int { // want `Drops accepts a context\.Context but never uses it`
+	return n + 1
+}
+
+// Threads uses its context: clean.
+func Threads(ctx context.Context) error { return helper(ctx) }
+
+// Discard names the parameter _, a deliberate drop: clean.
+func Discard(_ context.Context) int { return 0 }
+
+// unexported functions may drop ctx — only exported API promises
+// cancellation: clean.
+func drops(ctx context.Context) int { return 1 }
+
+var _ = drops

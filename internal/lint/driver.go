@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Suppression comments. A finding is silenced by
+//
+//	//lint:allow cfpqlint/<name> <justification>
+//
+// on the finding's own line or the line immediately above it, or by
+//
+//	//lint:file-allow cfpqlint/<name> <justification>
+//
+// anywhere in the file (for files whose whole job is the deliberate
+// exception, such as the durability layer's fsync-under-lock protocol).
+// Several analyzers may be named, comma-separated. The justification text
+// is free-form but expected: a suppression without a reason is a review
+// comment waiting to happen.
+const (
+	allowDirective     = "lint:allow"
+	fileAllowDirective = "lint:file-allow"
+)
+
+// suppressions records which (file, line) pairs are silenced per analyzer.
+type suppressions struct {
+	// lines maps analyzer name -> filename -> set of suppressed lines.
+	lines map[string]map[string]map[int]bool
+	// files maps analyzer name -> set of wholly suppressed filenames.
+	files map[string]map[string]bool
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	if s.files[d.Analyzer][d.Pos.Filename] {
+		return true
+	}
+	return s.lines[d.Analyzer][d.Pos.Filename][d.Pos.Line]
+}
+
+func (s *suppressions) addLine(analyzer, file string, line int) {
+	if s.lines[analyzer] == nil {
+		s.lines[analyzer] = make(map[string]map[int]bool)
+	}
+	if s.lines[analyzer][file] == nil {
+		s.lines[analyzer][file] = make(map[int]bool)
+	}
+	s.lines[analyzer][file][line] = true
+}
+
+func (s *suppressions) addFile(analyzer, file string) {
+	if s.files[analyzer] == nil {
+		s.files[analyzer] = make(map[string]bool)
+	}
+	s.files[analyzer][file] = true
+}
+
+// scanSuppressions builds the suppression index over the packages'
+// comments.
+func scanSuppressions(pkgs []*Package, fset *token.FileSet) *suppressions {
+	sup := &suppressions{
+		lines: make(map[string]map[string]map[int]bool),
+		files: make(map[string]map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					pos := fset.Position(c.Pos())
+					switch {
+					case strings.HasPrefix(text, fileAllowDirective):
+						for _, name := range directiveAnalyzers(text[len(fileAllowDirective):]) {
+							sup.addFile(name, pos.Filename)
+						}
+					case strings.HasPrefix(text, allowDirective):
+						for _, name := range directiveAnalyzers(text[len(allowDirective):]) {
+							// The directive covers its own line and the
+							// next, so it works both inline and as the
+							// comment line above the finding.
+							sup.addLine(name, pos.Filename, pos.Line)
+							sup.addLine(name, pos.Filename, pos.Line+1)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// directiveAnalyzers parses the analyzer list of an allow directive:
+// the first whitespace-delimited field, split on commas, each entry
+// expected as cfpqlint/<name>. Entries without the prefix are ignored
+// (they belong to other tools' namespaces).
+func directiveAnalyzers(rest string) []string {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	var names []string
+	for _, entry := range strings.Split(fields[0], ",") {
+		if name, ok := strings.CutPrefix(entry, "cfpqlint/"); ok && name != "" {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// RunAnalyzers executes the analyzers over the packages and returns the
+// findings that survive suppression filtering, sorted by position. The
+// FileSet must be the one the packages were loaded with.
+func RunAnalyzers(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := scanSuppressions(pkgs, fset)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if !sup.allows(d) {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return less(diags[i], diags[j]) })
+	return diags, nil
+}
+
+func less(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Message < b.Message
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+// Load type-checks the module packages matching patterns (run from dir)
+// and returns them with the FileSet positions resolve against.
+//
+// The loader leans on the go tool rather than reimplementing it:
+// `go list -export -deps` compiles every dependency into the build cache
+// and reports the export-data file per import path, so the module's own
+// packages can be parsed from source and type-checked with the gc
+// importer resolving imports straight from those files — no network, no
+// third-party loader, and exactly the file set `go build` would use.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exportMap(listed))
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPkg(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, fset, nil
+}
+
+// goList runs `go list -export -deps -json` and decodes the stream.
+func goList(dir string, patterns ...string) ([]listedPkg, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,Standard,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// A fixed cgo setting keeps the export data self-consistent across
+	// environments with and without a C toolchain.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var listed []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, lp)
+	}
+	return listed, nil
+}
+
+// exportMap indexes export-data files by import path.
+func exportMap(listed []listedPkg) map[string]string {
+	m := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Export != "" {
+			m[lp.ImportPath] = lp.Export
+		}
+	}
+	return m
+}
+
+// NewImporter returns a types.Importer resolving import paths through the
+// given export-data files (as produced by exportMap over `go list -export
+// -deps` output). The linttest harness shares it so fixtures can import
+// both standard-library and module packages.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// ExportData builds the export map for the packages matching patterns —
+// the loader's `go list` step exposed for the linttest harness.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return exportMap(listed), nil
+}
+
+// checkPkg parses and type-checks one package from source.
+func checkPkg(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := CheckFiles(fset, imp, path, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{PkgPath: path, Dir: dir, Files: files, Types: pkg, Info: info}, nil
+}
+
+// CheckFiles type-checks an already-parsed file set as one package.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if firstErr != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v", path, firstErr)
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return pkg, info, nil
+}

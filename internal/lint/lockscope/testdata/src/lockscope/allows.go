@@ -1,0 +1,22 @@
+// Suppression-scope cases: the directive silences its own line and the
+// next, nothing further, and only for the analyzer it names.
+package fixture
+
+// Allowed sends under the lock deliberately; the trailing directive
+// silences exactly that line, and the send two lines later still fires.
+func (p *Prepared) Allowed(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ch <- p.n //lint:allow cfpqlint/lockscope fixture: deliberate send under lock
+	p.n++
+	ch <- p.n // want `channel send while holding Prepared lock`
+}
+
+// WrongAnalyzer's directive names ctxflow, so lockscope still fires on
+// the covered line.
+func (p *Prepared) WrongAnalyzer(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	//lint:allow cfpqlint/ctxflow fixture: names the wrong analyzer
+	ch <- p.n // want `channel send while holding Prepared lock`
+}

@@ -1,0 +1,9 @@
+// Suppression-scope case: the directive covers its own line and the
+// next; the registration two lines down still fires.
+package fixture
+
+func allowed(reg *Registry) {
+	//lint:allow cfpqlint/metricname fixture: legacy name kept for dashboard compatibility
+	reg.Counter("legacy-name", "grandfathered")
+	reg.Counter("legacy-name-two", "not covered") // want `not snake_case`
+}

@@ -1,0 +1,28 @@
+// Fixture for the metricname analyzer: constant names and labels are
+// vetted with the real obs.CheckName/CheckLabel rules. Registry is a
+// stand-in matched by bare type name.
+package fixture
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string)                                           {}
+func (r *Registry) CounterVec(name, help string, labels ...string)                      {}
+func (r *Registry) CounterFunc(name, help string, fn func() float64)                    {}
+func (r *Registry) Gauge(name, help string)                                             {}
+func (r *Registry) GaugeVec(name, help string, labels ...string)                        {}
+func (r *Registry) Histogram(name, help string, buckets []float64)                      {}
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) {}
+
+func register(reg *Registry) {
+	reg.Counter("requests_total", "good")
+	reg.Counter("Requests_total", "bad case") // want `not snake_case`
+	reg.Counter("requests", "bad suffix")     // want `must end in _total`
+	reg.Gauge("queue_depth_entries", "good")
+	reg.Gauge("queue_depth", "bad suffix") // want `must end in a unit suffix`
+	reg.Histogram("latency_seconds", "good", nil)
+	reg.CounterVec("hits_total", "good", "route", "Method") // want `invalid label name "Method"`
+	name := dynamicName()
+	reg.Counter(name, "dynamic") // want `not a compile-time constant`
+}
+
+func dynamicName() string { return "x_total" }

@@ -1,0 +1,23 @@
+// Wrapper-following cases: names that reach a registration method
+// through a named wrapper or the function-literal bridge pattern are
+// vetted at the wrapper's call sites.
+package fixture
+
+// registerCounter forwards its name parameter into a registration call,
+// making it a wrapper.
+func registerCounter(reg *Registry, name string) {
+	reg.Counter(name, "wrapped")
+}
+
+func useNamedWrapper(reg *Registry) {
+	registerCounter(reg, "wrapped_total")
+	registerCounter(reg, "wrapped") // want `must end in _total`
+}
+
+// useLitWrapper is the function-literal bridge internal/server's
+// metrics.go uses for its CounterFunc registrations.
+func useLitWrapper(reg *Registry) {
+	counter := func(name, help string) { reg.Counter(name, help) }
+	counter("bridged_total", "good")
+	counter("Bridged_total", "bad") // want `not snake_case`
+}

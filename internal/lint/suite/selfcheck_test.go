@@ -1,0 +1,40 @@
+package suite
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfpq/internal/lint"
+)
+
+// TestTreeClean runs every analyzer over the whole module and asserts
+// nothing survives //lint:allow suppression filtering — the same gate
+// CI's cfpqlint step enforces, kept under plain `go test ./...` so a
+// regression fails locally before it reaches CI.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+	pkgs, fset, err := lint.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, fset, All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,11 @@
+// Suppression-scope case: the trailing directive silences its own line;
+// the identical call two lines later still fires.
+package fixture
+
+import "fmt"
+
+func allowedDrive(pt *passTracer, n int) {
+	pt.onPass(fmt.Sprintf("pass %d", n)) //lint:allow cfpqlint/tracealloc fixture: cold path, readability wins
+	n++
+	pt.onPass(fmt.Sprintf("pass %d", n)) // want `fmt\.Sprintf argument to passTracer\.onPass allocates`
+}

@@ -1,0 +1,47 @@
+// Fixture for the tracealloc analyzer: passTracer is a stand-in for
+// internal/core's nil-when-disabled tracer (matched by bare type name).
+package fixture
+
+import "fmt"
+
+type passTracer struct {
+	events []string
+	passes int
+}
+
+// onPass is properly guarded: clean.
+func (pt *passTracer) onPass(ev string) {
+	if pt == nil {
+		return
+	}
+	pt.events = append(pt.events, ev)
+}
+
+// enabled uses the expression-form guard: clean.
+func (pt *passTracer) enabled() bool { return pt != nil && pt.passes > 0 }
+
+// onIndex is guarded: clean.
+func (pt *passTracer) onIndex(fn func() int, vals []int) {
+	if pt == nil {
+		return
+	}
+	if fn != nil {
+		pt.passes += fn()
+	}
+	pt.passes += len(vals)
+}
+
+// onProduct lacks the nil-receiver guard: flagged at the name.
+func (pt *passTracer) onProduct(ev string) { // want `must begin with a nil-receiver guard`
+	pt.events = append(pt.events, ev)
+}
+
+func drive(pt *passTracer, n int, label string) {
+	pt.onPass("constant pass")
+	pt.onPass("pass " + "constant")
+	pt.onPass(fmt.Sprintf("pass %d", n)) // want `fmt\.Sprintf argument to passTracer\.onPass allocates`
+	pt.onPass("pass " + label)           // want `string concatenation argument to passTracer\.onPass allocates`
+	pt.onIndex(nil, nil)
+	pt.onIndex(func() int { return n }, nil) // want `closure argument to passTracer\.onIndex allocates`
+	pt.onIndex(nil, []int{n})                // want `composite literal argument to passTracer\.onIndex allocates`
+}

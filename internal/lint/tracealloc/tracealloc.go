@@ -1,0 +1,184 @@
+// Package tracealloc keeps the disabled-trace fast path allocation-free.
+//
+// internal/core's passTracer is nil when tracing is off, and the closure
+// loops call its methods unconditionally — the discipline (PR 9) is that
+// every method starts with a nil-receiver guard, so a disabled trace
+// costs one pointer test per pass. Two things break that:
+//
+//   - a passTracer method without the leading nil guard (it would panic,
+//     or worse, do real work when disabled), and
+//   - an allocating argument at a call site (fmt.Sprintf, composite
+//     literals, append/make, string concatenation, closures): arguments
+//     are evaluated before the callee's guard can bail, so the allocation
+//     lands on the fast path even with tracing off.
+package tracealloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cfpq/internal/lint"
+)
+
+// Analyzer is the tracealloc check.
+var Analyzer = &lint.Analyzer{
+	Name: "tracealloc",
+	Doc:  "flag allocations on the nil-tracer fast path: unguarded passTracer methods and allocating arguments at their call sites",
+	Run:  run,
+}
+
+// tracerType is the nil-when-disabled tracer's type name.
+const tracerType = "passTracer"
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recv := methodRecv(pass, fn); recv == tracerType {
+				checkGuard(pass, fn)
+			}
+			checkCallSites(pass, fn)
+		}
+	}
+	return nil
+}
+
+// methodRecv names fn's receiver type ("" for plain functions).
+func methodRecv(pass *lint.Pass, fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	if tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]; ok {
+		return lint.TypeName(tv.Type)
+	}
+	return ""
+}
+
+// checkGuard verifies the method starts with a nil-receiver guard:
+// either `if recv == nil { return ... }` as the first statement, or a
+// single-expression body of the form `return recv != nil && ...`.
+func checkGuard(pass *lint.Pass, fn *ast.FuncDecl) {
+	recvName := ""
+	for _, field := range fn.Recv.List {
+		for _, name := range field.Names {
+			recvName = name.Name
+		}
+	}
+	if recvName == "" || recvName == "_" {
+		// No usable receiver name — the method cannot test itself.
+		pass.Reportf(fn.Name.Pos(), "passTracer method %s has no named receiver to nil-guard; the disabled trace is a nil *passTracer", fn.Name.Name)
+		return
+	}
+	if len(fn.Body.List) == 0 {
+		return // empty body allocates nothing
+	}
+	switch first := fn.Body.List[0].(type) {
+	case *ast.IfStmt:
+		if isNilCheck(first.Cond, recvName, token.EQL) && endsInReturn(first.Body) {
+			return
+		}
+	case *ast.ReturnStmt:
+		// Expression form: return pt != nil && <cheap>.
+		if len(first.Results) == 1 {
+			if be, ok := first.Results[0].(*ast.BinaryExpr); ok && be.Op == token.LAND && isNilCheck(be.X, recvName, token.NEQ) {
+				return
+			}
+		}
+	}
+	pass.Reportf(fn.Name.Pos(), "passTracer method %s must begin with a nil-receiver guard (if %s == nil { return }); a nil tracer is the disabled state", fn.Name.Name, recvName)
+}
+
+// isNilCheck matches `name <op> nil` (either operand order).
+func isNilCheck(e ast.Expr, name string, op token.Token) bool {
+	be, ok := e.(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	isIdent := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == name
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isIdent(be.X) && isNil(be.Y)) || (isNil(be.X) && isIdent(be.Y))
+}
+
+// endsInReturn reports whether the guard body bails out.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// checkCallSites flags allocating arguments in calls to passTracer
+// methods: the allocation happens before the callee's nil guard runs, so
+// it is paid even with tracing disabled.
+func checkCallSites(pass *lint.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok || lint.TypeName(tv.Type) != tracerType {
+			return true
+		}
+		for _, arg := range call.Args {
+			if what, ok := allocates(pass, arg); ok {
+				pass.Reportf(arg.Pos(), "%s argument to %s.%s allocates before the nil-tracer guard can bail; compute it behind an enabled check instead", what, tracerType, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// allocates conservatively classifies expressions that allocate when
+// evaluated.
+func allocates(pass *lint.Pass, e ast.Expr) (string, bool) {
+	// Constants fold away entirely, whatever their syntax.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return "", false
+	}
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return "composite literal", true
+	case *ast.FuncLit:
+		return "closure", true
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD {
+			if tv, ok := pass.TypesInfo.Types[e]; ok {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					return "string concatenation", true
+				}
+			}
+		}
+	case *ast.CallExpr:
+		switch fun := e.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == "append" || fun.Name == "make" || fun.Name == "new" {
+				if _, isBuiltin := pass.TypesInfo.Uses[fun].(*types.Builtin); isBuiltin {
+					return fun.Name, true
+				}
+			}
+		case *ast.SelectorExpr:
+			if id, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+					return "fmt." + fun.Sel.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,10 @@
+// Suppression-scope case: the directive covers its own line and the
+// next; the third install is outside its reach and still fires.
+package fixture
+
+func (s *Service) registerGrammar(batch []int) error {
+	//lint:allow cfpqlint/walorder fixture: deliberate install before journal
+	s.entries["g"] = &graphEntry{}
+	s.entries["h"] = &graphEntry{} // want `assignment to s\.entries\[\.\.\.\] mutates in-memory state before the journal write`
+	return s.wal.AppendEdges(batch)
+}

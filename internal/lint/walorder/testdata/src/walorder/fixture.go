@@ -1,0 +1,74 @@
+// Fixture for the walorder analyzer: write-ahead ordering inside the
+// known mutation entry points. WAL, Prepared, Service and graphEntry are
+// stand-ins matched by bare type name.
+package fixture
+
+type WAL struct{ records int }
+
+func (w *WAL) AppendEdges(batch []int) error {
+	w.records += len(batch)
+	return nil
+}
+
+type graphEntry struct {
+	edges   []int
+	version int
+}
+
+func (g *graphEntry) AddEdge(a, b int) { g.edges = append(g.edges, a, b) }
+
+// Prepared.AddEdges journals before mutating: the good path, clean.
+type Prepared struct {
+	wal   *WAL
+	g     *graphEntry
+	count int
+}
+
+func (p *Prepared) AddEdges(batch []int) error {
+	if err := p.wal.AppendEdges(batch); err != nil {
+		return err
+	}
+	p.g.edges = append(p.g.edges, batch...)
+	p.count += len(batch)
+	return nil
+}
+
+// Service.AddEdges mutates shared state before the journal write: each
+// early mutation is flagged.
+type Service struct {
+	wal     *WAL
+	entries map[string]*graphEntry
+}
+
+func (s *Service) AddEdges(name string, batch []int) error {
+	ge := s.entries[name]
+	ge.edges = append(ge.edges, batch...) // want `assignment to ge\.edges mutates in-memory state before the journal write`
+	ge.version++                          // want `update of ge\.version mutates in-memory state before the journal write`
+	return s.wal.AppendEdges(batch)
+}
+
+// ApplyReplicatedEdges calls a mutating method on a shared entry before
+// journaling: flagged.
+func (s *Service) ApplyReplicatedEdges(batch []int) error {
+	g := s.entries["default"]
+	g.AddEdge(1, 2) // want `g\.AddEdge mutates in-memory state before the journal write`
+	return s.wal.AppendEdges(batch)
+}
+
+// RegisterGraph populates a freshly allocated entry before the journal
+// write — private until installed, so clean; the install itself happens
+// after the journal call.
+func (s *Service) RegisterGraph(name string) error {
+	ge := &graphEntry{}
+	ge.edges = append(ge.edges, 0)
+	if err := s.wal.AppendEdges(nil); err != nil {
+		return err
+	}
+	s.entries[name] = ge
+	return nil
+}
+
+// BootstrapGraph never journals at all: flagged at the name.
+func (s *Service) BootstrapGraph(name string) { // want `mutation entry point BootstrapGraph never journals`
+	s.entries[name] = &graphEntry{}
+}

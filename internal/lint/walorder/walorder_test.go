@@ -1,0 +1,14 @@
+package walorder
+
+import (
+	"testing"
+
+	"cfpq/internal/lint/linttest"
+)
+
+func TestWalorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("linttest builds export data for the whole module")
+	}
+	linttest.Run(t, Analyzer, "testdata/src/walorder")
+}

@@ -84,6 +84,16 @@ func CheckName(kind Kind, name string) error {
 	return nil
 }
 
+// CheckLabel validates a label name: lowercase snake_case, the same rule
+// registration enforces with a panic. Exported so the metricname
+// analyzer applies the registry's exact rule at compile time.
+func CheckLabel(name string) error {
+	if !labelRe.MatchString(name) {
+		return fmt.Errorf("obs: invalid label name %q", name)
+	}
+	return nil
+}
+
 // DefLatencyBuckets are the default histogram bounds for second-valued
 // latencies, exponential from 5ms to 10s.
 var DefLatencyBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
@@ -237,8 +247,8 @@ func (r *Registry) register(f *family) *family {
 		panic(err)
 	}
 	for _, l := range f.labels {
-		if !labelRe.MatchString(l) {
-			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", f.name, l))
+		if err := CheckLabel(l); err != nil {
+			panic(fmt.Sprintf("obs: metric %s: %v", f.name, err))
 		}
 	}
 	r.mu.Lock()

@@ -370,6 +370,7 @@ func (s *Service) ApplyReplicatedEdges(ctx context.Context, graphName string, ki
 		// Write-ahead, like AddEdges: the frame lands fsynced in the local
 		// WAL (with the leader's kind, so local replay reproduces the exact
 		// id assignment) before the first in-memory mutation.
+		//lint:allow cfpqlint/lockscope write-ahead protocol: the replicated frame MUST be journaled under the entry lock before the in-memory apply
 		if err := s.store.AppendReplicated(graphName, kind, recs, endSeq); err != nil {
 			ge.mu.Unlock()
 			return fmt.Errorf("server: journaling replicated batch: %w", err)

@@ -960,6 +960,7 @@ func (s *Service) AddEdges(ctx context.Context, graphName string, specs []EdgeSp
 		for i, spec := range specs {
 			recs[i] = store.EdgeRecord{From: spec.From, Label: spec.Label, To: spec.To}
 		}
+		//lint:allow cfpqlint/lockscope write-ahead protocol: the fsynced append MUST happen under the entry lock so no reader sees un-journaled state
 		seq, err := s.store.Append(graphName, recs)
 		if err != nil {
 			ge.mu.Unlock()

@@ -572,6 +572,7 @@ func (s *Store) append(name string, kind byte, recs []EdgeRecord, expectStart in
 	}
 	if !s.opts.NoSync {
 		syncStart := time.Now()
+		//lint:allow cfpqlint/lockscope durability protocol: the fsync MUST complete under the per-graph log lock before the append is acknowledged
 		if err := gl.wal.Sync(); err != nil {
 			// The frame's bytes may or may not have reached disk; either
 			// way the caller is told the batch failed, so the frame must
@@ -679,6 +680,7 @@ func (s *Store) Snapshot(name string, indexes []IndexData) error {
 	}); err != nil {
 		return err
 	}
+	//lint:allow cfpqlint/lockscope compaction swaps the WAL under the per-graph log lock; appends must not interleave with the truncate
 	if err := gl.wal.Truncate(0); err != nil {
 		return err
 	}
@@ -686,6 +688,7 @@ func (s *Store) Snapshot(name string, indexes []IndexData) error {
 		return err
 	}
 	if !s.opts.NoSync {
+		//lint:allow cfpqlint/lockscope compaction fsync, same protocol: the truncated WAL must be durable before new appends are accepted
 		if err := gl.wal.Sync(); err != nil {
 			return err
 		}

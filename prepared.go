@@ -86,6 +86,9 @@ func (p *Prepared) Nodes() int {
 // materialised under the read lock, so iterating them needs no lock and
 // cannot deadlock against a concurrent AddEdges.
 func (p *Prepared) Do(ctx context.Context, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.checkRequest(req); err != nil {
 		return nil, err
 	}
@@ -264,18 +267,19 @@ func (p *Prepared) pairsLocked(nt string, sources, targets []int, limit int) []P
 	return out
 }
 
-// Has reports whether (i, j) ∈ R_nt. Unknown non-terminals and
-// out-of-range nodes answer false. Sugar for an OutputExists Request.
-func (p *Prepared) Has(nt string, i, j int) bool {
-	res, err := p.Do(context.Background(), Request{
+// Has reports whether (i, j) ∈ R_nt. Unknown non-terminals,
+// out-of-range nodes and a cancelled ctx answer false. Sugar for an
+// OutputExists Request.
+func (p *Prepared) Has(ctx context.Context, nt string, i, j int) bool {
+	res, err := p.Do(ctx, Request{
 		Nonterminal: nt, Sources: []int{i}, Targets: []int{j}, Output: OutputExists,
 	})
 	return err == nil && res.Exists
 }
 
 // Count returns |R_nt|. Sugar for an OutputCount Request.
-func (p *Prepared) Count(nt string) int {
-	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Output: OutputCount})
+func (p *Prepared) Count(ctx context.Context, nt string) int {
+	res, err := p.Do(ctx, Request{Nonterminal: nt, Output: OutputCount})
 	if err != nil {
 		return 0
 	}
@@ -292,8 +296,8 @@ func (p *Prepared) Counts() map[string]int {
 
 // Relation returns R_nt as a sorted pair list. Sugar for an OutputPairs
 // Request; Pairs streams the same materialised snapshot.
-func (p *Prepared) Relation(nt string) []Pair {
-	res, err := p.Do(context.Background(), Request{Nonterminal: nt})
+func (p *Prepared) Relation(ctx context.Context, nt string) []Pair {
+	res, err := p.Do(ctx, Request{Nonterminal: nt})
 	if err != nil {
 		return nil
 	}
@@ -304,8 +308,8 @@ func (p *Prepared) Relation(nt string) []Pair {
 // snapshot taken under the read lock; iteration itself holds no lock, so
 // (unlike earlier versions of this API) methods of this Prepared may be
 // called from inside the loop. Sugar for an OutputPairs Request.
-func (p *Prepared) Pairs(nt string) iter.Seq[Pair] {
-	res, err := p.Do(context.Background(), Request{Nonterminal: nt})
+func (p *Prepared) Pairs(ctx context.Context, nt string) iter.Seq[Pair] {
+	res, err := p.Do(ctx, Request{Nonterminal: nt})
 	if err != nil {
 		return func(func(Pair) bool) {}
 	}
@@ -317,8 +321,8 @@ func (p *Prepared) Pairs(nt string) iter.Seq[Pair] {
 // the single-/few-source question Engine.QueryFrom evaluates from scratch.
 // Out-of-range sources contribute nothing. Sugar for a source-restricted
 // OutputPairs Request.
-func (p *Prepared) RelationFrom(nt string, sources []int) []Pair {
-	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
+func (p *Prepared) RelationFrom(ctx context.Context, nt string, sources []int) []Pair {
+	res, err := p.Do(ctx, Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
 	if err != nil {
 		return nil
 	}
@@ -328,8 +332,8 @@ func (p *Prepared) RelationFrom(nt string, sources []int) []Pair {
 // CountFrom returns the number of pairs of R_nt whose first component is
 // one of the given source nodes. Sugar for a source-restricted
 // OutputCount Request.
-func (p *Prepared) CountFrom(nt string, sources []int) int {
-	res, err := p.Do(context.Background(), Request{
+func (p *Prepared) CountFrom(ctx context.Context, nt string, sources []int) int {
+	res, err := p.Do(ctx, Request{
 		Nonterminal: nt, Sources: nonNilNodes(sources), Output: OutputCount,
 	})
 	if err != nil {
@@ -341,8 +345,8 @@ func (p *Prepared) CountFrom(nt string, sources []int) int {
 // PairsFrom streams the pairs of R_nt whose first component is one of the
 // given source nodes, in row-major order — a point-in-time snapshot, like
 // Pairs. Sugar for a source-restricted OutputPairs Request.
-func (p *Prepared) PairsFrom(nt string, sources []int) iter.Seq[Pair] {
-	res, err := p.Do(context.Background(), Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
+func (p *Prepared) PairsFrom(ctx context.Context, nt string, sources []int) iter.Seq[Pair] {
+	res, err := p.Do(ctx, Request{Nonterminal: nt, Sources: nonNilNodes(sources)})
 	if err != nil {
 		return func(func(Pair) bool) {}
 	}
@@ -354,8 +358,8 @@ func (p *Prepared) PairsFrom(nt string, sources []int) iter.Seq[Pair] {
 // (path extraction needs a consistent index), so breaking early saves only
 // the consumer's work; keep MaxPaths tight. Sugar for an OutputPaths
 // Request.
-func (p *Prepared) Paths(nt string, i, j int, opts AllPathsOptions) iter.Seq[[]Edge] {
-	res, err := p.Do(context.Background(), Request{
+func (p *Prepared) Paths(ctx context.Context, nt string, i, j int, opts AllPathsOptions) iter.Seq[[]Edge] {
+	res, err := p.Do(ctx, Request{
 		Nonterminal: nt, Sources: []int{i}, Targets: []int{j}, Output: OutputPaths,
 		Limit: opts.MaxPaths, MaxPathLength: opts.MaxLength,
 	})
@@ -432,6 +436,7 @@ func (p *Prepared) AddEdges(ctx context.Context, edges ...Edge) (UpdateInfo, err
 	if p.wal != nil && len(fresh) > 0 {
 		// Write-ahead: journal before mutating, so an acknowledged batch
 		// is always recoverable and a failed one leaves no trace.
+		//lint:allow cfpqlint/lockscope write-ahead protocol: the fsynced append MUST happen under the write lock so no reader sees un-journaled state
 		if err := p.wal.AppendEdges(fresh); err != nil {
 			return info, err
 		}

@@ -26,39 +26,39 @@ func TestPreparedBasics(t *testing.T) {
 	g.AddEdge(3, "b", 4)
 	p := mustPrepare(t, NewEngine(Sparse), g, "S -> a S b | a b")
 
-	if !p.Has("S", 1, 3) || !p.Has("S", 0, 4) {
+	if !p.Has(context.Background(), "S", 1, 3) || !p.Has(context.Background(), "S", 0, 4) {
 		t.Error("expected pairs missing")
 	}
-	if p.Has("S", 0, 1) || p.Has("S", -1, 0) || p.Has("S", 0, 99) || p.Has("Nope", 0, 1) {
+	if p.Has(context.Background(), "S", 0, 1) || p.Has(context.Background(), "S", -1, 0) || p.Has(context.Background(), "S", 0, 99) || p.Has(context.Background(), "Nope", 0, 1) {
 		t.Error("unexpected pair answered true")
 	}
-	if n := p.Count("S"); n != 2 {
+	if n := p.Count(context.Background(), "S"); n != 2 {
 		t.Errorf("Count = %d, want 2", n)
 	}
 	if c := p.Counts(); c["S"] != 2 {
 		t.Errorf("Counts = %v", c)
 	}
 	want := []Pair{{I: 0, J: 4}, {I: 1, J: 3}}
-	if rel := p.Relation("S"); !reflect.DeepEqual(rel, want) {
+	if rel := p.Relation(context.Background(), "S"); !reflect.DeepEqual(rel, want) {
 		t.Errorf("Relation = %v, want %v", rel, want)
 	}
 
 	// Streaming agrees with the materialised relation, and early break
 	// releases the lock (the follow-up Count would deadlock otherwise).
 	var streamed []Pair
-	for pr := range p.Pairs("S") {
+	for pr := range p.Pairs(context.Background(), "S") {
 		streamed = append(streamed, pr)
 	}
 	if !reflect.DeepEqual(streamed, want) {
 		t.Errorf("Pairs = %v, want %v", streamed, want)
 	}
-	for range p.Pairs("S") {
+	for range p.Pairs(context.Background(), "S") {
 		break
 	}
-	_ = p.Count("S")
+	_ = p.Count(context.Background(), "S")
 
 	var paths [][]Edge
-	for path := range p.Paths("S", 1, 3, AllPathsOptions{MaxPaths: 4}) {
+	for path := range p.Paths(context.Background(), "S", 1, 3, AllPathsOptions{MaxPaths: 4}) {
 		paths = append(paths, path)
 	}
 	if len(paths) != 1 || len(paths[0]) != 2 {
@@ -109,7 +109,7 @@ func TestPreparedPatchAgreesWithColdRebuild(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got, want := p.Relation("S"), cold.Relation("S"); !reflect.DeepEqual(got, want) {
+		if got, want := p.Relation(context.Background(), "S"), cold.Relation("S"); !reflect.DeepEqual(got, want) {
 			t.Fatalf("batch %d: patched relation %v != cold rebuild %v", bi, got, want)
 		}
 	}
@@ -158,11 +158,11 @@ func TestPreparedConcurrentQueriesRaceUpdates(t *testing.T) {
 			for i := 0; i < 50; i++ {
 				switch i % 4 {
 				case 0:
-					p.Has("S", 0, 2*k)
+					p.Has(context.Background(), "S", 0, 2*k)
 				case 1:
-					p.Count("S")
+					p.Count(context.Background(), "S")
 				case 2:
-					for range p.Pairs("S") {
+					for range p.Pairs(context.Background(), "S") {
 					}
 				case 3:
 					p.Counts()
@@ -186,10 +186,10 @@ func TestPreparedConcurrentQueriesRaceUpdates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got, want := p.Count("S"), cold.Count("S"); got != want {
+	if got, want := p.Count(context.Background(), "S"), cold.Count("S"); got != want {
 		t.Fatalf("post-race Count = %d, cold rebuild = %d", got, want)
 	}
-	if !reflect.DeepEqual(p.Relation("S"), cold.Relation("S")) {
+	if !reflect.DeepEqual(p.Relation(context.Background(), "S"), cold.Relation("S")) {
 		t.Fatal("post-race relation disagrees with cold rebuild")
 	}
 }
@@ -224,8 +224,8 @@ func TestPreparedCancelledPatchRepairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(p.Relation("S"), cold.Relation("S")) {
-		t.Fatalf("repaired relation %v != cold rebuild %v", p.Relation("S"), cold.Relation("S"))
+	if !reflect.DeepEqual(p.Relation(context.Background(), "S"), cold.Relation("S")) {
+		t.Fatalf("repaired relation %v != cold rebuild %v", p.Relation(context.Background(), "S"), cold.Relation("S"))
 	}
 }
 
@@ -264,7 +264,7 @@ func TestPreparedAttachWALTeesFreshEdges(t *testing.T) {
 	if len(wal.batches) != 1 || !reflect.DeepEqual(wal.batches[0], []Edge{fresh}) {
 		t.Fatalf("journaled %v, want [[%v]]", wal.batches, fresh)
 	}
-	if !p.Has("S", 0, 2) {
+	if !p.Has(context.Background(), "S", 0, 2) {
 		t.Error("patch missing after journaled AddEdges")
 	}
 
@@ -307,7 +307,7 @@ func TestPrepareFromIndexWarmStart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(warm.Relation("S"), cold.Relation("S")) {
+	if !reflect.DeepEqual(warm.Relation(context.Background(), "S"), cold.Relation(context.Background(), "S")) {
 		t.Error("warm handle answers differ from cold")
 	}
 	if st := warm.Stats(); st.Build.Products != 0 || st.Build.Iterations != 0 {
@@ -318,7 +318,7 @@ func TestPrepareFromIndexWarmStart(t *testing.T) {
 	if _, err := warm.AddEdges(ctx, Edge{From: 3, Label: "b", To: 4}); err != nil {
 		t.Fatal(err)
 	}
-	if !warm.Has("S", 0, 4) {
+	if !warm.Has(context.Background(), "S", 0, 4) {
 		t.Error("warm handle missed incremental consequence")
 	}
 	// CNF identity is enforced.
